@@ -1,0 +1,300 @@
+//! Analytic CPU performance and power model — the substitution for the
+//! paper's MKL runs on two 8-core Intel Xeon E5-2670 (Sandy Bridge,
+//! 2.6 GHz).
+//!
+//! The model carries the three effects the paper's CPU curves hinge on:
+//!
+//! * a single-core small-matrix efficiency ramp (tiny factorizations
+//!   never reach peak — the reason one-core-per-matrix beats
+//!   all-cores-per-matrix on this workload);
+//! * a large-matrix memory/cache penalty (16 concurrent factorizations
+//!   spill the shared L3 and saturate DRAM);
+//! * scheduling: static chunking inherits the size sequence's imbalance
+//!   ("the static scheduling results in some performance oscillations"),
+//!   dynamic work-stealing balances it at a small per-task cost, and the
+//!   all-cores scheme pays a parallel-region fork/join per matrix.
+
+use vbatch_dense::flops;
+
+/// CPU platform parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuConfig {
+    /// Physical cores (across sockets).
+    pub cores: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Double-precision flops per cycle per core (SB: 4-wide AVX add +
+    /// mul ports = 8).
+    pub dp_flops_cycle_core: f64,
+    /// Single-precision flops per cycle per core.
+    pub sp_flops_cycle_core: f64,
+    /// Small-size efficiency knee: a single-core factorization of order
+    /// `n` reaches `n / (n + eff_half_n)` of peak before other effects.
+    pub eff_half_n: f64,
+    /// Large-size cache/bandwidth penalty scale: efficiency is further
+    /// divided by `1 + (n / mem_penalty_n)²` (L3 spill + DRAM pressure
+    /// when every core streams its own matrix).
+    pub mem_penalty_n: f64,
+    /// Parallel-efficiency knee of the all-cores-per-matrix scheme:
+    /// `n / (n + cores · par_half_n)`.
+    pub par_half_n: f64,
+    /// Per-task dispatch overhead of dynamic scheduling, seconds.
+    pub task_overhead_s: f64,
+    /// Fork/join overhead of one parallel region (all-cores scheme),
+    /// seconds.
+    pub region_overhead_s: f64,
+    /// Idle package power (both sockets), watts.
+    pub idle_power_w: f64,
+    /// Full-load package power (both sockets), watts.
+    pub max_power_w: f64,
+}
+
+impl CpuConfig {
+    /// Two Xeon E5-2670 (the paper's host): 16 cores at 2.6 GHz,
+    /// 332.8 Gflop/s DP peak, 2×115 W TDP.
+    #[must_use]
+    pub fn dual_e5_2670() -> Self {
+        Self {
+            cores: 16,
+            clock_ghz: 2.6,
+            dp_flops_cycle_core: 8.0,
+            sp_flops_cycle_core: 16.0,
+            eff_half_n: 256.0,
+            mem_penalty_n: 1500.0,
+            par_half_n: 24.0,
+            task_overhead_s: 1.5e-6,
+            region_overhead_s: 8.0e-6,
+            idle_power_w: 60.0,
+            max_power_w: 230.0,
+        }
+    }
+
+    /// Peak flop rate of one core, flop/s.
+    #[must_use]
+    pub fn core_peak(&self, double_precision: bool) -> f64 {
+        let fpc = if double_precision {
+            self.dp_flops_cycle_core
+        } else {
+            self.sp_flops_cycle_core
+        };
+        fpc * self.clock_ghz * 1e9
+    }
+
+    /// Effective single-core rate for a Cholesky of order `n`, flop/s.
+    #[must_use]
+    pub fn core_rate(&self, n: usize, double_precision: bool) -> f64 {
+        if n == 0 {
+            return self.core_peak(double_precision);
+        }
+        let nf = n as f64;
+        let ramp = nf / (nf + self.eff_half_n);
+        let mem = 1.0 + (nf / self.mem_penalty_n).powi(2);
+        self.core_peak(double_precision) * ramp / mem
+    }
+
+    /// Time for one core to factorize one matrix of order `n`, seconds.
+    #[must_use]
+    pub fn one_matrix_time(&self, n: usize, double_precision: bool) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        flops::potrf(n) / self.core_rate(n, double_precision)
+    }
+}
+
+/// Scheduling of the one-core-per-matrix scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuSchedule {
+    /// Contiguous chunks assigned up front.
+    Static,
+    /// Work queue: each free core takes the next matrix.
+    Dynamic,
+}
+
+/// Result of a modeled CPU run.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuTimeResult {
+    /// Wall-clock makespan, seconds.
+    pub seconds: f64,
+    /// Sum of busy core-seconds (for utilization/energy).
+    pub busy_core_seconds: f64,
+    /// Cores in the machine.
+    pub cores: usize,
+}
+
+impl CpuTimeResult {
+    /// Mean core utilization over the makespan.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_core_seconds / (self.cores as f64 * self.seconds)).min(1.0)
+    }
+}
+
+/// One-core-per-matrix scheme (the paper's best CPU competitor): each
+/// matrix is factorized by a single core; `schedule` chooses the
+/// assignment policy.
+#[must_use]
+pub fn one_core_per_matrix(
+    cfg: &CpuConfig,
+    sizes: &[usize],
+    double_precision: bool,
+    schedule: CpuSchedule,
+) -> CpuTimeResult {
+    let times: Vec<f64> = sizes
+        .iter()
+        .map(|&n| cfg.one_matrix_time(n, double_precision))
+        .collect();
+    let busy: f64 = times.iter().sum();
+    let seconds = match schedule {
+        CpuSchedule::Static => {
+            // Contiguous chunks in input order, as an OpenMP static
+            // schedule would split the loop.
+            let chunk = sizes.len().div_ceil(cfg.cores).max(1);
+            times
+                .chunks(chunk)
+                .map(|c| c.iter().sum::<f64>())
+                .fold(0.0, f64::max)
+        }
+        CpuSchedule::Dynamic => {
+            // Greedy work queue with per-task dispatch overhead.
+            let mut free = vec![0.0f64; cfg.cores];
+            for &t in &times {
+                let (idx, _) = free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .expect("cores > 0");
+                free[idx] += t + cfg.task_overhead_s;
+            }
+            free.iter().copied().fold(0.0, f64::max)
+        }
+    };
+    CpuTimeResult {
+        seconds,
+        busy_core_seconds: busy,
+        cores: cfg.cores,
+    }
+}
+
+/// All-cores-per-matrix scheme (multithreaded MKL, one matrix at a
+/// time): parallel efficiency collapses for small orders and every
+/// matrix pays a fork/join.
+#[must_use]
+pub fn multithreaded_per_matrix(
+    cfg: &CpuConfig,
+    sizes: &[usize],
+    double_precision: bool,
+) -> CpuTimeResult {
+    let mut seconds = 0.0;
+    let mut busy = 0.0;
+    for &n in sizes {
+        if n == 0 {
+            continue;
+        }
+        let nf = n as f64;
+        let par_eff = nf / (nf + cfg.cores as f64 * cfg.par_half_n);
+        let rate = cfg.core_rate(n, double_precision) * cfg.cores as f64 * par_eff;
+        let t = flops::potrf(n) / rate + cfg.region_overhead_s;
+        seconds += t;
+        busy += cfg.cores as f64 * par_eff * t;
+    }
+    CpuTimeResult {
+        seconds,
+        busy_core_seconds: busy,
+        cores: cfg.cores,
+    }
+}
+
+/// Energy-to-solution of a modeled CPU run (idle + dynamic power scaled
+/// by utilization, integrated over the makespan) — the PAPI measurement
+/// substitute for Fig. 10.
+#[must_use]
+pub fn cpu_energy_j(cfg: &CpuConfig, res: &CpuTimeResult) -> f64 {
+    let p = cfg.idle_power_w + (cfg.max_power_w - cfg.idle_power_w) * res.utilization();
+    p * res.seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CpuConfig {
+        CpuConfig::dual_e5_2670()
+    }
+
+    #[test]
+    fn peaks_match_platform() {
+        let c = cfg();
+        assert!((c.core_peak(true) / 1e9 - 20.8).abs() < 0.01);
+        assert!((c.core_peak(false) / 1e9 - 41.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn efficiency_ramps_then_falls() {
+        let c = cfg();
+        assert!(c.core_rate(16, true) < c.core_rate(128, true));
+        assert!(c.core_rate(128, true) < c.core_rate(512, true));
+        // Cache penalty: very large orders degrade.
+        assert!(c.core_rate(4000, true) < c.core_rate(800, true));
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skewed_input() {
+        let c = cfg();
+        // All the big matrices land in one static chunk.
+        let mut sizes = vec![16usize; 160];
+        for s in sizes.iter_mut().take(10) {
+            *s = 512;
+        }
+        let st = one_core_per_matrix(&c, &sizes, true, CpuSchedule::Static);
+        let dy = one_core_per_matrix(&c, &sizes, true, CpuSchedule::Dynamic);
+        assert!(dy.seconds < st.seconds, "dynamic {} vs static {}", dy.seconds, st.seconds);
+        assert!(dy.utilization() > st.utilization());
+    }
+
+    #[test]
+    fn one_core_beats_multithreaded_on_small_batches() {
+        // The paper's §I claim: one core per matrix beats all cores per
+        // matrix for small sizes.
+        let c = cfg();
+        let sizes = vec![64usize; 1000];
+        let one = one_core_per_matrix(&c, &sizes, true, CpuSchedule::Dynamic);
+        let multi = multithreaded_per_matrix(&c, &sizes, true);
+        assert!(
+            one.seconds < multi.seconds / 2.0,
+            "one-core {} vs multithreaded {}",
+            one.seconds,
+            multi.seconds
+        );
+    }
+
+    #[test]
+    fn energy_between_idle_and_max() {
+        let c = cfg();
+        let sizes = vec![256usize; 200];
+        let r = one_core_per_matrix(&c, &sizes, true, CpuSchedule::Dynamic);
+        let e = cpu_energy_j(&c, &r);
+        assert!(e >= c.idle_power_w * r.seconds);
+        assert!(e <= c.max_power_w * r.seconds);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn empty_and_zero_sizes() {
+        let c = cfg();
+        let r = one_core_per_matrix(&c, &[], true, CpuSchedule::Dynamic);
+        assert_eq!(r.seconds, 0.0);
+        let r = multithreaded_per_matrix(&c, &[0, 0], true);
+        assert_eq!(r.seconds, 0.0);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let c = cfg();
+        let r = one_core_per_matrix(&c, &vec![128; 64], true, CpuSchedule::Dynamic);
+        assert!(r.utilization() > 0.5 && r.utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixed-size batched factorization with zero padding (paper §IV-F).
+//!
+//! Before vbatched routines existed, "the users need to pad the matrices
+//! with zeros in order to make them fixed-size". Padding an SPD matrix
+//! is done by embedding it in the leading corner of an `Nmax × Nmax`
+//! identity, which keeps the padded matrix SPD; the factor is then
+//! `[L 0; 0 I]`. The costs the paper attributes to this scheme both
+//! appear here:
+//!
+//! * the factorization performs `potrf(Nmax)` flops per matrix while
+//!   only `potrf(n_i)` are useful (the harness divides useful flops by
+//!   elapsed time, so the reported Gflop/s collapse);
+//! * storage is `count · Nmax²` elements, which exhausts device memory
+//!   for large maxima — "the performance graphs of the padding technique
+//!   look truncated due to running out of the GPU memory".
+
+use vbatch_core::fused::{fused_feasible, potrf_fused_fixed, tuned_nb};
+use vbatch_core::report::{BatchReport, VbatchError};
+use vbatch_core::{potrf_vbatched_max, PotrfOptions, Strategy, VBatch};
+use vbatch_dense::Scalar;
+use vbatch_gpu_sim::Device;
+
+/// Pads one `n × n` column-major matrix into an `nmax × nmax` buffer
+/// with an identity trailing block.
+#[must_use]
+pub fn pad_spd<T: Scalar>(a: &[T], n: usize, nmax: usize) -> Vec<T> {
+    assert!(nmax >= n);
+    let mut out = vec![T::ZERO; nmax * nmax];
+    for j in 0..n {
+        out[j * nmax..j * nmax + n].copy_from_slice(&a[j * n..j * n + n]);
+    }
+    for d in n..nmax {
+        out[d + d * nmax] = T::ONE;
+    }
+    out
+}
+
+/// Builds the padded device batch. This is where the scheme dies for
+/// large maxima: `count · nmax²` elements must fit in device memory.
+///
+/// # Errors
+/// [`VbatchError::Oom`] when the padded storage exceeds device memory.
+pub fn build_padded_batch<T: Scalar>(
+    dev: &Device,
+    host_mats: &[Vec<T>],
+    sizes: &[usize],
+    nmax: usize,
+) -> Result<VBatch<T>, VbatchError> {
+    assert_eq!(host_mats.len(), sizes.len());
+    let mut batch = VBatch::<T>::alloc_square(dev, &vec![nmax; sizes.len()])?;
+    for (i, (m, &n)) in host_mats.iter().zip(sizes).enumerate() {
+        batch.upload_matrix(i, &pad_spd(m, n, nmax));
+    }
+    Ok(batch)
+}
+
+/// Runs the fixed-size batched factorization on a padded batch: the
+/// fused fixed-size kernel where it fits in shared memory, otherwise the
+/// separated fixed-size path.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures (OOM surfaces from
+/// [`build_padded_batch`] before this is called).
+pub fn potrf_padded_fixed<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    nmax: usize,
+) -> Result<BatchReport, VbatchError> {
+    let nb = tuned_nb::<T>(dev, nmax);
+    if fused_feasible::<T>(dev, nmax, nb) {
+        batch.reset_info();
+        potrf_fused_fixed(dev, batch, vbatch_dense::Uplo::Lower, nmax, nb)?;
+        dev.copy_dtoh_bytes(batch.count() * 4);
+        Ok(BatchReport::from_info(batch.read_info()))
+    } else {
+        let opts = PotrfOptions {
+            strategy: Strategy::Separated,
+            ..PotrfOptions::default()
+        };
+        potrf_vbatched_max(dev, batch, nmax, &opts)
+    }
+}
+
+/// Convenience wrapper: pad, upload, factorize. Returns the padded batch
+/// (factors in the leading `n_i × n_i` corners) and the report.
+///
+/// # Errors
+/// [`VbatchError::Oom`] when the padded storage does not fit —
+/// the truncation point of the Fig. 8/9 padding curves.
+pub fn run_padded<T: Scalar>(
+    dev: &Device,
+    host_mats: &[Vec<T>],
+    sizes: &[usize],
+    nmax: usize,
+) -> Result<(VBatch<T>, BatchReport), VbatchError> {
+    let mut batch = build_padded_batch(dev, host_mats, sizes, nmax)?;
+    let report = potrf_padded_fixed(dev, &mut batch, nmax)?;
+    Ok((batch, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vbatch_dense::gen::spd_vec;
+    use vbatch_dense::verify::{chol_residual, residual_tol};
+    use vbatch_dense::{MatRef, Uplo};
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn padding_preserves_spd_and_factors() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [10usize, 25, 3];
+        let nmax = 32;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec(&mut rng, n)).collect();
+        let (batch, report) = run_padded(&dev, &mats, &sizes, nmax).unwrap();
+        assert!(report.all_ok());
+        for (i, &n) in sizes.iter().enumerate() {
+            let full = batch.download_matrix(i);
+            // Leading n×n corner must be the factor of the original.
+            let corner: Vec<f64> = {
+                let v = MatRef::from_slice(&full, nmax, nmax, nmax);
+                v.sub(0, 0, n, n).to_vec()
+            };
+            let r = chol_residual(
+                Uplo::Lower,
+                MatRef::from_slice(&corner, n, n, n),
+                MatRef::from_slice(&mats[i], n, n, n),
+            );
+            assert!(r < residual_tol::<f64>(n), "matrix {i}: residual {r}");
+            // Padding block factor is the identity.
+            for d in n..nmax {
+                assert!((full[d + d * nmax] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn padded_slower_than_vbatched() {
+        let dev = Device::new(DeviceConfig::k40c());
+        // Mostly tiny matrices, one big: padding wastes enormous work
+        // (every matrix is factorized at the maximum order).
+        let sizes: Vec<usize> = (0..128).map(|i| if i == 0 { 224 } else { 16 }).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec(&mut rng, n)).collect();
+
+        dev.reset_metrics();
+        run_padded(&dev, &mats, &sizes, 224).unwrap();
+        let padded_t = dev.now();
+
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        for (i, m) in mats.iter().enumerate() {
+            batch.upload_matrix(i, m);
+        }
+        dev.reset_metrics();
+        vbatch_core::potrf_vbatched(&dev, &mut batch, &vbatch_core::PotrfOptions::default())
+            .unwrap();
+        let vbatched_t = dev.now();
+        assert!(
+            padded_t > 3.0 * vbatched_t,
+            "padded {padded_t} vs vbatched {vbatched_t}"
+        );
+    }
+
+    #[test]
+    fn oom_truncates_large_maxima() {
+        // K40c has 12 GB: 2000 matrices padded to 1024² f64 = 16.8 GB.
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = vec![4usize; 2000];
+        let mats: Vec<Vec<f64>> = sizes
+            .iter()
+            .map(|&n| {
+                let mut m = vec![0.0f64; n * n];
+                for d in 0..n {
+                    m[d + d * n] = 2.0;
+                }
+                m
+            })
+            .collect();
+        let err = build_padded_batch(&dev, &mats, &sizes, 1024);
+        assert!(matches!(err, Err(VbatchError::Oom(_))));
+    }
+
+    #[test]
+    fn pad_layout() {
+        let a = vec![1.0f64, 2.0, 3.0, 4.0]; // 2x2
+        let p = pad_spd(&a, 2, 4);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[1], 2.0);
+        assert_eq!(p[4], 3.0); // (0,1)
+        assert_eq!(p[2 + 2 * 4], 1.0); // identity diag
+        assert_eq!(p[3 + 3 * 4], 1.0);
+        assert_eq!(p[2], 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion: real wall-time of the dense building-block kernels that
+//! every simulated thread block executes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
+use vbatch_dense::{flops, gemm, potf2, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_gemm_nt");
+    g.sample_size(20);
+    for &n in &[16usize, 32, 64, 128] {
+        let mut rng = seeded_rng(1);
+        let a = rand_mat::<f64>(&mut rng, n * n);
+        let b = rand_mat::<f64>(&mut rng, n * n);
+        let mut cc = vec![0.0f64; n * n];
+        g.throughput(Throughput::Elements(flops::gemm(n, n, n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                gemm(
+                    Trans::NoTrans,
+                    Trans::Trans,
+                    -1.0,
+                    MatRef::from_slice(&a, n, n, n),
+                    MatRef::from_slice(&b, n, n, n),
+                    1.0,
+                    MatMut::from_slice(&mut cc, n, n, n),
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_potf2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_potf2");
+    g.sample_size(20);
+    for &n in &[16usize, 32, 64, 128] {
+        let mut rng = seeded_rng(2);
+        let spd = spd_vec::<f64>(&mut rng, n);
+        g.throughput(Throughput::Elements(flops::potrf(n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter_batched(
+                || spd.clone(),
+                |mut a| potf2(Uplo::Lower, MatMut::from_slice(&mut a, n, n, n)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_trsm_rlt");
+    g.sample_size(20);
+    for &n in &[32usize, 128] {
+        let mut rng = seeded_rng(3);
+        let mut l = rand_mat::<f64>(&mut rng, 32 * 32);
+        for d in 0..32 {
+            l[d + d * 32] = 2.0 + l[d + d * 32].abs();
+        }
+        let b0 = rand_mat::<f64>(&mut rng, n * 32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter_batched(
+                || b0.clone(),
+                |mut b| {
+                    trsm(
+                        Side::Right,
+                        Uplo::Lower,
+                        Trans::Trans,
+                        Diag::NonUnit,
+                        1.0,
+                        MatRef::from_slice(&l, 32, 32, 32),
+                        MatMut::from_slice(&mut b, n, 32, n),
+                    );
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_potf2, bench_trsm);
+criterion_main!(benches);

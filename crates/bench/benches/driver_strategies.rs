@@ -1,0 +1,73 @@
+//! Criterion: end-to-end vbatched Cholesky driver under each strategy
+//! and ETM/sorting version (host wall-time of the full simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbatch_core::{
+    potrf_vbatched_max, EtmPolicy, FusedOpts, PotrfOptions, SepOpts, Strategy, SyrkMode, VBatch,
+};
+use vbatch_dense::gen::{seeded_rng, spd_vec};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+use vbatch_workload::SizeDist;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("driver");
+    g.sample_size(10);
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes = SizeDist::Uniform { max: 96 }.sample_batch(&mut seeded_rng(8), 48);
+    let mats: Vec<Vec<f64>> = {
+        let mut rng = seeded_rng(9);
+        sizes.iter().map(|&n| spd_vec(&mut rng, n)).collect()
+    };
+
+    let variants: Vec<(&str, PotrfOptions)> = vec![
+        (
+            "fused-classic",
+            PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm: EtmPolicy::Classic, sorting: false, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+        (
+            "fused-aggr-sort",
+            PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm: EtmPolicy::Aggressive, sorting: true, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+        (
+            "separated-batched",
+            PotrfOptions {
+                strategy: Strategy::Separated,
+                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Batched },
+                ..Default::default()
+            },
+        ),
+        (
+            "separated-streamed",
+            PotrfOptions {
+                strategy: Strategy::Separated,
+                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Streamed },
+                ..Default::default()
+            },
+        ),
+        ("auto", PotrfOptions::default()),
+    ];
+
+    for (name, opts) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| {
+                let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+                for (i, m) in mats.iter().enumerate() {
+                    batch.upload_matrix(i, m);
+                }
+                potrf_vbatched_max(&dev, &mut batch, 96, opts).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

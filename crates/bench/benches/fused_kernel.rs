@@ -1,0 +1,55 @@
+//! Criterion: host wall-time of the fused kernels (simulation included),
+//! plus the nb-candidate ablation the paper's templated autotuning
+//! performs at compile time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbatch_core::fused::{potrf_fused_fixed, NB_CANDIDATES};
+use vbatch_core::VBatch;
+use vbatch_dense::gen::{seeded_rng, spd_vec};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+
+fn bench_fixed_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_fixed");
+    g.sample_size(10);
+    for &n in &[16usize, 48] {
+        let dev = Device::new(DeviceConfig::k40c());
+        let count = 32;
+        let mut rng = seeded_rng(5);
+        let spd = spd_vec::<f64>(&mut rng, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut batch = VBatch::<f64>::alloc_square(&dev, &vec![n; count]).unwrap();
+                for i in 0..count {
+                    batch.upload_matrix(i, &spd);
+                }
+                potrf_fused_fixed(&dev, &mut batch, vbatch_dense::Uplo::Lower, n, 8).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation over the templated `nb` instantiations.
+fn bench_nb_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_nb_ablation");
+    g.sample_size(10);
+    let n = 64;
+    for &nb in &NB_CANDIDATES {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut rng = seeded_rng(6);
+        let spd = spd_vec::<f64>(&mut rng, n);
+        g.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |bench, &nb| {
+            bench.iter(|| {
+                let mut batch = VBatch::<f64>::alloc_square(&dev, &vec![n; 16]).unwrap();
+                for i in 0..16 {
+                    batch.upload_matrix(i, &spd);
+                }
+                potrf_fused_fixed(&dev, &mut batch, vbatch_dense::Uplo::Lower, n, nb).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixed_kernel, bench_nb_ablation);
+criterion_main!(benches);

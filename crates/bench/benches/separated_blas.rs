@@ -1,0 +1,64 @@
+//! Criterion: the separated vbatched BLAS kernels on mixed-size batches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbatch_core::aux::StepState;
+use vbatch_core::sep::syrk::syrk_vbatched;
+use vbatch_core::sep::trtri::{trtri_diag_vbatched, TileWorkspace};
+use vbatch_core::sep::VView;
+use vbatch_core::VBatch;
+use vbatch_dense::gen::{seeded_rng, spd_vec};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+
+fn bench_separated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("separated");
+    g.sample_size(10);
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes: Vec<usize> = (0..24).map(|i| 40 + (i * 7) % 80).collect();
+    let mut rng = seeded_rng(7);
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    for (i, &n) in sizes.iter().enumerate() {
+        batch.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+    }
+    let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
+    st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
+        .unwrap();
+    let max_trail = sizes.iter().max().unwrap() - 32;
+
+    g.bench_function("syrk_vbatched", |b| {
+        b.iter(|| {
+            syrk_vbatched(
+                &dev,
+                sizes.len(),
+                vbatch_dense::Uplo::Lower,
+                VView::new(st.d_ptrs.ptr(), batch.d_ld()),
+                st.d_rem.ptr(),
+                batch.d_info(),
+                32,
+                max_trail,
+            )
+            .unwrap();
+        });
+    });
+
+    let work = TileWorkspace::<f64>::alloc(&dev, sizes.len(), 32).unwrap();
+    g.bench_function("trtri_vbatched", |b| {
+        b.iter(|| {
+            trtri_diag_vbatched(
+                &dev,
+                sizes.len(),
+                vbatch_dense::Uplo::Lower,
+                VView::new(st.d_ptrs.ptr(), batch.d_ld()),
+                st.d_rem.ptr(),
+                batch.d_info(),
+                &work,
+                32,
+                true,
+            )
+            .unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_separated);
+criterion_main!(benches);

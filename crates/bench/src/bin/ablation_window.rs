@@ -1,0 +1,58 @@
+//! Ablation: the implicit-sorting window width. The paper says only
+//! "the window size is determined by the block size nb"; this sweep
+//! measures the trade-off directly — narrow windows maximize occupancy
+//! and balance but multiply kernel launches; wide windows approach the
+//! unsorted configuration.
+
+use std::time::Instant;
+use vbatch_bench::{emit_figure, run_gpu_potrf, scaled_count, Series};
+use vbatch_core::{EtmPolicy, FusedOpts, PotrfOptions, Strategy};
+use vbatch_dense::gen::seeded_rng;
+use vbatch_workload::SizeDist;
+
+fn main() {
+    let wall = Instant::now();
+    let count = scaled_count(256);
+    let factors = [1usize, 2, 4, 8, 16];
+    let mut series: Vec<Series> = factors
+        .iter()
+        .map(|f| Series::new(format!("window={f}xnb")))
+        .collect();
+    let mut unsorted = Series::new("no-sorting");
+
+    for &max in &[192usize, 384, 512] {
+        let sizes =
+            SizeDist::Gaussian { max }.sample_batch(&mut seeded_rng(400 + max as u64), count);
+        for (fi, &f) in factors.iter().enumerate() {
+            let opts = PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts {
+                    etm: EtmPolicy::Aggressive,
+                    sorting: true,
+                    window_factor: f,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            series[fi].push(max, run_gpu_potrf::<f64>(&sizes, &opts, 401));
+        }
+        let opts = PotrfOptions {
+            strategy: Strategy::Fused,
+            fused: FusedOpts {
+                etm: EtmPolicy::Aggressive,
+                sorting: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        unsorted.push(max, run_gpu_potrf::<f64>(&sizes, &opts, 401));
+    }
+    series.push(unsorted);
+    emit_figure(
+        "ablation_window",
+        "Sorting window width ablation, DPOTRF Gaussian (Gflop/s)",
+        "Nmax",
+        &series,
+    );
+    eprintln!("ablation_window done in {:.1}s", wall.elapsed().as_secs_f64());
+}

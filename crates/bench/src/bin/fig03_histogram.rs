@@ -1,0 +1,28 @@
+//! Figure 3: histograms of the matrix-size distributions (batch count
+//! 2000, maximum size 512) for the uniform and Gaussian generators.
+
+use vbatch_bench::scaled_count;
+use vbatch_dense::gen::seeded_rng;
+use vbatch_workload::{Histogram, SizeDist};
+
+fn main() {
+    let count = scaled_count(2000);
+    let max = 512;
+    for (dist, sub) in [
+        (SizeDist::Uniform { max }, "(a) Uniform Distribution"),
+        (SizeDist::Gaussian { max }, "(b) Gaussian Distribution"),
+    ] {
+        let mut rng = seeded_rng(3);
+        let sizes = dist.sample_batch(&mut rng, count);
+        let h = Histogram::new(&sizes, max, 32);
+        println!("\n=== Fig 3{sub}: batch {count}, Nmax {max} ===");
+        print!("{}", h.render(48));
+        let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+        println!(
+            "total {}, distinct sizes {}, mean {:.1}",
+            h.total(),
+            distinct.len(),
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 7: crossover between the fused and separated approaches
+//! (uniform distribution, paper batch 800). The combined driver
+//! (`Strategy::Auto`) must track the upper envelope, keying the switch
+//! on the batch's maximum size.
+
+use std::time::Instant;
+use vbatch_bench::{emit_figure, fresh_device, run_gpu_potrf, scaled_count, Series};
+use vbatch_core::fused::{fused_feasible, tuned_nb};
+use vbatch_core::{EtmPolicy, FusedOpts, PotrfOptions, Strategy};
+use vbatch_dense::gen::seeded_rng;
+use vbatch_dense::Scalar;
+use vbatch_workload::SizeDist;
+
+fn run<T: Scalar>(fig: &str, title: &str) {
+    let count = scaled_count(150);
+    let fused_opts = PotrfOptions {
+        strategy: Strategy::Fused,
+        fused: FusedOpts {
+            etm: EtmPolicy::Aggressive,
+            sorting: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sep_opts = PotrfOptions {
+        strategy: Strategy::Separated,
+        ..Default::default()
+    };
+    let auto_opts = PotrfOptions {
+        strategy: Strategy::Auto,
+        fused: fused_opts.fused,
+        ..Default::default()
+    };
+    let mut fused = Series::new(format!("{}fused", T::PREFIX));
+    let mut sep = Series::new(format!("{}separated", T::PREFIX));
+    let mut combined = Series::new(format!("{}combined", T::PREFIX));
+    let dev = fresh_device();
+    for &max in &[128usize, 256, 384, 512, 640, 768, 896, 1024] {
+        let sizes = SizeDist::Uniform { max }.sample_batch(&mut seeded_rng(70 + max as u64), count);
+        if fused_feasible::<T>(&dev, max, tuned_nb::<T>(&dev, max)) {
+            fused.push(max, run_gpu_potrf::<T>(&sizes, &fused_opts, 71));
+        } else {
+            // The fused panel no longer fits in shared memory — the
+            // curve stops, as the paper's does.
+            fused.push(max, f64::NAN);
+        }
+        sep.push(max, run_gpu_potrf::<T>(&sizes, &sep_opts, 71));
+        combined.push(max, run_gpu_potrf::<T>(&sizes, &auto_opts, 71));
+    }
+    emit_figure(fig, title, "Nmax", &[fused, sep, combined]);
+}
+
+fn main() {
+    let wall = Instant::now();
+    run::<f32>("fig07a", "Crossover fused/separated/combined — SPOTRF (Gflop/s)");
+    run::<f64>("fig07b", "Crossover fused/separated/combined — DPOTRF (Gflop/s)");
+    eprintln!("fig07 done in {:.1}s", wall.elapsed().as_secs_f64());
+}

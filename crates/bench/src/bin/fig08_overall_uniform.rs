@@ -1,0 +1,25 @@
+//! Figure 8: overall performance of the vbatched POTRF against the
+//! paper's five alternatives, uniform size distribution (paper batch
+//! count 800). Expected shape: vbatched on top (1.1–2.4× over the best
+//! CPU competitor), CPU dynamic next, static oscillating below it,
+//! multithreaded CPU low, padding low and truncated by OOM at paper
+//! scale, hybrid worst.
+
+use std::time::Instant;
+use vbatch_bench::run_overall;
+use vbatch_workload::SizeDist;
+
+fn main() {
+    let wall = Instant::now();
+    run_overall::<f32>(
+        |max| SizeDist::Uniform { max },
+        "fig08a",
+        "Overall vbatched SPOTRF vs alternatives, uniform (Gflop/s)",
+    );
+    run_overall::<f64>(
+        |max| SizeDist::Uniform { max },
+        "fig08b",
+        "Overall vbatched DPOTRF vs alternatives, uniform (Gflop/s)",
+    );
+    eprintln!("fig08 done in {:.1}s", wall.elapsed().as_secs_f64());
+}

@@ -1,0 +1,21 @@
+//! Figure 9: overall performance comparison under the Gaussian size
+//! distribution (paper batch count 800); same cast as Figure 8.
+
+use std::time::Instant;
+use vbatch_bench::run_overall;
+use vbatch_workload::SizeDist;
+
+fn main() {
+    let wall = Instant::now();
+    run_overall::<f32>(
+        |max| SizeDist::Gaussian { max },
+        "fig09a",
+        "Overall vbatched SPOTRF vs alternatives, Gaussian (Gflop/s)",
+    );
+    run_overall::<f64>(
+        |max| SizeDist::Gaussian { max },
+        "fig09b",
+        "Overall vbatched DPOTRF vs alternatives, Gaussian (Gflop/s)",
+    );
+    eprintln!("fig09 done in {:.1}s", wall.elapsed().as_secs_f64());
+}

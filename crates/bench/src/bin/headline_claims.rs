@@ -1,0 +1,210 @@
+//! One-shot check of the paper's headline claims against the
+//! reproduction — the quick "does the shape hold?" audit.
+//!
+//! Claims (paper §IV / abstract):
+//!  1. kernel fusion beats separated BLAS at small fixed sizes, and
+//!     drops below 1× at large sizes (DP);
+//!  2. ETM-aggressive beats ETM-classic on vbatched workloads;
+//!  3. implicit sorting helps, and helps the Gaussian distribution more
+//!     than the uniform one;
+//!  4. the combined (Auto) driver is never far from the best of
+//!     fused/separated;
+//!  5. the proposed vbatched routine beats the best CPU competitor
+//!     (one-core-per-matrix dynamic) — "speedups of up to 2.5×";
+//!  6. padding is several times slower and OOMs at paper scale;
+//!  7. the hybrid algorithm is the worst GPU-side alternative;
+//!  8. the GPU is more energy-efficient than the CPU.
+
+use std::time::Instant;
+use vbatch_baselines::cpu_model::{
+    cpu_energy_j, one_core_per_matrix, CpuConfig, CpuSchedule,
+};
+use vbatch_baselines::hybrid::{potrf_hybrid_serial, HybridOptions};
+use vbatch_baselines::padded::run_padded;
+use vbatch_bench::{fresh_device, run_gpu_potrf, scaled_count};
+use vbatch_core::{EtmPolicy, FusedOpts, PotrfOptions, SepOpts, Strategy, VBatch};
+use vbatch_dense::flops;
+use vbatch_dense::gen::{seeded_rng, spd_vec};
+use vbatch_workload::{fill_spd_batch, SizeDist};
+
+fn claim(id: u32, text: &str, pass: bool, detail: String) -> bool {
+    println!("[{}] claim {id}: {text}\n      {detail}", if pass { "PASS" } else { "FAIL" });
+    pass
+}
+
+fn main() {
+    let wall = Instant::now();
+    let count = scaled_count(192);
+    let mut all = true;
+
+    // 1. Fusion speedup shape (fixed sizes, DP).
+    {
+        let speed = |n: usize| {
+            let sizes = vec![n; (4096 / n).clamp(32, 256)];
+            let fused = PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { sorting: false, ..Default::default() },
+                ..Default::default()
+            };
+            let sep = PotrfOptions {
+                strategy: Strategy::Separated,
+                sep: SepOpts { nb_panel: 32, nb_inner: 1, ..Default::default() },
+                ..Default::default()
+            };
+            run_gpu_potrf::<f64>(&sizes, &fused, 1) / run_gpu_potrf::<f64>(&sizes, &sep, 1)
+        };
+        let s32 = speed(32);
+        let s512 = speed(512);
+        all &= claim(
+            1,
+            "fusion wins small, loses large (DP, vs legacy separated)",
+            s32 > 2.0 && s512 < 1.1 && s32 > s512,
+            format!("speedup at n=32: {s32:.2}x, at n=512: {s512:.2}x"),
+        );
+    }
+
+    // 2 & 3. ETM and sorting orderings.
+    {
+        let gf = |dist: SizeDist, etm, sorting| {
+            let sizes = dist.sample_batch(&mut seeded_rng(2), count);
+            let opts = PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm, sorting, ..Default::default() },
+                ..Default::default()
+            };
+            run_gpu_potrf::<f64>(&sizes, &opts, 3)
+        };
+        let uni = SizeDist::Uniform { max: 384 };
+        let gau = SizeDist::Gaussian { max: 384 };
+        let (uc, ua) = (gf(uni, EtmPolicy::Classic, false), gf(uni, EtmPolicy::Aggressive, false));
+        all &= claim(
+            2,
+            "ETM-aggressive beats ETM-classic (uniform, no sorting)",
+            ua > uc,
+            format!("classic {uc:.1} vs aggressive {ua:.1} Gflop/s (+{:.0}%)", (ua / uc - 1.0) * 100.0),
+        );
+        let ucs = gf(uni, EtmPolicy::Classic, true);
+        let gc = gf(gau, EtmPolicy::Classic, false);
+        let gcs = gf(gau, EtmPolicy::Classic, true);
+        let gain_u = ucs / uc - 1.0;
+        let gain_g = gcs / gc - 1.0;
+        all &= claim(
+            3,
+            "sorting helps, Gaussian more than uniform (ETM-classic)",
+            gcs > gc && gain_g > gain_u,
+            format!("gain uniform {:.0}%, gaussian {:.0}%", gain_u * 100.0, gain_g * 100.0),
+        );
+    }
+
+    // 4. Auto tracks the envelope.
+    {
+        let mut worst: f64 = 1.0;
+        for &max in &[192usize, 384, 768] {
+            let sizes = SizeDist::Uniform { max }.sample_batch(&mut seeded_rng(4), count);
+            let auto = run_gpu_potrf::<f64>(&sizes, &PotrfOptions::default(), 5);
+            let sep = run_gpu_potrf::<f64>(
+                &sizes,
+                &PotrfOptions { strategy: Strategy::Separated, ..Default::default() },
+                5,
+            );
+            let fused_opts = PotrfOptions { strategy: Strategy::Fused, ..Default::default() };
+            let fused = if vbatch_core::fused::fused_feasible::<f64>(
+                &fresh_device(),
+                max,
+                vbatch_core::fused::tuned_nb::<f64>(&fresh_device(), max),
+            ) {
+                run_gpu_potrf::<f64>(&sizes, &fused_opts, 5)
+            } else {
+                0.0
+            };
+            worst = worst.min(auto / sep.max(fused));
+        }
+        all &= claim(
+            4,
+            "combined driver stays near the fused/separated envelope",
+            worst > 0.85,
+            format!("worst Auto/envelope ratio {worst:.2}"),
+        );
+    }
+
+    // 5–8. Overall comparison at a representative point.
+    {
+        let max = 512;
+        let sizes = SizeDist::Uniform { max }.sample_batch(&mut seeded_rng(6), count);
+        let total = flops::potrf_batch(&sizes);
+        let cpu = CpuConfig::dual_e5_2670();
+
+        let g_vb = run_gpu_potrf::<f64>(&sizes, &PotrfOptions::default(), 7);
+        let dy = one_core_per_matrix(&cpu, &sizes, true, CpuSchedule::Dynamic);
+        let g_dy = total / dy.seconds / 1e9;
+        all &= claim(
+            5,
+            "vbatched beats the best CPU competitor (paper: up to 2.5x)",
+            g_vb > g_dy && g_vb / g_dy < 4.0,
+            format!("GPU {g_vb:.1} vs CPU-dynamic {g_dy:.1} Gflop/s ({:.2}x)", g_vb / g_dy),
+        );
+
+        let dev = fresh_device();
+        let mut rng = seeded_rng(7);
+        let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec(&mut rng, n)).collect();
+        dev.reset_metrics();
+        run_padded(&dev, &mats, &sizes, max).unwrap();
+        let g_pad = total / dev.now() / 1e9;
+        let oom_at_paper_scale =
+            800 * 1536 * 1536 * 8 > fresh_device().config().global_mem_bytes;
+        all &= claim(
+            6,
+            "padding is several times slower and OOMs at paper scale",
+            g_vb / g_pad > 2.0 && oom_at_paper_scale,
+            format!("vbatched/padded {:.1}x; 800x1536^2 f64 > 12 GB: {oom_at_paper_scale}", g_vb / g_pad),
+        );
+
+        // Hybrid vs padded at a smaller maximum (the paper's curves show
+        // hybrid lowest there; it slowly catches padding as sizes grow,
+        // as ours does too).
+        let sizes_s = SizeDist::Uniform { max: 256 }.sample_batch(&mut seeded_rng(6), count);
+        let total_s = flops::potrf_batch(&sizes_s);
+        let dev = fresh_device();
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes_s).unwrap();
+        let mut rng = seeded_rng(7);
+        fill_spd_batch(&mut batch, &sizes_s, &mut rng);
+        dev.reset_metrics();
+        potrf_hybrid_serial(&dev, &mut batch, &cpu, &HybridOptions::default()).unwrap();
+        let g_hy = total_s / dev.now() / 1e9;
+        let dev = fresh_device();
+        let mut rng = seeded_rng(7);
+        let mats_s: Vec<Vec<f64>> = sizes_s.iter().map(|&n| spd_vec(&mut rng, n)).collect();
+        dev.reset_metrics();
+        run_padded(&dev, &mats_s, &sizes_s, 256).unwrap();
+        let g_pad_s = total_s / dev.now() / 1e9;
+        all &= claim(
+            7,
+            "hybrid is the worst GPU-side alternative (small/mid sizes)",
+            g_hy < g_pad_s && g_hy < g_vb,
+            format!("hybrid {g_hy:.1} vs padded {g_pad_s:.1} vs vbatched {g_vb:.1} Gflop/s (Nmax 256)"),
+        );
+
+        let dev = fresh_device();
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        let mut rng = seeded_rng(7);
+        fill_spd_batch(&mut batch, &sizes, &mut rng);
+        dev.reset_metrics();
+        vbatch_core::potrf_vbatched(&dev, &mut batch, &PotrfOptions::default()).unwrap();
+        let e_gpu = dev.energy_j();
+        let e_cpu = cpu_energy_j(&cpu, &dy);
+        all &= claim(
+            8,
+            "GPU more energy-efficient than CPU (paper: up to 3x)",
+            e_cpu > e_gpu,
+            format!("CPU {e_cpu:.2} J vs GPU {e_gpu:.2} J ({:.2}x)", e_cpu / e_gpu),
+        );
+    }
+
+    println!(
+        "\n{} — {} ({:.1}s)",
+        if all { "ALL CLAIMS HOLD" } else { "SOME CLAIMS FAILED" },
+        "paper-shape audit",
+        wall.elapsed().as_secs_f64()
+    );
+    std::process::exit(i32::from(!all));
+}

@@ -1,0 +1,27 @@
+//! Host-throughput probe: measures how fast this machine executes the
+//! real kernel math (one dense DPOTRF per size), which bounds how large
+//! the figure workloads can be. Simulated device times are independent
+//! of this number; only harness wall-time depends on it.
+
+use std::time::Instant;
+
+fn main() {
+    for n in [128usize, 256, 512] {
+        let mut rng = vbatch_dense::gen::seeded_rng(1);
+        let a = vbatch_dense::gen::spd_vec::<f64>(&mut rng, n);
+        let mut b = a.clone();
+        let t = Instant::now();
+        vbatch_dense::potrf_blocked(
+            vbatch_dense::Uplo::Lower,
+            vbatch_dense::MatMut::from_slice(&mut b, n, n, n),
+            64,
+        )
+        .unwrap();
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "host dpotrf({n}): {:.4}s -> {:.2} Gflop/s",
+            dt,
+            vbatch_dense::flops::potrf(n) / dt / 1e9
+        );
+    }
+}

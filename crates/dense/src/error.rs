@@ -1,0 +1,84 @@
+//! Error reporting for factorization kernels.
+//!
+//! The paper's conclusion calls out LAPACK compliance — in particular how
+//! to report per-matrix errors from a batched routine. We follow the
+//! LAPACK `info` convention at the single-matrix level here; the batched
+//! layer (`vbatch-core`) aggregates these into a per-batch report instead
+//! of failing the whole batch.
+
+use std::fmt;
+
+/// Result alias for dense kernels.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the dense factorization kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Cholesky hit a non-positive (or non-finite) pivot; the leading
+    /// minor of order `column + 1` is not positive definite
+    /// (LAPACK `info = column + 1`).
+    NotPositiveDefinite {
+        /// Zero-based column at which the factorization broke down.
+        column: usize,
+    },
+    /// LU or triangular inversion hit an exactly-zero pivot
+    /// (LAPACK `info = column + 1`).
+    Singular {
+        /// Zero-based column of the zero pivot.
+        column: usize,
+    },
+    /// An argument violated a documented precondition.
+    InvalidArgument(&'static str),
+}
+
+impl Error {
+    /// LAPACK-style `info` value: positive column index (1-based) for
+    /// numerical breakdown, `-1` for argument errors.
+    #[must_use]
+    pub fn info(&self) -> i64 {
+        match self {
+            Error::NotPositiveDefinite { column } | Error::Singular { column } => {
+                *column as i64 + 1
+            }
+            Error::InvalidArgument(_) => -1,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotPositiveDefinite { column } => write!(
+                f,
+                "matrix is not positive definite (leading minor of order {})",
+                column + 1
+            ),
+            Error::Singular { column } => {
+                write!(f, "matrix is singular (zero pivot at column {})", column + 1)
+            }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_values_follow_lapack() {
+        assert_eq!(Error::NotPositiveDefinite { column: 0 }.info(), 1);
+        assert_eq!(Error::Singular { column: 4 }.info(), 5);
+        assert_eq!(Error::InvalidArgument("x").info(), -1);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let s = Error::NotPositiveDefinite { column: 2 }.to_string();
+        assert!(s.contains("order 3"));
+        let s = Error::Singular { column: 0 }.to_string();
+        assert!(s.contains("column 1"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Flop-count formulas for reporting performance.
+//!
+//! The paper reports Gflop/s where "the total number of flops is computed
+//! as the summation of the flops required to perform the factorization on
+//! each individual matrix" — i.e. *useful* flops, so padded or redundant
+//! work lowers the reported rate. These formulas follow the standard
+//! LAPACK working-note conventions.
+
+/// Flops for a Cholesky factorization of order `n`: `n³/3 + n²/2 + n/6`.
+#[must_use]
+pub fn potrf(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0 + n * n / 2.0 + n / 6.0
+}
+
+/// Flops for an LU factorization (with partial pivoting) of an `m × n`
+/// matrix; for square order `n` this is `2n³/3 − n²/2 − n/6`.
+#[must_use]
+pub fn getrf(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    let k = m.min(n);
+    2.0 * m * n * k - (m + n) * k * k + 2.0 * k * k * k / 3.0
+}
+
+/// Flops for a Householder QR factorization of an `m × n` matrix
+/// (`2mn² − 2n³/3` for `m ≥ n`, plus lower-order terms).
+#[must_use]
+pub fn geqrf(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    if m >= n {
+        2.0 * m * n * n - 2.0 * n * n * n / 3.0 + m * n + n * n
+    } else {
+        2.0 * n * m * m - 2.0 * m * m * m / 3.0 + 3.0 * n * m - m * m
+    }
+}
+
+/// Flops for `gemm` with `C` of size `m × n` and inner dimension `k`.
+#[must_use]
+pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Flops for a rank-`k` symmetric update of an order-`n` triangle.
+#[must_use]
+pub fn syrk(n: usize, k: usize) -> f64 {
+    k as f64 * (n as f64) * (n as f64 + 1.0)
+}
+
+/// Flops for a triangular solve with an `m × n` right-hand side; the
+/// triangular matrix is on `side` of size `m` (`left = true`) or `n`.
+#[must_use]
+pub fn trsm(left: bool, m: usize, n: usize) -> f64 {
+    if left {
+        n as f64 * (m as f64) * (m as f64)
+    } else {
+        m as f64 * (n as f64) * (n as f64)
+    }
+}
+
+/// Flops for inverting a triangular matrix of order `n` (`n³/3` leading
+/// term).
+#[must_use]
+pub fn trtri(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0 + 2.0 * n / 3.0
+}
+
+/// Flops for a two-triangular-solve `potrs` with `nrhs` right-hand sides.
+#[must_use]
+pub fn potrs(n: usize, nrhs: usize) -> f64 {
+    2.0 * (n as f64) * (n as f64) * nrhs as f64
+}
+
+/// Sum of per-matrix Cholesky flops across a batch of sizes — the
+/// numerator of every Gflop/s figure in the paper.
+#[must_use]
+pub fn potrf_batch(sizes: &[usize]) -> f64 {
+    sizes.iter().map(|&n| potrf(n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn potrf_leading_term() {
+        // Within 1% of n^3/3 for large n.
+        let n = 1000;
+        let lead = (n as f64).powi(3) / 3.0;
+        assert!((potrf(n) - lead) / lead < 0.01);
+        assert!((potrf(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn getrf_square_leading_term() {
+        let n = 1000;
+        let lead = 2.0 * (n as f64).powi(3) / 3.0;
+        let v = getrf(n, n);
+        assert!((v - lead).abs() / lead < 0.01, "{v} vs {lead}");
+    }
+
+    #[test]
+    fn geqrf_tall_leading_term() {
+        let (m, n) = (2000, 1000);
+        let lead = 2.0 * m as f64 * (n as f64).powi(2) - 2.0 * (n as f64).powi(3) / 3.0;
+        assert!((geqrf(m, n) - lead) / lead < 0.01);
+    }
+
+    #[test]
+    fn gemm_exact() {
+        assert_eq!(gemm(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    fn batch_sums() {
+        assert!((potrf_batch(&[1, 1]) - 2.0).abs() < 1e-12);
+        assert!(potrf_batch(&[10, 20]) > potrf(20));
+    }
+
+    #[test]
+    fn trsm_sides() {
+        assert_eq!(trsm(true, 4, 8), 8.0 * 16.0);
+        assert_eq!(trsm(false, 8, 4), 8.0 * 16.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Small dense linear algebra kernels for variable-size batched computation.
+//!
+//! This crate provides the LAPACK/BLAS-style building blocks that both the
+//! simulated GPU kernels (`vbatch-core`) and the CPU baselines
+//! (`vbatch-baselines`) are built from:
+//!
+//! * column-major matrix views with an explicit leading dimension
+//!   ([`MatRef`], [`MatMut`]),
+//! * level-3 BLAS kernels ([`gemm`], [`syrk`], [`trsm`], [`trmm`]),
+//! * unblocked and blocked one-sided factorizations ([`potf2`],
+//!   [`potrf_blocked`], [`getf2`], [`getrf`], [`geqr2`], [`geqrf`]),
+//! * triangular inversion ([`trtri`]) used by the vbatched `trsm` design,
+//! * flop-count formulas matching the conventions the paper uses to report
+//!   Gflop/s ([`flops`]),
+//! * seeded generators for SPD and general test matrices ([`gen`]) and
+//!   residual-based verification ([`verify`]).
+//!
+//! All kernels operate on matrices of *small* order (the paper's regime is
+//! roughly 1–1024) and are written as straightforward, cache-friendly
+//! loops; they are deliberately simple so that the simulated thread blocks
+//! executing them remain easy to cost-model.
+//!
+//! The only `unsafe` code lives in the raw-view constructors in
+//! [`matrix`], which carry the CUDA-like contract that concurrently
+//! executing thread blocks touch disjoint elements.
+
+pub mod error;
+pub mod flops;
+pub mod gen;
+pub mod matrix;
+pub mod naive;
+pub mod scalar;
+pub mod verify;
+
+mod factor;
+mod level3;
+
+pub use error::{Error, Result};
+pub use factor::{
+    geqr2, geqrf, getf2, getrf, getrs, larf_left, larfb_left_t, larft, laswp, lauum, potf2,
+    potrf_blocked, potri, potrs, trtri,
+};
+pub use level3::{gemm, syrk, trmm, trsm};
+pub use matrix::{Diag, MatMut, MatRef, Side, Trans, Uplo};
+pub use scalar::Scalar;

@@ -1,0 +1,167 @@
+//! Scalar abstraction over the real floating-point precisions.
+//!
+//! The paper evaluates single and double precision (`SPOTRF` / `DPOTRF`);
+//! the framework also "supports complex precisions", which this
+//! reproduction leaves out of scope (the performance mechanisms under
+//! study are precision-agnostic beyond the flop/byte ratios captured
+//! here).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable by every kernel in the workspace.
+///
+/// The two associated constants [`Scalar::IS_DOUBLE`] and
+/// [`Scalar::BYTES`] feed the simulator's cost model: Kepler-class GPUs
+/// have separate single- and double-precision throughput, and memory
+/// traffic scales with the element width.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Default
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon for this precision.
+    const EPSILON: Self;
+    /// Width of one element in bytes (4 or 8).
+    const BYTES: usize;
+    /// Whether this is the double-precision type (drives the DP/SP
+    /// throughput split in the device cost model).
+    const IS_DOUBLE: bool;
+    /// Short LAPACK-style precision prefix, `"s"` or `"d"`.
+    const PREFIX: &'static str;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Lossy conversion from `f64` (used by generators and tolerances).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by verification and norms).
+    fn to_f64(self) -> f64;
+    /// Fused multiply-add `self * a + b` (semantically; may not lower to
+    /// a hardware FMA in all builds).
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+    /// `true` when the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const BYTES: usize = 4;
+    const IS_DOUBLE: bool = false;
+    const PREFIX: &'static str = "s";
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const BYTES: usize = 8;
+    const IS_DOUBLE: bool = true;
+    const PREFIX: &'static str = "d";
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        assert_eq!(T::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(T::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(T::from_f64(-3.0).abs().to_f64(), 3.0);
+        assert!(T::ONE.is_finite());
+        assert!(!(T::ONE / T::ZERO).is_finite());
+    }
+
+    #[test]
+    fn f32_contract() {
+        roundtrip::<f32>();
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f32::IS_DOUBLE, false);
+        assert_eq!(f32::PREFIX, "s");
+    }
+
+    #[test]
+    fn f64_contract() {
+        roundtrip::<f64>();
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f64::IS_DOUBLE, true);
+        assert_eq!(f64::PREFIX, "d");
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        let x: f64 = 3.0;
+        assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the dense kernels.
+//!
+//! Strategy: generate random shapes/contents, and assert algebraic
+//! invariants (reference equality, round-trips, residual bounds) rather
+//! than fixed outputs.
+
+use proptest::prelude::*;
+use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
+use vbatch_dense::naive;
+use vbatch_dense::verify::{chol_residual, lu_residual, max_abs_diff_slices, residual_tol};
+use vbatch_dense::{
+    gemm, getrf, potf2, potrf_blocked, syrk, trmm, trsm, trtri, Diag, MatMut, MatRef, Side, Trans,
+    Uplo,
+};
+
+fn trans_strategy() -> impl Strategy<Value = Trans> {
+    prop_oneof![Just(Trans::NoTrans), Just(Trans::Trans)]
+}
+
+fn uplo_strategy() -> impl Strategy<Value = Uplo> {
+    prop_oneof![Just(Uplo::Lower), Just(Uplo::Upper)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..12, n in 1usize..12, k in 1usize..12,
+        ta in trans_strategy(), tb in trans_strategy(),
+        seed in 0u64..1_000_000,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let (am, an) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
+        let (bm, bn) = if tb == Trans::NoTrans { (k, n) } else { (n, k) };
+        let a = rand_mat::<f64>(&mut rng, am * an);
+        let b = rand_mat::<f64>(&mut rng, bm * bn);
+        let c0 = rand_mat::<f64>(&mut rng, m * n);
+        let mut c = c0.clone();
+        gemm(ta, tb, alpha,
+            MatRef::from_slice(&a, am, an, am),
+            MatRef::from_slice(&b, bm, bn, bm),
+            beta,
+            MatMut::from_slice(&mut c, m, n, m));
+        let want = naive::gemm_ref(ta, tb, alpha, &a, am, an, &b, bm, bn, beta, &c0, m, n);
+        prop_assert!(max_abs_diff_slices(&c, &want) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_is_linear_in_alpha(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8,
+        seed in 0u64..1_000_000, alpha in -3.0f64..3.0,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let a = rand_mat::<f64>(&mut rng, m * k);
+        let b = rand_mat::<f64>(&mut rng, k * n);
+        // C1 = alpha*A*B; C2 = A*B scaled by alpha afterwards.
+        let mut c1 = vec![0.0f64; m * n];
+        gemm(Trans::NoTrans, Trans::NoTrans, alpha,
+            MatRef::from_slice(&a, m, k, m), MatRef::from_slice(&b, k, n, k),
+            0.0, MatMut::from_slice(&mut c1, m, n, m));
+        let mut c2 = vec![0.0f64; m * n];
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0,
+            MatRef::from_slice(&a, m, k, m), MatRef::from_slice(&b, k, n, k),
+            0.0, MatMut::from_slice(&mut c2, m, n, m));
+        for v in &mut c2 { *v *= alpha; }
+        prop_assert!(max_abs_diff_slices(&c1, &c2) < 1e-11);
+    }
+
+    #[test]
+    fn syrk_produces_symmetric_update(
+        n in 1usize..10, k in 1usize..10, seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let a = rand_mat::<f64>(&mut rng, n * k);
+        // Apply to both triangles separately; result must be symmetric.
+        let mut lo = vec![0.0f64; n * n];
+        let mut up = vec![0.0f64; n * n];
+        syrk(Uplo::Lower, Trans::NoTrans, 1.0, MatRef::from_slice(&a, n, k, n),
+            0.0, MatMut::from_slice(&mut lo, n, n, n));
+        syrk(Uplo::Upper, Trans::NoTrans, 1.0, MatRef::from_slice(&a, n, k, n),
+            0.0, MatMut::from_slice(&mut up, n, n, n));
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((lo[i + j * n] - up[j + i * n]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_trmm_roundtrip(
+        m in 1usize..9, n in 1usize..9, seed in 0u64..1_000_000,
+        side in prop_oneof![Just(Side::Left), Just(Side::Right)],
+        uplo in uplo_strategy(), trans in trans_strategy(),
+        diag in prop_oneof![Just(Diag::NonUnit), Just(Diag::Unit)],
+    ) {
+        let mut rng = seeded_rng(seed);
+        let na = if side == Side::Left { m } else { n };
+        let mut a = rand_mat::<f64>(&mut rng, na * na);
+        for i in 0..na { a[i + i * na] = 2.0 + a[i + i * na].abs(); }
+        let x0 = rand_mat::<f64>(&mut rng, m * n);
+        let mut b = x0.clone();
+        trmm(side, uplo, trans, diag, 1.0, MatRef::from_slice(&a, na, na, na),
+            MatMut::from_slice(&mut b, m, n, m));
+        trsm(side, uplo, trans, diag, 1.0, MatRef::from_slice(&a, na, na, na),
+            MatMut::from_slice(&mut b, m, n, m));
+        prop_assert!(max_abs_diff_slices(&b, &x0) < 1e-8);
+    }
+
+    #[test]
+    fn potf2_residual_bounded(n in 1usize..40, seed in 0u64..1_000_000) {
+        let mut rng = seeded_rng(seed);
+        let orig = spd_vec::<f64>(&mut rng, n);
+        let mut a = orig.clone();
+        potf2(Uplo::Lower, MatMut::from_slice(&mut a, n, n, n)).unwrap();
+        let r = chol_residual(Uplo::Lower,
+            MatRef::from_slice(&a, n, n, n), MatRef::from_slice(&orig, n, n, n));
+        prop_assert!(r < residual_tol::<f64>(n), "residual {r}");
+    }
+
+    #[test]
+    fn potrf_blocked_residual_bounded(
+        n in 1usize..64, nb in 1usize..16, seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let orig = spd_vec::<f64>(&mut rng, n);
+        let mut a = orig.clone();
+        potrf_blocked(Uplo::Lower, MatMut::from_slice(&mut a, n, n, n), nb).unwrap();
+        let r = chol_residual(Uplo::Lower,
+            MatRef::from_slice(&a, n, n, n), MatRef::from_slice(&orig, n, n, n));
+        prop_assert!(r < residual_tol::<f64>(n), "residual {r}");
+    }
+
+    #[test]
+    fn potf2_f32_residual_bounded(n in 1usize..32, seed in 0u64..1_000_000) {
+        let mut rng = seeded_rng(seed);
+        let orig = spd_vec::<f32>(&mut rng, n);
+        let mut a = orig.clone();
+        potf2(Uplo::Lower, MatMut::from_slice(&mut a, n, n, n)).unwrap();
+        let r = chol_residual(Uplo::Lower,
+            MatRef::from_slice(&a, n, n, n), MatRef::from_slice(&orig, n, n, n));
+        prop_assert!(r < residual_tol::<f32>(n), "residual {r}");
+    }
+
+    #[test]
+    fn getrf_residual_bounded(
+        m in 1usize..32, n in 1usize..32, nb in 1usize..8, seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let orig = rand_mat::<f64>(&mut rng, m * n);
+        let mut a = orig.clone();
+        let mut p = vec![0usize; m.min(n)];
+        getrf(MatMut::from_slice(&mut a, m, n, m), &mut p, nb).unwrap();
+        let r = lu_residual(MatRef::from_slice(&a, m, n, m), &p,
+            MatRef::from_slice(&orig, m, n, m));
+        prop_assert!(r < residual_tol::<f64>(m.max(n)), "residual {r}");
+        // Pivots must point at or below their row.
+        for (i, &pv) in p.iter().enumerate() {
+            prop_assert!(pv >= i && pv < m);
+        }
+    }
+
+    #[test]
+    fn trtri_then_multiply_is_identity(n in 1usize..24, seed in 0u64..1_000_000) {
+        let mut rng = seeded_rng(seed);
+        let mut t = rand_mat::<f64>(&mut rng, n * n);
+        for j in 0..n {
+            for i in 0..j { t[i + j * n] = 0.0; }
+            t[j + j * n] = 2.0 + t[j + j * n].abs();
+        }
+        let mut inv = t.clone();
+        trtri(Uplo::Lower, Diag::NonUnit, MatMut::from_slice(&mut inv, n, n, n)).unwrap();
+        let prod = naive::gemm_ref(Trans::NoTrans, Trans::NoTrans, 1.0,
+            &t, n, n, &inv, n, n, 0.0, &vec![0.0; n * n], n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[i + j * n] - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn geqr2_and_geqrf_agree(
+        m in 1usize..24, n in 1usize..24, nb in 1usize..8, seed in 0u64..1_000_000,
+    ) {
+        use vbatch_dense::{geqr2, geqrf};
+        let mut rng = seeded_rng(seed);
+        let orig = rand_mat::<f64>(&mut rng, m * n);
+        let k = m.min(n);
+        let mut a1 = orig.clone();
+        let mut t1 = vec![0.0f64; k];
+        geqr2(MatMut::from_slice(&mut a1, m, n, m), &mut t1);
+        let mut a2 = orig.clone();
+        let mut t2 = vec![0.0f64; k];
+        geqrf(MatMut::from_slice(&mut a2, m, n, m), &mut t2, nb);
+        // Same reflectors, same R (the blocked update is algebraically
+        // identical to applying reflectors one by one).
+        prop_assert!(max_abs_diff_slices(&a1, &a2) < 1e-9);
+        prop_assert!(max_abs_diff_slices(&t1, &t2) < 1e-12);
+    }
+
+    #[test]
+    fn larfb_equals_sequential_larf(
+        m in 2usize..20, jb in 1usize..6, cols in 1usize..8, seed in 0u64..1_000_000,
+    ) {
+        use vbatch_dense::{geqr2, larf_left, larfb_left_t, larft};
+        prop_assume!(jb <= m);
+        let mut rng = seeded_rng(seed);
+        // Build a reflector panel via geqr2.
+        let mut panel = rand_mat::<f64>(&mut rng, m * jb);
+        let mut tau = vec![0.0f64; jb];
+        geqr2(MatMut::from_slice(&mut panel, m, jb, m), &mut tau);
+        let c0 = rand_mat::<f64>(&mut rng, m * cols);
+
+        // Blocked application.
+        let v = MatRef::from_slice(&panel, m, jb, m);
+        let mut t = vec![0.0f64; jb * jb];
+        larft(v, &tau, &mut t);
+        let mut c_blocked = c0.clone();
+        larfb_left_t(v, &t, MatMut::from_slice(&mut c_blocked, m, cols, m));
+
+        // One reflector at a time (forward order = Qᵀ).
+        let mut c_seq = c0.clone();
+        for r in 0..jb {
+            if tau[r] == 0.0 {
+                continue;
+            }
+            let v_tail = v.sub(r + 1, r, m - r - 1, 1);
+            let c_view = MatMut::from_slice(&mut c_seq, m, cols, m).sub(r, 0, m - r, cols);
+            larf_left(v_tail, tau[r], c_view);
+        }
+        prop_assert!(max_abs_diff_slices(&c_blocked, &c_seq) < 1e-9);
+    }
+
+    #[test]
+    fn laswp_roundtrip(n in 1usize..20, cols in 1usize..6, seed in 0u64..1_000_000) {
+        use vbatch_dense::laswp;
+        let mut rng = seeded_rng(seed);
+        let orig = rand_mat::<f64>(&mut rng, n * cols);
+        // Random valid pivot vector (p[i] >= i).
+        let ipiv: Vec<usize> = (0..n)
+            .map(|i| i + (seed as usize + i * 7) % (n - i))
+            .collect();
+        let mut a = orig.clone();
+        laswp(MatMut::from_slice(&mut a, n, cols, n), 0, n, &ipiv);
+        // Undo by applying the swaps in reverse order.
+        for i in (0..n).rev() {
+            if ipiv[i] != i {
+                for c in 0..cols {
+                    a.swap(i + c * n, ipiv[i] + c * n);
+                }
+            }
+        }
+        prop_assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn potf2_never_accepts_indefinite(n in 2usize..16, seed in 0u64..1_000_000) {
+        // A symmetric matrix with a negative eigenvalue direction must fail.
+        let mut rng = seeded_rng(seed);
+        let mut a = spd_vec::<f64>(&mut rng, n);
+        let col = seed as usize % n;
+        a[col + col * n] = -1.0 - a[col + col * n].abs();
+        let res = potf2(Uplo::Lower, MatMut::from_slice(&mut a, n, n, n));
+        prop_assert!(res.is_err());
+    }
+}

@@ -1,0 +1,486 @@
+//! The simulated device: allocation, kernel launch, streams, clock and
+//! energy.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::config::DeviceConfig;
+use crate::cost::{BlockCost, BlockCtx};
+use crate::energy::{EnergyMeter, PowerModel};
+use crate::grid::LaunchConfig;
+use crate::mem::{DeviceBuffer, DevicePtr, MemoryTracker, OomError};
+use crate::occupancy::{occupancy, Occupancy, OccupancyError};
+use crate::sched::{schedule_blocks, KernelTiming};
+use crate::stats::{KernelStats, Profiler};
+use std::sync::Arc;
+
+/// A kernel launch was rejected before execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The launch configuration violates a device limit.
+    Occupancy(OccupancyError),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Occupancy(e) => write!(f, "launch rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<OccupancyError> for LaunchError {
+    fn from(e: OccupancyError) -> Self {
+        LaunchError::Occupancy(e)
+    }
+}
+
+struct Inner {
+    clock_s: f64,
+    energy: EnergyMeter,
+    profiler: Profiler,
+    launches: u64,
+}
+
+/// A simulated accelerator.
+///
+/// Kernels launched on the device execute *for real* on host threads
+/// (producing actual numeric results in device buffers) while the cost
+/// model advances the simulated clock. The device is `Sync`; launches
+/// serialize on an internal lock for the timeline (matching the default
+/// CUDA stream semantics). Use [`Device::stream_group`] for concurrent
+/// kernel execution.
+pub struct Device {
+    cfg: DeviceConfig,
+    mem: Arc<MemoryTracker>,
+    inner: Mutex<Inner>,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let mem = MemoryTracker::new(cfg.global_mem_bytes);
+        let energy = EnergyMeter::new(PowerModel {
+            idle_w: cfg.idle_power_w,
+            max_w: cfg.max_power_w,
+        });
+        Self {
+            cfg,
+            mem,
+            inner: Mutex::new(Inner {
+                clock_s: 0.0,
+                energy,
+                profiler: Profiler::default(),
+                launches: 0,
+            }),
+        }
+    }
+
+    /// Device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    ///
+    /// # Errors
+    /// [`OomError`] when device memory is exhausted — the padding
+    /// baseline's failure mode.
+    pub fn alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, OomError> {
+        DeviceBuffer::new(len, Arc::clone(&self.mem))
+    }
+
+    /// Bytes of device memory currently allocated.
+    #[must_use]
+    pub fn mem_in_use(&self) -> usize {
+        self.mem.in_use()
+    }
+
+    /// High-water mark of device memory use.
+    #[must_use]
+    pub fn mem_peak(&self) -> usize {
+        self.mem.peak()
+    }
+
+    /// Launch overhead in seconds (host-side issue cost per kernel).
+    #[must_use]
+    pub fn launch_overhead_s(&self) -> f64 {
+        self.cfg.kernel_launch_overhead_us * 1e-6
+    }
+
+    /// Launches `kernel` over `cfg`, executing every block (in parallel
+    /// on host threads) and advancing the simulated clock.
+    ///
+    /// # Errors
+    /// [`LaunchError`] if the configuration violates device limits; no
+    /// block runs in that case (as in CUDA).
+    pub fn launch<F>(&self, name: &str, cfg: LaunchConfig, kernel: F) -> Result<KernelStats, LaunchError>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let occ = occupancy(&self.cfg, &cfg)?;
+        let costs = self.run_blocks(&cfg, &kernel);
+        let launch_s = self.launch_overhead_s();
+        let per_block: Vec<(BlockCost, Occupancy, f64)> =
+            costs.into_iter().map(|c| (c, occ, 0.0)).collect();
+        let timing = schedule_blocks(&self.cfg, &per_block, launch_s);
+        self.commit(name, &timing, 1);
+        Ok(KernelStats {
+            name: name.to_string(),
+            config: cfg,
+            occupancy: occ,
+            time_s: timing.total_s,
+            timing,
+        })
+    }
+
+    fn run_blocks<F>(&self, cfg: &LaunchConfig, kernel: &F) -> Vec<BlockCost>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let n_blocks = cfg.grid.count();
+        (0..n_blocks)
+            .into_par_iter()
+            .map(|linear| {
+                let idx = cfg.grid.unflatten(linear);
+                let mut ctx = BlockCtx::new(idx, cfg.block, cfg.grid, self.cfg.warp_size);
+                kernel(&mut ctx);
+                ctx.into_cost()
+            })
+            .collect()
+    }
+
+    fn commit(&self, name: &str, timing: &KernelTiming, launches: u64) {
+        let mut inner = self.inner.lock();
+        inner.clock_s += timing.total_s;
+        // Launch issue burns idle power; execution burns at the busy
+        // fraction.
+        inner.energy.add_interval(timing.launch_s, 0.0);
+        inner.energy.add_interval(timing.exec_s, timing.busy_fraction);
+        inner.profiler.record(name, timing);
+        inner.launches += launches;
+    }
+
+    /// Opens a stream group: kernels launched through it are issued
+    /// back-to-back by the host (paying one launch overhead each, in
+    /// sequence) but execute concurrently on the device — the model of
+    /// the paper's CUDA-streams `syrk` alternative.
+    #[must_use]
+    pub fn stream_group<'d>(&'d self, name: &str) -> StreamGroup<'d> {
+        StreamGroup {
+            dev: self,
+            name: name.to_string(),
+            pending: Vec::new(),
+            launches: 0,
+        }
+    }
+
+    /// Charges a host→device copy of `bytes` to the simulated clock.
+    pub fn copy_htod_bytes(&self, bytes: usize) -> f64 {
+        self.transfer(bytes)
+    }
+
+    /// Charges a device→host copy of `bytes` to the simulated clock.
+    pub fn copy_dtoh_bytes(&self, bytes: usize) -> f64 {
+        self.transfer(bytes)
+    }
+
+    fn transfer(&self, bytes: usize) -> f64 {
+        let t = self.cfg.pcie_latency_us * 1e-6 + bytes as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        let mut inner = self.inner.lock();
+        inner.clock_s += t;
+        inner.energy.add_interval(t, 0.0);
+        t
+    }
+
+    /// Advances the simulated clock by `seconds` at the given device
+    /// activity (0 = idle). Used by hybrid baselines to account for
+    /// host-side work the device waits on.
+    pub fn advance_time(&self, seconds: f64, activity: f64) {
+        let mut inner = self.inner.lock();
+        inner.clock_s += seconds;
+        inner.energy.add_interval(seconds, activity);
+    }
+
+    /// Current simulated time in seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.inner.lock().clock_s
+    }
+
+    /// Energy consumed so far, joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.inner.lock().energy.joules()
+    }
+
+    /// Total kernel launches issued so far.
+    #[must_use]
+    pub fn launch_count(&self) -> u64 {
+        self.inner.lock().launches
+    }
+
+    /// Resets clock, energy and profiler (memory stays allocated) —
+    /// call before a measured region.
+    pub fn reset_metrics(&self) {
+        let mut inner = self.inner.lock();
+        inner.clock_s = 0.0;
+        inner.energy.reset();
+        inner.profiler.reset();
+        inner.launches = 0;
+    }
+
+    /// Runs `f` with a snapshot view of the profiler.
+    pub fn with_profiler<R>(&self, f: impl FnOnce(&Profiler) -> R) -> R {
+        let inner = self.inner.lock();
+        f(&inner.profiler)
+    }
+}
+
+/// A group of kernels issued on separate streams and executed
+/// concurrently. Obtain via [`Device::stream_group`]; call
+/// [`StreamGroup::sync`] to schedule the group and advance the clock.
+pub struct StreamGroup<'d> {
+    dev: &'d Device,
+    name: String,
+    pending: Vec<(BlockCost, Occupancy, f64)>,
+    launches: u64,
+}
+
+impl StreamGroup<'_> {
+    /// Launches one kernel into the group. Blocks execute immediately
+    /// (real numerics); timing is deferred until [`StreamGroup::sync`].
+    ///
+    /// # Errors
+    /// [`LaunchError`] if the configuration violates device limits.
+    pub fn launch<F>(&mut self, cfg: LaunchConfig, kernel: F) -> Result<(), LaunchError>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let occ = occupancy(&self.dev.cfg, &cfg)?;
+        let costs = self.dev.run_blocks(&cfg, &kernel);
+        // The host issues launches serially: kernel k's blocks release
+        // only after k+1 launch overheads have elapsed.
+        self.launches += 1;
+        let release = self.launches as f64 * self.dev.launch_overhead_s();
+        self.pending
+            .extend(costs.into_iter().map(|c| (c, occ, release)));
+        Ok(())
+    }
+
+    /// Number of kernels issued into the group so far.
+    #[must_use]
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Schedules all pending blocks together (respecting per-kernel
+    /// issue times), advances the device clock once, and returns the
+    /// group timing.
+    pub fn sync(self) -> KernelTiming {
+        // Launch overhead is encoded in the release times; the group
+        // itself adds none on top.
+        let timing = schedule_blocks(&self.dev.cfg, &self.pending, 0.0);
+        self.dev.commit(&self.name, &timing, self.launches);
+        timing
+    }
+}
+
+/// Convenience: a device-side array of matrix pointers, sizes, or
+/// leading dimensions — the vbatched metadata triple (§III-A) — built
+/// from host data in one call (bypasses the PCIe clock; use
+/// [`Device::copy_htod_bytes`] to charge it).
+pub fn upload_vec<T: Copy + Default>(dev: &Device, data: &[T]) -> Result<DeviceBuffer<T>, OomError> {
+    let buf = dev.alloc::<T>(data.len())?;
+    buf.fill_from_host(data);
+    Ok(buf)
+}
+
+/// Convenience: device array of `DevicePtr<T>` handles.
+pub fn upload_ptrs<T: Copy + Default>(
+    dev: &Device,
+    ptrs: &[DevicePtr<T>],
+) -> Result<DeviceBuffer<DevicePtr<T>>, OomError> {
+    let buf = dev.alloc::<DevicePtr<T>>(ptrs.len())?;
+    buf.fill_from_host(ptrs);
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Dim3;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::tiny_test())
+    }
+
+    #[test]
+    fn launch_executes_real_numerics() {
+        let d = dev();
+        let buf = d.alloc::<f64>(128).unwrap();
+        buf.fill_from_host(&(0..128).map(|i| i as f64).collect::<Vec<_>>());
+        let p = buf.ptr();
+        d.launch("square", LaunchConfig::grid_1d(4, 32), move |blk| {
+            let base = blk.block_idx().x as usize * 32;
+            for i in 0..32 {
+                p.set(base + i, p.get(base + i) * p.get(base + i));
+            }
+            blk.dp_flops(32, 1.0);
+        })
+        .unwrap();
+        let host = buf.read_to_host();
+        assert_eq!(host[5], 25.0);
+        assert_eq!(host[127], 127.0 * 127.0);
+    }
+
+    #[test]
+    fn clock_advances_and_resets() {
+        let d = dev();
+        assert_eq!(d.now(), 0.0);
+        d.launch("noop", LaunchConfig::grid_1d(1, 32), |_blk| {}).unwrap();
+        let t1 = d.now();
+        assert!(t1 >= d.launch_overhead_s());
+        d.launch("noop", LaunchConfig::grid_1d(1, 32), |_blk| {}).unwrap();
+        assert!(d.now() > t1);
+        assert_eq!(d.launch_count(), 2);
+        d.reset_metrics();
+        assert_eq!(d.now(), 0.0);
+        assert_eq!(d.launch_count(), 0);
+    }
+
+    #[test]
+    fn more_work_takes_more_simulated_time() {
+        let d = dev();
+        let s1 = d
+            .launch("small", LaunchConfig::grid_1d(2, 32), |blk| {
+                blk.dp_flops(32, 100.0);
+            })
+            .unwrap();
+        let s2 = d
+            .launch("big", LaunchConfig::grid_1d(2, 32), |blk| {
+                blk.dp_flops(32, 100000.0);
+            })
+            .unwrap();
+        assert!(s2.time_s > s1.time_s);
+    }
+
+    #[test]
+    fn launch_rejected_without_side_effects() {
+        let d = dev();
+        let before = d.now();
+        let err = d.launch(
+            "bad",
+            LaunchConfig::grid_1d(1, 4096),
+            |_blk| panic!("must not run"),
+        );
+        assert!(err.is_err());
+        assert_eq!(d.now(), before);
+    }
+
+    #[test]
+    fn energy_increases_with_time() {
+        let d = dev();
+        d.launch("k", LaunchConfig::grid_1d(4, 32), |blk| {
+            blk.dp_flops(32, 1e6);
+        })
+        .unwrap();
+        let e = d.energy_j();
+        assert!(e > 0.0);
+        // Power must lie between idle and max.
+        let t = d.now();
+        assert!(e >= d.config().idle_power_w * t * 0.99);
+        assert!(e <= d.config().max_power_w * t * 1.01);
+    }
+
+    #[test]
+    fn transfers_charge_pcie_time() {
+        let d = dev();
+        let t = d.copy_htod_bytes(1_000_000);
+        // 1 MB at 1 GB/s = 1 ms plus 5 µs latency.
+        assert!((t - (1e-3 + 5e-6)).abs() < 1e-9);
+        assert!((d.now() - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_group_cheaper_than_serial_for_many_small_kernels() {
+        // 20 small kernels: serial launches pay 20 overheads on the
+        // critical path; the stream group overlaps execution with issue.
+        let d1 = dev();
+        for _ in 0..20 {
+            d1.launch("small", LaunchConfig::grid_1d(1, 32), |blk| {
+                blk.dp_flops(32, 10.0);
+            })
+            .unwrap();
+        }
+        let serial = d1.now();
+
+        let d2 = dev();
+        let mut g = d2.stream_group("small_streamed");
+        for _ in 0..20 {
+            g.launch(LaunchConfig::grid_1d(1, 32), |blk| {
+                blk.dp_flops(32, 10.0);
+            })
+            .unwrap();
+        }
+        g.sync();
+        let streamed = d2.now();
+        assert!(
+            streamed < serial,
+            "streamed {streamed} should beat serial {serial}"
+        );
+    }
+
+    #[test]
+    fn profiler_sees_kernel_names() {
+        let d = dev();
+        d.launch("aux_compute_max", LaunchConfig::grid_1d(1, 32), |_b| {}).unwrap();
+        d.launch("fused_step", LaunchConfig::grid_1d(2, 32), |blk| {
+            blk.dp_flops(32, 1e5);
+        })
+        .unwrap();
+        d.with_profiler(|p| {
+            assert_eq!(p.get("aux_compute_max").unwrap().launches, 1);
+            assert!(p.time_fraction_matching("aux") < 0.5);
+        });
+    }
+
+    #[test]
+    fn grid_2d_indices_cover_all_blocks() {
+        let d = dev();
+        let buf = d.alloc::<i32>(12).unwrap();
+        let p = buf.ptr();
+        d.launch(
+            "mark",
+            LaunchConfig::new(Dim3::xy(4, 3), Dim3::x(32), 0),
+            move |blk| {
+                let id = blk.linear_block_id();
+                p.set(id, 1);
+            },
+        )
+        .unwrap();
+        assert_eq!(buf.read_to_host(), vec![1; 12]);
+    }
+
+    #[test]
+    fn upload_helpers() {
+        let d = dev();
+        let b = upload_vec(&d, &[1i32, 2, 3]).unwrap();
+        assert_eq!(b.read_to_host(), vec![1, 2, 3]);
+        let data = d.alloc::<f64>(10).unwrap();
+        let ptrs = upload_ptrs(&d, &[data.ptr(), data.ptr().offset(5)]).unwrap();
+        ptrs.ptr().get(1).set(0, 3.5);
+        assert_eq!(data.ptr().get(5), 3.5);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let d = dev(); // 1 MB capacity
+        let r = d.alloc::<f64>(1024 * 1024);
+        assert!(r.is_err());
+    }
+}

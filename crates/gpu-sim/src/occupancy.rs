@@ -1,0 +1,181 @@
+//! Occupancy calculation — how many blocks of a given launch fit on one
+//! SM simultaneously.
+//!
+//! This is the lever behind the paper's crossover: the fused kernel's
+//! shared-memory panel (`max_m × nb` elements) caps occupancy as the
+//! maximum matrix size grows, until the separated kernels (fixed small
+//! tiles) win. Implicit sorting raises occupancy by sizing each launch's
+//! panel to the *window* maximum instead of the global maximum.
+
+use crate::config::DeviceConfig;
+use crate::grid::LaunchConfig;
+
+/// Occupancy of a launch configuration on a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM (blocks × warps/block).
+    pub warps_per_sm: u32,
+    /// Which resource bounds the occupancy.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// `max_blocks_per_sm`.
+    Blocks,
+    /// `max_threads_per_sm`.
+    Threads,
+    /// Shared memory per SM.
+    SharedMemory,
+}
+
+/// Launch-validation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OccupancyError {
+    /// Block requests more threads than the device allows.
+    TooManyThreads {
+        /// Requested threads per block.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// Block requests more shared memory than one block may hold.
+    SharedMemExceeded {
+        /// Requested bytes.
+        requested: usize,
+        /// Device limit per block.
+        limit: usize,
+    },
+    /// Grid or block extent is zero.
+    EmptyLaunch,
+}
+
+impl std::fmt::Display for OccupancyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OccupancyError::TooManyThreads { requested, limit } => {
+                write!(f, "block of {requested} threads exceeds device limit {limit}")
+            }
+            OccupancyError::SharedMemExceeded { requested, limit } => {
+                write!(f, "shared memory request {requested} B exceeds per-block limit {limit} B")
+            }
+            OccupancyError::EmptyLaunch => write!(f, "grid and block extents must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for OccupancyError {}
+
+/// Computes the occupancy of `cfg` on `dev`, validating launch limits.
+///
+/// # Errors
+/// [`OccupancyError`] when the launch is not executable at all.
+pub fn occupancy(dev: &DeviceConfig, cfg: &LaunchConfig) -> Result<Occupancy, OccupancyError> {
+    let threads = cfg.threads_per_block();
+    if cfg.grid.count() == 0 || threads == 0 {
+        return Err(OccupancyError::EmptyLaunch);
+    }
+    if threads > dev.max_threads_per_block {
+        return Err(OccupancyError::TooManyThreads {
+            requested: threads,
+            limit: dev.max_threads_per_block,
+        });
+    }
+    if cfg.shared_mem_bytes > dev.shared_mem_per_block {
+        return Err(OccupancyError::SharedMemExceeded {
+            requested: cfg.shared_mem_bytes,
+            limit: dev.shared_mem_per_block,
+        });
+    }
+
+    let by_blocks = dev.max_blocks_per_sm;
+    let by_threads = dev.max_threads_per_sm / threads;
+    let by_smem = if cfg.shared_mem_bytes == 0 {
+        u32::MAX
+    } else {
+        (dev.shared_mem_per_sm / cfg.shared_mem_bytes) as u32
+    };
+
+    let blocks = by_blocks.min(by_threads).min(by_smem).max(1);
+    let (limit, limiter) = [
+        (by_blocks, Limiter::Blocks),
+        (by_threads, Limiter::Threads),
+        (by_smem, Limiter::SharedMemory),
+    ]
+    .into_iter()
+    .min_by_key(|(v, _)| *v)
+    .expect("nonempty");
+    let _ = limit;
+
+    Ok(Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: blocks * cfg.warps_per_block(dev.warp_size),
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Dim3;
+
+    fn k40() -> DeviceConfig {
+        DeviceConfig::k40c()
+    }
+
+    #[test]
+    fn no_shared_mem_limited_by_threads() {
+        let occ = occupancy(&k40(), &LaunchConfig::grid_1d(100, 256)).unwrap();
+        assert_eq!(occ.blocks_per_sm, 8); // 2048 / 256
+        assert_eq!(occ.limiter, Limiter::Threads);
+        assert_eq!(occ.warps_per_sm, 64);
+    }
+
+    #[test]
+    fn small_blocks_limited_by_block_slots() {
+        let occ = occupancy(&k40(), &LaunchConfig::grid_1d(100, 32)).unwrap();
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.limiter, Limiter::Blocks);
+    }
+
+    #[test]
+    fn shared_memory_caps_occupancy() {
+        // 24 KB per block → only 2 blocks fit in 48 KB.
+        let cfg = LaunchConfig::grid_1d(10, 64).with_shared_mem(24 * 1024);
+        let occ = occupancy(&k40(), &cfg).unwrap();
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+
+        // The fused Cholesky panel at m=512, nb=8, f64: 32 KB → occupancy 1.
+        let cfg = LaunchConfig::grid_1d(10, 64).with_shared_mem(512 * 8 * 8);
+        let occ = occupancy(&k40(), &cfg).unwrap();
+        assert_eq!(occ.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn over_limit_requests_rejected() {
+        let cfg = LaunchConfig::grid_1d(1, 2048);
+        assert!(matches!(
+            occupancy(&k40(), &cfg),
+            Err(OccupancyError::TooManyThreads { .. })
+        ));
+        let cfg = LaunchConfig::grid_1d(1, 64).with_shared_mem(49 * 1024);
+        assert!(matches!(
+            occupancy(&k40(), &cfg),
+            Err(OccupancyError::SharedMemExceeded { .. })
+        ));
+        let cfg = LaunchConfig::new(Dim3::x(0), Dim3::x(32), 0);
+        assert_eq!(occupancy(&k40(), &cfg), Err(OccupancyError::EmptyLaunch));
+    }
+
+    #[test]
+    fn occupancy_at_least_one_when_launchable() {
+        // Exactly one block's worth of shared memory.
+        let cfg = LaunchConfig::grid_1d(1, 64).with_shared_mem(48 * 1024);
+        let occ = occupancy(&k40(), &cfg).unwrap();
+        assert_eq!(occ.blocks_per_sm, 1);
+    }
+}

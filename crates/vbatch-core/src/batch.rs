@@ -1,0 +1,279 @@
+//! The vbatched batch descriptor (paper §III-A).
+//!
+//! A vbatched routine describes each matrix by an independent size and
+//! leading dimension; "all arrays need to reside on the GPU memory and
+//! specific GPU kernels required for these kind of operations ... must be
+//! developed". [`VBatch`] owns the device-resident metadata arrays
+//! (`rows[]`, `cols[]`, `ld[]`, pointer array, `info[]`) plus the matrix
+//! storage itself, and keeps host mirrors of the *user-provided* shape
+//! information (what the caller of a real vbatched API would also know).
+
+use vbatch_dense::Scalar;
+use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, OomError};
+
+/// A device-resident batch of matrices with independent shapes.
+pub struct VBatch<T> {
+    count: usize,
+    d_rows: DeviceBuffer<i32>,
+    d_cols: DeviceBuffer<i32>,
+    d_ld: DeviceBuffer<i32>,
+    d_ptrs: DeviceBuffer<DevicePtr<T>>,
+    d_info: DeviceBuffer<i32>,
+    storage: Vec<DeviceBuffer<T>>,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    ld: Vec<usize>,
+}
+
+impl<T: Scalar> VBatch<T> {
+    /// Allocates a batch of square matrices of the given orders
+    /// (`ld = n`), zero-initialized.
+    ///
+    /// # Errors
+    /// [`OomError`] when device memory is exhausted.
+    pub fn alloc_square(dev: &Device, sizes: &[usize]) -> Result<Self, OomError> {
+        let dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, n)).collect();
+        Self::alloc(dev, &dims)
+    }
+
+    /// Allocates a batch of `rows × cols` matrices (`ld = rows`),
+    /// zero-initialized.
+    ///
+    /// # Errors
+    /// [`OomError`] when device memory is exhausted.
+    pub fn alloc(dev: &Device, dims: &[(usize, usize)]) -> Result<Self, OomError> {
+        let ld: Vec<usize> = dims.iter().map(|&(m, _)| m).collect();
+        Self::alloc_with_ld(dev, dims, &ld)
+    }
+
+    /// Allocates with explicit per-matrix leading dimensions
+    /// (`ld[i] ≥ rows[i]`).
+    ///
+    /// # Errors
+    /// [`OomError`] when device memory is exhausted.
+    ///
+    /// # Panics
+    /// If `ld[i] < rows[i]` for any matrix.
+    pub fn alloc_with_ld(
+        dev: &Device,
+        dims: &[(usize, usize)],
+        ld: &[usize],
+    ) -> Result<Self, OomError> {
+        assert_eq!(dims.len(), ld.len());
+        let count = dims.len();
+        let mut storage = Vec::with_capacity(count);
+        let mut ptrs = Vec::with_capacity(count);
+        for (&(m, n), &l) in dims.iter().zip(ld) {
+            assert!(m == 0 || l >= m, "ld {l} < rows {m}");
+            let elems = if n == 0 { 0 } else { l * (n - 1) + m };
+            let buf = dev.alloc::<T>(elems)?;
+            ptrs.push(buf.ptr());
+            storage.push(buf);
+        }
+        let d_rows = dev.alloc::<i32>(count)?;
+        let d_cols = dev.alloc::<i32>(count)?;
+        let d_ld = dev.alloc::<i32>(count)?;
+        let d_info = dev.alloc::<i32>(count)?;
+        let d_ptrs = dev.alloc::<DevicePtr<T>>(count)?;
+        d_rows.fill_from_host(&dims.iter().map(|&(m, _)| m as i32).collect::<Vec<_>>());
+        d_cols.fill_from_host(&dims.iter().map(|&(_, n)| n as i32).collect::<Vec<_>>());
+        d_ld.fill_from_host(&ld.iter().map(|&l| l as i32).collect::<Vec<_>>());
+        d_ptrs.fill_from_host(&ptrs);
+        Ok(Self {
+            count,
+            d_rows,
+            d_cols,
+            d_ld,
+            d_ptrs,
+            d_info,
+            storage,
+            rows: dims.iter().map(|&(m, _)| m).collect(),
+            cols: dims.iter().map(|&(_, n)| n).collect(),
+            ld: ld.to_vec(),
+        })
+    }
+
+    /// Number of matrices in the batch.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Host mirror of the row counts.
+    #[must_use]
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Host mirror of the column counts.
+    #[must_use]
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Host mirror of the leading dimensions.
+    #[must_use]
+    pub fn lds(&self) -> &[usize] {
+        &self.ld
+    }
+
+    /// Largest row count in the batch (host-side; the expert interface's
+    /// `max_m` argument).
+    #[must_use]
+    pub fn max_rows(&self) -> usize {
+        self.rows.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest column count in the batch.
+    #[must_use]
+    pub fn max_cols(&self) -> usize {
+        self.cols.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Device array of row counts.
+    #[must_use]
+    pub fn d_rows(&self) -> DevicePtr<i32> {
+        self.d_rows.ptr()
+    }
+
+    /// Device array of column counts.
+    #[must_use]
+    pub fn d_cols(&self) -> DevicePtr<i32> {
+        self.d_cols.ptr()
+    }
+
+    /// Device array of leading dimensions.
+    #[must_use]
+    pub fn d_ld(&self) -> DevicePtr<i32> {
+        self.d_ld.ptr()
+    }
+
+    /// Device array of matrix base pointers.
+    #[must_use]
+    pub fn d_ptrs(&self) -> DevicePtr<DevicePtr<T>> {
+        self.d_ptrs.ptr()
+    }
+
+    /// Device array of per-matrix LAPACK `info` codes.
+    #[must_use]
+    pub fn d_info(&self) -> DevicePtr<i32> {
+        self.d_info.ptr()
+    }
+
+    /// Clears the `info` array to zero (host-side reset before a
+    /// factorization).
+    pub fn reset_info(&self) {
+        self.d_info.fill_from_host(&vec![0i32; self.count]);
+    }
+
+    /// Downloads the `info` array.
+    #[must_use]
+    pub fn read_info(&self) -> Vec<i32> {
+        self.d_info.read_to_host()
+    }
+
+    /// Uploads matrix `i` from packed column-major host data of extent
+    /// `ld·(cols−1) + rows` (bypasses the PCIe clock; benchmark setup).
+    ///
+    /// # Panics
+    /// If `data` does not match the matrix extent.
+    pub fn upload_matrix(&mut self, i: usize, data: &[T]) {
+        let need = extent(self.rows[i], self.cols[i], self.ld[i]);
+        assert_eq!(data.len(), need, "matrix {i}: expected {need} elements");
+        self.storage[i].fill_from_host(data);
+    }
+
+    /// Downloads matrix `i` as packed column-major data (with its `ld`).
+    #[must_use]
+    pub fn download_matrix(&self, i: usize) -> Vec<T> {
+        self.storage[i].read_to_host()
+    }
+
+    /// Total bytes of matrix storage (excludes metadata arrays).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.storage.iter().map(DeviceBuffer::bytes).sum()
+    }
+}
+
+/// Column-major extent of an `m × n` matrix with leading dimension `ld`.
+#[must_use]
+pub fn extent(m: usize, n: usize, ld: usize) -> usize {
+    if n == 0 || m == 0 {
+        0
+    } else {
+        ld * (n - 1) + m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::k40c())
+    }
+
+    #[test]
+    fn alloc_square_roundtrip() {
+        let d = dev();
+        let mut b = VBatch::<f64>::alloc_square(&d, &[3, 5, 1]).unwrap();
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.max_rows(), 5);
+        let data: Vec<f64> = (0..25).map(|x| x as f64).collect();
+        b.upload_matrix(1, &data);
+        assert_eq!(b.download_matrix(1), data);
+        assert_eq!(b.download_matrix(0), vec![0.0; 9]);
+    }
+
+    #[test]
+    fn metadata_lands_on_device() {
+        let d = dev();
+        let b = VBatch::<f32>::alloc(&d, &[(4, 2), (7, 7)]).unwrap();
+        assert_eq!(b.d_rows().get(0), 4);
+        assert_eq!(b.d_cols().get(0), 2);
+        assert_eq!(b.d_ld().get(1), 7);
+        // Pointer array points into the right storage.
+        let p = b.d_ptrs().get(0);
+        p.set(0, 9.0);
+        assert_eq!(b.download_matrix(0)[0], 9.0);
+    }
+
+    #[test]
+    fn custom_ld_extent() {
+        let d = dev();
+        let mut b = VBatch::<f64>::alloc_with_ld(&d, &[(3, 2)], &[5]).unwrap();
+        // Extent = 5*(2-1)+3 = 8.
+        let data: Vec<f64> = (0..8).map(|x| x as f64).collect();
+        b.upload_matrix(0, &data);
+        assert_eq!(b.download_matrix(0).len(), 8);
+    }
+
+    #[test]
+    fn info_reset_and_read() {
+        let d = dev();
+        let b = VBatch::<f64>::alloc_square(&d, &[2, 2]).unwrap();
+        b.d_info().set(1, 7);
+        assert_eq!(b.read_info(), vec![0, 7]);
+        b.reset_info();
+        assert_eq!(b.read_info(), vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_sized_matrices_allowed() {
+        let d = dev();
+        let b = VBatch::<f64>::alloc_square(&d, &[0, 4, 0]).unwrap();
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.max_rows(), 4);
+        assert!(b.download_matrix(0).is_empty());
+    }
+
+    #[test]
+    fn extent_formula() {
+        assert_eq!(extent(3, 2, 5), 8);
+        assert_eq!(extent(0, 5, 0), 0);
+        assert_eq!(extent(4, 0, 4), 0);
+        assert_eq!(extent(4, 4, 4), 16);
+    }
+}

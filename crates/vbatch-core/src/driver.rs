@@ -1,0 +1,586 @@
+//! The factorization driver (paper §III-F) and the public vbatched
+//! Cholesky API.
+//!
+//! "There is a top layer that runs on the CPU side and controls the
+//! launch of the vbatched kernels. It consists of the main loop of the
+//! algorithm ... It provides information to the kernels about step id
+//! and sizes" — and combines the two approaches: "Our proposed framework
+//! is designed to select the best out of the two approaches. It defines
+//! a crossover point after which separated BLAS kernels are used"
+//! (§IV-C), keyed on the *maximum* size in the batch (§IV-E).
+
+use vbatch_dense::{Scalar, Uplo};
+use vbatch_gpu_sim::{Device, DevicePtr};
+
+use crate::aux::{compute_imax, StepState};
+use crate::etm::EtmPolicy;
+use crate::fused::{fused_feasible, potrf_fused_step, tuned_nb};
+use crate::report::{BatchReport, VbatchError};
+use crate::sep::potf2::potf2_panel_vbatched;
+use crate::sep::syrk::{syrk_streamed, syrk_vbatched};
+use crate::sep::trsm::{trsm_left_upper_trans_vbatched, trsm_right_lower_trans_vbatched};
+use crate::sep::trtri::{trtri_diag_vbatched, TileWorkspace};
+use crate::sep::{VView, DEFAULT_NB_PANEL};
+use crate::sorting::{build_windows, charge_sort_transfers, single_window, upload_indices};
+use crate::VBatch;
+
+/// How the trailing `syrk` update is executed (a tuning decision in the
+/// paper, "beyond the scope"; exposed here so the benches can compare).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyrkMode {
+    /// Single vbatched launch with the triangular decision layer.
+    Batched,
+    /// One kernel per matrix on concurrent streams (cuBLAS style).
+    Streamed,
+}
+
+/// Options of the fused approach (§III-D).
+#[derive(Clone, Copy, Debug)]
+pub struct FusedOpts {
+    /// Early-termination mechanism.
+    pub etm: EtmPolicy,
+    /// Enable implicit sorting (§III-D2).
+    pub sorting: bool,
+    /// Inner blocking; `None` autotunes per batch ([`tuned_nb`]).
+    pub nb: Option<usize>,
+    /// Implicit-sorting window width in multiples of `nb`.
+    pub window_factor: usize,
+}
+
+impl Default for FusedOpts {
+    fn default() -> Self {
+        Self {
+            etm: EtmPolicy::Aggressive,
+            sorting: true,
+            nb: None,
+            window_factor: 4,
+        }
+    }
+}
+
+/// Options of the separated approach (§III-E).
+#[derive(Clone, Copy, Debug)]
+pub struct SepOpts {
+    /// Outer panel width `NB`.
+    pub nb_panel: usize,
+    /// Inner blocking of the panel factorization (`nb < NB`).
+    pub nb_inner: usize,
+    /// Trailing-update variant.
+    pub syrk: SyrkMode,
+}
+
+impl Default for SepOpts {
+    fn default() -> Self {
+        Self {
+            nb_panel: DEFAULT_NB_PANEL,
+            nb_inner: 8,
+            syrk: SyrkMode::Batched,
+        }
+    }
+}
+
+/// Crossover policy for [`Strategy::Auto`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrossoverConfig {
+    /// Largest batch maximum for which the fused approach is used;
+    /// `None` applies only the shared-memory feasibility bound.
+    pub max_fused_n: Option<usize>,
+}
+
+/// Which approach the driver runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Approach 1: per-step fused kernels.
+    Fused,
+    /// Approach 2: separated vbatched BLAS.
+    Separated,
+    /// Pick by the batch's maximum size (the paper's combined design).
+    Auto,
+}
+
+/// Options of the vbatched Cholesky driver.
+#[derive(Clone, Copy, Debug)]
+pub struct PotrfOptions {
+    /// Triangle to factorize. The paper's case study is
+    /// [`Uplo::Lower`]; [`Uplo::Upper`] mirrors every kernel on block
+    /// rows of `U`.
+    pub uplo: Uplo,
+    /// Strategy selection.
+    pub strategy: Strategy,
+    /// Fused-approach options.
+    pub fused: FusedOpts,
+    /// Separated-approach options.
+    pub sep: SepOpts,
+    /// Crossover for [`Strategy::Auto`].
+    pub crossover: CrossoverConfig,
+}
+
+impl Default for PotrfOptions {
+    fn default() -> Self {
+        Self {
+            uplo: Uplo::Lower,
+            strategy: Strategy::Auto,
+            fused: FusedOpts::default(),
+            sep: SepOpts::default(),
+            crossover: CrossoverConfig::default(),
+        }
+    }
+}
+
+/// Default crossover maximum for [`Strategy::Auto`] in precision `T`,
+/// calibrated against the Fig. 7 sweep on the simulated K40c.
+#[must_use]
+pub fn default_crossover<T: Scalar>() -> usize {
+    if T::IS_DOUBLE {
+        320
+    } else {
+        448
+    }
+}
+
+/// Variable-size batched Cholesky, expert interface (§III-A): the caller
+/// supplies `max_n`, "recommended when the user has such information so
+/// that computing the maximums is waived".
+///
+/// # Errors
+/// [`VbatchError`] on launch/allocation failures or invalid arguments;
+/// per-matrix numerical breakdowns are reported in the [`BatchReport`].
+pub fn potrf_vbatched_max<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    max_n: usize,
+    opts: &PotrfOptions,
+) -> Result<BatchReport, VbatchError> {
+    if batch.rows() != batch.cols() {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_vbatched: matrices must be square",
+        ));
+    }
+    batch.reset_info();
+    if batch.count() == 0 || max_n == 0 {
+        return Ok(BatchReport::from_info(batch.read_info()));
+    }
+
+    let nb = opts.fused.nb.unwrap_or_else(|| tuned_nb::<T>(dev, max_n));
+    let strategy = resolve_strategy::<T>(dev, opts, max_n, nb);
+    match strategy {
+        Strategy::Fused => run_fused(dev, batch, opts.uplo, max_n, nb, opts)?,
+        Strategy::Separated => run_separated(dev, batch, opts.uplo, max_n, opts)?,
+        Strategy::Auto => unreachable!("resolved above"),
+    }
+
+    dev.copy_dtoh_bytes(batch.count() * 4);
+    Ok(BatchReport::from_info(batch.read_info()))
+}
+
+/// Variable-size batched Cholesky, LAPACK-style interface (§III-A): the
+/// maximum size is computed with a device reduction kernel ("in most
+/// cases, the overhead of computing the maximum is negligible").
+///
+/// # Errors
+/// As [`potrf_vbatched_max`].
+pub fn potrf_vbatched<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    opts: &PotrfOptions,
+) -> Result<BatchReport, VbatchError> {
+    let max_n = compute_imax(dev, batch.d_cols(), batch.count())?.max(0) as usize;
+    potrf_vbatched_max(dev, batch, max_n, opts)
+}
+
+/// Resolves [`Strategy::Auto`] to a concrete approach for this batch.
+#[must_use]
+pub fn resolve_strategy<T: Scalar>(
+    dev: &Device,
+    opts: &PotrfOptions,
+    max_n: usize,
+    nb: usize,
+) -> Strategy {
+    match opts.strategy {
+        Strategy::Fused | Strategy::Separated => opts.strategy,
+        Strategy::Auto => {
+            let cap = opts.crossover.max_fused_n.unwrap_or_else(default_crossover::<T>);
+            if fused_feasible::<T>(dev, max_n, nb) && max_n <= cap {
+                Strategy::Fused
+            } else {
+                Strategy::Separated
+            }
+        }
+    }
+}
+
+fn run_fused<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    uplo: Uplo,
+    max_n: usize,
+    nb: usize,
+    opts: &PotrfOptions,
+) -> Result<(), VbatchError> {
+    if !fused_feasible::<T>(dev, max_n, nb) {
+        return Err(VbatchError::InvalidArgument(
+            "fused approach infeasible for this max size; use Separated or Auto",
+        ));
+    }
+    let sizes = batch.cols();
+    let windows = if opts.fused.sorting {
+        // The sort reads the device size array back once and pushes the
+        // index permutation down — both charged to the clock.
+        charge_sort_transfers(dev, batch.count());
+        // Window width: at least `window_factor · nb` (the paper ties it
+        // to nb), widened so the average group still fills the device —
+        // narrow windows on small batches multiply launches faster than
+        // they improve occupancy (measured by `ablation_window`).
+        let target_groups = (batch.count() / 48).max(1);
+        let min_window = max_n.div_ceil(target_groups);
+        build_windows(sizes, (nb * opts.fused.window_factor.max(1)).max(min_window))
+    } else {
+        single_window(sizes)
+    };
+    for w in &windows {
+        let d_idx = upload_indices(dev, &w.indices)?;
+        let mut j = 0;
+        while j < w.max_size {
+            potrf_fused_step(
+                dev,
+                batch,
+                uplo,
+                d_idx.ptr(),
+                w.indices.len(),
+                w.max_size,
+                j,
+                nb,
+                opts.fused.etm,
+            )?;
+            j += nb;
+        }
+    }
+    Ok(())
+}
+
+fn run_separated<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    uplo: Uplo,
+    max_n: usize,
+    opts: &PotrfOptions,
+) -> Result<(), VbatchError> {
+    let count = batch.count();
+    let nb_panel = opts.sep.nb_panel.max(1);
+    let nb_inner = opts.sep.nb_inner.max(1).min(nb_panel);
+    let st = StepState::<T>::alloc(dev, count)?;
+    let work = TileWorkspace::<T>::alloc(dev, count, nb_panel)?;
+    // Host mirrors drive the streamed-syrk grids.
+    let sizes = batch.cols().to_vec();
+
+    let mut j = 0;
+    while j < max_n {
+        st.update(dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), count, j)?;
+        let view = VView::new(st.d_ptrs.ptr(), batch.d_ld());
+        potf2_panel_vbatched(
+            dev,
+            count,
+            uplo,
+            view,
+            st.d_rem.ptr(),
+            batch.d_info(),
+            nb_panel,
+            nb_inner,
+            j,
+        )?;
+        let max_rem = max_n - j;
+        if max_rem > nb_panel {
+            let max_trail = max_rem - nb_panel;
+            trtri_diag_vbatched(
+                dev,
+                count,
+                uplo,
+                view,
+                st.d_rem.ptr(),
+                batch.d_info(),
+                &work,
+                nb_panel,
+                true,
+            )?;
+            match uplo {
+                Uplo::Lower => trsm_right_lower_trans_vbatched(
+                    dev,
+                    count,
+                    view,
+                    st.d_rem.ptr(),
+                    batch.d_info(),
+                    &work,
+                    nb_panel,
+                    max_trail,
+                )?,
+                Uplo::Upper => trsm_left_upper_trans_vbatched(
+                    dev,
+                    count,
+                    view,
+                    st.d_rem.ptr(),
+                    batch.d_info(),
+                    &work,
+                    nb_panel,
+                    max_trail,
+                )?,
+            };
+            match opts.sep.syrk {
+                SyrkMode::Batched => {
+                    syrk_vbatched(
+                        dev,
+                        count,
+                        uplo,
+                        view,
+                        st.d_rem.ptr(),
+                        batch.d_info(),
+                        nb_panel,
+                        max_trail,
+                    )?;
+                }
+                SyrkMode::Streamed => {
+                    let trails: Vec<usize> = sizes
+                        .iter()
+                        .map(|&n| n.saturating_sub(j).saturating_sub(nb_panel))
+                        .collect();
+                    syrk_streamed(dev, uplo, view, st.d_rem.ptr(), batch.d_info(), &trails, nb_panel)?;
+                }
+            }
+        }
+        j += nb_panel;
+    }
+    Ok(())
+}
+
+/// Convenience: the identity index array (no indirection) for direct
+/// fused-step launches.
+#[must_use]
+pub fn no_indices() -> DevicePtr<i32> {
+    DevicePtr::null()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_dense::gen::{seeded_rng, spd_vec};
+    use vbatch_dense::verify::{chol_residual, residual_tol};
+    use vbatch_dense::MatRef;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::k40c())
+    }
+
+    fn make_batch<T: Scalar>(d: &Device, sizes: &[usize], seed: u64) -> (VBatch<T>, Vec<Vec<T>>) {
+        let mut rng = seeded_rng(seed);
+        let mut batch = VBatch::<T>::alloc_square(d, sizes).unwrap();
+        let origs: Vec<Vec<T>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let m = spd_vec::<T>(&mut rng, n);
+                if n > 0 {
+                    batch.upload_matrix(i, &m);
+                }
+                m
+            })
+            .collect();
+        (batch, origs)
+    }
+
+    fn verify_all<T: Scalar>(batch: &VBatch<T>, origs: &[Vec<T>], sizes: &[usize]) {
+        for (i, &n) in sizes.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let f = batch.download_matrix(i);
+            let r = chol_residual(
+                Uplo::Lower,
+                MatRef::from_slice(&f, n, n, n),
+                MatRef::from_slice(&origs[i], n, n, n),
+            );
+            assert!(r < residual_tol::<T>(n), "matrix {i} (n={n}): residual {r}");
+        }
+    }
+
+    #[test]
+    fn all_strategy_variants_factorize() {
+        let d = dev();
+        let sizes = [33usize, 7, 150, 64, 1, 0, 90, 12];
+        let variants: Vec<PotrfOptions> = vec![
+            PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm: EtmPolicy::Classic, sorting: false, ..Default::default() },
+                ..Default::default()
+            },
+            PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm: EtmPolicy::Aggressive, sorting: false, ..Default::default() },
+                ..Default::default()
+            },
+            PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm: EtmPolicy::Classic, sorting: true, ..Default::default() },
+                ..Default::default()
+            },
+            PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm: EtmPolicy::Aggressive, sorting: true, ..Default::default() },
+                ..Default::default()
+            },
+            PotrfOptions {
+                strategy: Strategy::Separated,
+                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Batched },
+                ..Default::default()
+            },
+            PotrfOptions {
+                strategy: Strategy::Separated,
+                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Streamed },
+                ..Default::default()
+            },
+            PotrfOptions { strategy: Strategy::Auto, ..Default::default() },
+        ];
+        for (vi, opts) in variants.iter().enumerate() {
+            let (mut batch, origs) = make_batch::<f64>(&d, &sizes, 100 + vi as u64);
+            let report = potrf_vbatched(&d, &mut batch, opts).unwrap();
+            assert!(report.all_ok(), "variant {vi}: {:?}", report.failures());
+            verify_all(&batch, &origs, &sizes);
+        }
+    }
+
+    #[test]
+    fn f32_both_approaches() {
+        let d = dev();
+        let sizes = [40usize, 90, 5];
+        for strategy in [Strategy::Fused, Strategy::Separated] {
+            let (mut batch, origs) = make_batch::<f32>(&d, &sizes, 200);
+            let opts = PotrfOptions {
+                strategy,
+                sep: SepOpts { nb_panel: 32, ..Default::default() },
+                ..Default::default()
+            };
+            let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
+            assert!(report.all_ok());
+            verify_all(&batch, &origs, &sizes);
+        }
+    }
+
+    #[test]
+    fn auto_picks_fused_small_separated_large() {
+        let d = dev();
+        let opts = PotrfOptions::default();
+        let nb = 8;
+        assert_eq!(
+            resolve_strategy::<f64>(&d, &opts, 64, nb),
+            Strategy::Fused
+        );
+        assert_eq!(
+            resolve_strategy::<f64>(&d, &opts, 2000, nb),
+            Strategy::Separated
+        );
+        // Explicit crossover override.
+        let opts = PotrfOptions {
+            crossover: CrossoverConfig { max_fused_n: Some(100) },
+            ..Default::default()
+        };
+        assert_eq!(resolve_strategy::<f64>(&d, &opts, 101, nb), Strategy::Separated);
+        assert_eq!(resolve_strategy::<f64>(&d, &opts, 100, nb), Strategy::Fused);
+    }
+
+    #[test]
+    fn non_spd_matrices_reported_not_fatal() {
+        let d = dev();
+        let sizes = [16usize, 24, 8];
+        for strategy in [Strategy::Fused, Strategy::Separated] {
+            let (mut batch, origs) = make_batch::<f64>(&d, &sizes, 300);
+            // Corrupt matrix 1 at column 10.
+            let mut bad = origs[1].clone();
+            bad[10 + 10 * 24] = -1e6;
+            batch.upload_matrix(1, &bad);
+            let opts = PotrfOptions {
+                strategy,
+                sep: SepOpts { nb_panel: 8, ..Default::default() },
+                ..Default::default()
+            };
+            let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
+            assert_eq!(report.failure_count(), 1, "{strategy:?}");
+            let (idx, info) = report.failures()[0];
+            assert_eq!(idx, 1);
+            assert_eq!(info, 11, "{strategy:?}: 1-based breakdown column");
+            // Healthy matrices still factorized correctly.
+            verify_all(&batch, &[origs[0].clone()], &[sizes[0]]);
+            let f2 = batch.download_matrix(2);
+            let r = chol_residual(
+                Uplo::Lower,
+                MatRef::from_slice(&f2, 8, 8, 8),
+                MatRef::from_slice(&origs[2], 8, 8, 8),
+            );
+            assert!(r < residual_tol::<f64>(8));
+        }
+    }
+
+    #[test]
+    fn upper_factorizes_both_strategies() {
+        let d = dev();
+        let sizes = [21usize, 60, 7, 140];
+        for strategy in [Strategy::Fused, Strategy::Separated] {
+            let (mut batch, origs) = make_batch::<f64>(&d, &sizes, 400);
+            let opts = PotrfOptions {
+                uplo: Uplo::Upper,
+                strategy,
+                sep: SepOpts { nb_panel: 32, ..Default::default() },
+                ..Default::default()
+            };
+            let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
+            assert!(report.all_ok(), "{strategy:?}: {:?}", report.failures());
+            for (i, &n) in sizes.iter().enumerate() {
+                let f = batch.download_matrix(i);
+                let r = chol_residual(
+                    Uplo::Upper,
+                    MatRef::from_slice(&f, n, n, n),
+                    MatRef::from_slice(&origs[i], n, n, n),
+                );
+                assert!(r < residual_tol::<f64>(n), "{strategy:?} matrix {i}: residual {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let d = dev();
+        let mut batch = VBatch::<f64>::alloc_square(&d, &[]).unwrap();
+        let report = potrf_vbatched(&d, &mut batch, &PotrfOptions::default()).unwrap();
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn sorting_helps_gaussian_like_mix() {
+        // A mix with a few large outliers (the Gaussian story of Fig. 6):
+        // sorting should strictly reduce simulated time.
+        let d = dev();
+        let sizes: Vec<usize> = (0..128)
+            .map(|i| if i % 16 == 0 { 384 } else { 24 + (i % 8) })
+            .collect();
+        let mut times = Vec::new();
+        for sorting in [false, true] {
+            let (mut batch, _) = make_batch::<f64>(&d, &sizes, 500);
+            let opts = PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts {
+                    etm: EtmPolicy::Aggressive,
+                    sorting,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            d.reset_metrics();
+            potrf_vbatched_max(&d, &mut batch, 384, &opts).unwrap();
+            times.push(d.now());
+        }
+        assert!(
+            times[1] < times[0],
+            "sorting {} should beat no-sorting {}",
+            times[1],
+            times[0]
+        );
+    }
+}

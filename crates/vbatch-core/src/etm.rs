@@ -1,0 +1,123 @@
+//! Early termination mechanisms (paper §III-D1).
+//!
+//! In a vbatched launch every kernel is configured for the *largest*
+//! matrix, so thread blocks assigned to smaller or already-finished
+//! matrices have no work at some steps. An ETM lets them terminate
+//! immediately after launch:
+//!
+//! * **ETM-classic** terminates only *full* thread blocks; any live
+//!   thread keeps the whole block (all warps) alive. Safe for any
+//!   kernel.
+//! * **ETM-aggressive** additionally terminates workless threads inside
+//!   live blocks, retiring fully-dead warps. It is kernel-specific: the
+//!   fused kernel supports it; the tiled `trtri`/`gemm` kernels cannot
+//!   (they need all threads at their barriers), so they always run
+//!   ETM-classic — exactly the paper's constraint.
+
+use vbatch_gpu_sim::BlockCtx;
+
+/// Which early-termination mechanism a fused-kernel launch uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EtmPolicy {
+    /// Terminate dead blocks only; idle threads in live blocks stay
+    /// resident in lockstep.
+    Classic,
+    /// Terminate dead blocks *and* retire workless warps in live blocks.
+    Aggressive,
+}
+
+impl EtmPolicy {
+    /// Applies the mechanism at kernel entry for a block whose matrix
+    /// has `work_rows` rows of remaining work (0 = dead).
+    ///
+    /// Returns `false` when the block terminated (the kernel body must
+    /// return without touching memory).
+    pub fn apply(self, ctx: &mut BlockCtx, work_rows: usize) -> bool {
+        if work_rows == 0 {
+            // Both mechanisms terminate fully-dead blocks.
+            ctx.exit_early();
+            return false;
+        }
+        if self == EtmPolicy::Aggressive {
+            ctx.retire_threads_beyond(work_rows);
+        }
+        true
+    }
+
+    /// Short label used in benchmark output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EtmPolicy::Classic => "ETM-classic",
+            EtmPolicy::Aggressive => "ETM-aggressive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_gpu_sim::{Device, DeviceConfig, LaunchConfig};
+
+    fn run(policy: EtmPolicy, rows: usize, threads: u32) -> vbatch_gpu_sim::KernelStats {
+        let dev = Device::new(DeviceConfig::k40c());
+        dev.launch("etm", LaunchConfig::grid_1d(1, threads), move |ctx| {
+            if !policy.apply(ctx, rows) {
+                return;
+            }
+            ctx.dp_flops(rows, 10.0);
+            ctx.sync();
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dead_block_terminates_under_both() {
+        for p in [EtmPolicy::Classic, EtmPolicy::Aggressive] {
+            let s = run(p, 0, 64);
+            assert_eq!(s.timing.early_exit_blocks, 1, "{p:?}");
+            assert_eq!(s.timing.flops_useful, 0.0);
+        }
+    }
+
+    #[test]
+    fn aggressive_is_cheaper_for_partial_blocks() {
+        // 24 live rows on 64-thread blocks: aggressive retires warp 1.
+        let classic = run(EtmPolicy::Classic, 24, 64);
+        let aggressive = run(EtmPolicy::Aggressive, 24, 64);
+        assert!(aggressive.time_s < classic.time_s);
+        // Same useful work either way.
+        assert_eq!(
+            classic.timing.flops_useful,
+            aggressive.timing.flops_useful
+        );
+    }
+
+    #[test]
+    fn no_gain_when_no_full_warp_is_dead() {
+        // 63 live rows on 64 threads: only one thread dies; no warp
+        // retires, so cost is identical (SIMT).
+        let classic = run(EtmPolicy::Classic, 63, 64);
+        let aggressive = run(EtmPolicy::Aggressive, 63, 64);
+        assert!((classic.time_s - aggressive.time_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn live_block_proceeds() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let stats = dev
+            .launch("etm", LaunchConfig::grid_1d(1, 32), |ctx| {
+                assert!(EtmPolicy::Classic.apply(ctx, 5));
+                ctx.dp_flops(5, 1.0);
+            })
+            .unwrap();
+        assert_eq!(stats.timing.early_exit_blocks, 0);
+        assert!(stats.timing.flops_useful > 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EtmPolicy::Classic.label(), "ETM-classic");
+        assert_eq!(EtmPolicy::Aggressive.label(), "ETM-aggressive");
+    }
+}

@@ -1,0 +1,519 @@
+//! Vbatched Householder QR — the second stated future direction.
+//!
+//! Right-looking blocked algorithm over `NB`-wide panels:
+//!
+//! 1. a one-block-per-matrix **panel** kernel: `geqr2` on
+//!    `A[j:m, j:j+jb]` plus the `larft` formation of the block
+//!    reflector's `T` factor into a device workspace;
+//! 2. a column-tiled **`larfb`** kernel applying
+//!    `C ← (I − V·Tᵀ·Vᵀ)·C` to the trailing columns — the `gemm`-shaped
+//!    update that dominates the flops, parallelized across column tiles
+//!    and the batch with ETM-classic on out-of-range tiles.
+
+use vbatch_dense::Scalar;
+use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, Dim3, LaunchConfig};
+
+use crate::etm::EtmPolicy;
+use crate::kernels::{charge_flops, charge_read, charge_smem, charge_write, mat_mut, mat_ref, round_to_warp};
+use crate::report::{BatchReport, VbatchError};
+use crate::VBatch;
+
+/// Device-resident Householder scalar storage (`max_k` per matrix).
+pub struct TauArray<T> {
+    arena: DeviceBuffer<T>,
+    d_ptrs: DeviceBuffer<DevicePtr<T>>,
+    per: usize,
+}
+
+impl<T: Scalar> TauArray<T> {
+    /// Allocates `tau` storage for `count` matrices of up to `max_k`
+    /// reflectors each.
+    ///
+    /// # Errors
+    /// [`VbatchError::Oom`] when device memory is exhausted.
+    pub fn alloc(dev: &Device, count: usize, max_k: usize) -> Result<Self, VbatchError> {
+        let per = max_k.max(1);
+        let arena: DeviceBuffer<T> = dev.alloc(count * per)?;
+        let ptrs: Vec<DevicePtr<T>> = (0..count)
+            .map(|i| arena.ptr().offset(i * per).truncate(per))
+            .collect();
+        let d_ptrs = dev.alloc(count)?;
+        d_ptrs.fill_from_host(&ptrs);
+        Ok(Self { arena, d_ptrs, per })
+    }
+
+    /// Device array of per-matrix `tau` pointers.
+    #[must_use]
+    pub fn d_ptrs(&self) -> DevicePtr<DevicePtr<T>> {
+        self.d_ptrs.ptr()
+    }
+
+    /// Downloads matrix `i`'s first `k` Householder scalars.
+    #[must_use]
+    pub fn download(&self, i: usize, k: usize) -> Vec<T> {
+        let all = self.arena.read_to_host();
+        all[i * self.per..i * self.per + k].to_vec()
+    }
+}
+
+/// Options for [`geqrf_vbatched`].
+#[derive(Clone, Copy, Debug)]
+pub struct GeqrfOptions {
+    /// Outer panel width.
+    pub nb_panel: usize,
+    /// Trailing columns per `larfb` block.
+    pub tile_cols: usize,
+}
+
+impl Default for GeqrfOptions {
+    fn default() -> Self {
+        Self {
+            nb_panel: 32,
+            tile_cols: 32,
+        }
+    }
+}
+
+/// Variable-size batched Householder QR. Matrices may be rectangular.
+/// Returns the (always-clean) report and the `tau` arena; the factors
+/// land in place, LAPACK-style (R upper, reflectors below).
+///
+/// # Errors
+/// [`VbatchError`] on launch/allocation failures.
+pub fn geqrf_vbatched<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    opts: &GeqrfOptions,
+) -> Result<(BatchReport, TauArray<T>), VbatchError> {
+    let count = batch.count();
+    let nb = opts.nb_panel.max(1);
+    let tc = opts.tile_cols.max(1);
+    let k_max = batch
+        .rows()
+        .iter()
+        .zip(batch.cols())
+        .map(|(&m, &n)| m.min(n))
+        .max()
+        .unwrap_or(0);
+    batch.reset_info();
+    let tau = TauArray::<T>::alloc(dev, count.max(1), k_max)?;
+    if count == 0 || k_max == 0 {
+        return Ok((BatchReport::from_info(batch.read_info()), tau));
+    }
+    // Per-matrix T-factor workspace (nb × nb each).
+    let t_work: DeviceBuffer<T> = dev.alloc(count * nb * nb)?;
+    let t_ptrs_host: Vec<DevicePtr<T>> = (0..count)
+        .map(|i| t_work.ptr().offset(i * nb * nb).truncate(nb * nb))
+        .collect();
+    let d_t_ptrs: DeviceBuffer<DevicePtr<T>> = dev.alloc(count)?;
+    d_t_ptrs.fill_from_host(&t_ptrs_host);
+
+    let max_m = batch.max_rows();
+    let max_n = batch.max_cols();
+
+    let mut j = 0;
+    while j < k_max {
+        geqr2_larft_panel(dev, batch, &tau, d_t_ptrs.ptr(), j, nb)?;
+        let max_tcols = max_n.saturating_sub(j + 1);
+        if max_tcols > 0 {
+            larfb_cols(dev, batch, d_t_ptrs.ptr(), j, nb, tc, max_m, max_n)?;
+        }
+        j += nb;
+    }
+
+    Ok((BatchReport::from_info(batch.read_info()), tau))
+}
+
+/// Panel factorization + `T` formation, one block per matrix.
+fn geqr2_larft_panel<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    tau: &TauArray<T>,
+    t_ptrs: DevicePtr<DevicePtr<T>>,
+    j: usize,
+    nb: usize,
+) -> Result<(), VbatchError> {
+    let count = batch.count();
+    let base = batch.d_ptrs();
+    let d_m = batch.d_rows();
+    let d_n = batch.d_cols();
+    let d_ld = batch.d_ld();
+    let tau_ptrs = tau.d_ptrs();
+    let threads = round_to_warp(nb * 4, dev.config().warp_size)
+        .min(dev.config().max_threads_per_block);
+    let cfg = LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(2 * nb * nb * T::BYTES);
+    dev.launch(&format!("{}geqr2_vbatched", T::PREFIX), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let m = d_m.get(i).max(0) as usize;
+        let n = d_n.get(i).max(0) as usize;
+        let k = m.min(n);
+        let jb = k.saturating_sub(j).min(nb);
+        if !EtmPolicy::Classic.apply(ctx, jb) {
+            return;
+        }
+        let ld = d_ld.get(i).max(1) as usize;
+        let rows = m - j;
+        let panel = mat_mut(base.get(i).offset(j * ld + j), rows, jb, ld);
+        let mut local_tau = vec![T::ZERO; jb];
+        vbatch_dense::geqr2(panel, &mut local_tau);
+        let tp = tau_ptrs.get(i);
+        for (t, &v) in local_tau.iter().enumerate() {
+            tp.set(j + t, v);
+        }
+        // Form T for the trailing update (only needed when trailing
+        // columns exist, but forming it unconditionally matches the
+        // fixed-shape kernel a GPU would compile).
+        let v = mat_ref(base.get(i).offset(j * ld + j), rows, jb, ld);
+        let mut t_local = vec![T::ZERO; jb * jb];
+        vbatch_dense::larft(v, &local_tau, &mut t_local);
+        let t_out = t_ptrs.get(i);
+        for (idx, &val) in t_local.iter().enumerate() {
+            t_out.set(idx, val);
+        }
+        charge_read::<T>(ctx, rows * jb);
+        charge_write::<T>(ctx, rows * jb + jb + jb * jb);
+        charge_flops::<T>(
+            ctx,
+            rows.min(256),
+            vbatch_dense::flops::geqrf(rows, jb) + jb as f64 * jb as f64 * rows as f64,
+        );
+        for _ in 0..2 * jb {
+            ctx.sync();
+        }
+    })?;
+    Ok(())
+}
+
+/// Column-tiled trailing update `C ← (I − V·Tᵀ·Vᵀ)·C`.
+#[allow(clippy::too_many_arguments)]
+fn larfb_cols<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    t_ptrs: DevicePtr<DevicePtr<T>>,
+    j: usize,
+    nb: usize,
+    tile_cols: usize,
+    max_m: usize,
+    max_n: usize,
+) -> Result<(), VbatchError> {
+    let count = batch.count();
+    let base = batch.d_ptrs();
+    let d_m = batch.d_rows();
+    let d_n = batch.d_cols();
+    let d_ld = batch.d_ld();
+    let max_tcols = max_n.saturating_sub(j);
+    let grid = Dim3::xy(max_tcols.div_ceil(tile_cols).max(1) as u32, count as u32);
+    let smem = (nb * nb + nb * tile_cols) * T::BYTES;
+    let cfg = LaunchConfig::new(grid, Dim3::x(128), smem);
+    let _ = max_m;
+    dev.launch(&format!("{}larfb_vbatched", T::PREFIX), cfg, move |ctx| {
+        let bx = ctx.block_idx().x as usize;
+        let i = ctx.block_idx().y as usize;
+        let m = d_m.get(i).max(0) as usize;
+        let n = d_n.get(i).max(0) as usize;
+        let k = m.min(n);
+        let jb = k.saturating_sub(j).min(nb);
+        let tcols = n.saturating_sub(j + jb);
+        let c0 = bx * tile_cols;
+        let live = jb > 0 && c0 < tcols;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let tcw = tile_cols.min(tcols - c0);
+        let ld = d_ld.get(i).max(1) as usize;
+        let rows = m - j;
+        let v = mat_ref(base.get(i).offset(j * ld + j), rows, jb, ld);
+        let t_dev = t_ptrs.get(i);
+        let t_host: Vec<T> = (0..jb * jb).map(|idx| t_dev.get(idx)).collect();
+        let c_view = mat_mut(
+            base.get(i).offset((j + jb + c0) * ld + j),
+            rows,
+            tcw,
+            ld,
+        );
+        vbatch_dense::larfb_left_t(v, &t_host, c_view);
+        let active = 128.min(tcw * 4).max(32);
+        charge_read::<T>(ctx, rows * jb + jb * jb + rows * tcw);
+        charge_write::<T>(ctx, rows * tcw);
+        charge_smem::<T>(ctx, jb * (tcw + jb));
+        charge_flops::<T>(ctx, active, 4.0 * rows as f64 * jb as f64 * tcw as f64);
+        for _ in 0..jb.div_ceil(8).max(1) {
+            ctx.sync();
+        }
+    })?;
+    Ok(())
+}
+
+/// Applies `Qᵀ` from the left to each right-hand-side block, where `Q`
+/// is held as Householder reflectors in a batch factored by
+/// [`geqrf_vbatched`] (LAPACK `xORMQR`, left, transpose). One thread
+/// block per matrix, reflectors applied in forward order.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures or count mismatch.
+pub fn ormqr_left_trans_vbatched<T: Scalar>(
+    dev: &Device,
+    factors: &VBatch<T>,
+    tau: &TauArray<T>,
+    rhs: &VBatch<T>,
+) -> Result<(), VbatchError> {
+    if factors.count() != rhs.count() {
+        return Err(VbatchError::InvalidArgument(
+            "ormqr_vbatched: factor and rhs batch counts differ",
+        ));
+    }
+    let count = factors.count();
+    if count == 0 {
+        return Ok(());
+    }
+    let a_ptrs = factors.d_ptrs();
+    let a_ld = factors.d_ld();
+    let d_m = factors.d_rows();
+    let d_n = factors.d_cols();
+    let b_ptrs = rhs.d_ptrs();
+    let b_ld = rhs.d_ld();
+    let d_nrhs = rhs.d_cols();
+    let tau_ptrs = tau.d_ptrs();
+    let cfg = LaunchConfig::grid_1d(count as u32, 128);
+    dev.launch(&format!("{}ormqr_vbatched", T::PREFIX), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let m = d_m.get(i).max(0) as usize;
+        let n = d_n.get(i).max(0) as usize;
+        let k = m.min(n);
+        let nrhs = d_nrhs.get(i).max(0) as usize;
+        if !EtmPolicy::Classic.apply(ctx, if k > 0 && nrhs > 0 { 1 } else { 0 }) {
+            return;
+        }
+        let lda = a_ld.get(i).max(1) as usize;
+        let ldb = b_ld.get(i).max(1) as usize;
+        let tp = tau_ptrs.get(i);
+        // Qᵀ·B = H_{k−1} ⋯ H_0 · B, applied in forward order.
+        for r in 0..k {
+            let tau_r = tp.get(r);
+            if tau_r == T::ZERO {
+                continue;
+            }
+            let v_tail = crate::kernels::mat_ref(
+                a_ptrs.get(i).offset(r * lda + r),
+                m - r,
+                1,
+                lda,
+            );
+            let v_tail = v_tail.sub(1, 0, m - r - 1, 1);
+            let c = crate::kernels::mat_mut(b_ptrs.get(i).offset(r), m - r, nrhs, ldb);
+            vbatch_dense::larf_left(v_tail, tau_r, c);
+        }
+        charge_read::<T>(ctx, m * k / 2 + m * nrhs);
+        charge_write::<T>(ctx, m * nrhs);
+        charge_flops::<T>(
+            ctx,
+            128.min(nrhs.max(1) * 4),
+            4.0 * m as f64 * k as f64 * nrhs as f64,
+        );
+        for _ in 0..k {
+            ctx.sync();
+        }
+    })?;
+    Ok(())
+}
+
+/// Batched linear least squares (LAPACK `xGELS`, no-transpose,
+/// overdetermined): factorizes each `m_i × n_i` matrix (`m_i ≥ n_i`)
+/// with [`geqrf_vbatched`], applies `Qᵀ` to the right-hand sides and
+/// solves the triangular systems. Solutions land in the leading `n_i`
+/// rows of each right-hand-side block.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures, count mismatch, or an
+/// underdetermined matrix in the batch.
+pub fn gels_vbatched<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    rhs: &VBatch<T>,
+    opts: &GeqrfOptions,
+) -> Result<BatchReport, VbatchError> {
+    if batch
+        .rows()
+        .iter()
+        .zip(batch.cols())
+        .any(|(&m, &n)| m < n)
+    {
+        return Err(VbatchError::InvalidArgument(
+            "gels_vbatched: every matrix must have m >= n",
+        ));
+    }
+    let (report, tau) = geqrf_vbatched(dev, batch, opts)?;
+    ormqr_left_trans_vbatched(dev, batch, &tau, rhs)?;
+    // R X = (QᵀB)[0:n] — upper-triangular solves on the leading rows.
+    crate::sep::trsm::trsm_left_vbatched(
+        dev,
+        batch.count(),
+        vbatch_dense::Uplo::Upper,
+        vbatch_dense::Trans::NoTrans,
+        vbatch_dense::Diag::NonUnit,
+        crate::sep::VView::new(batch.d_ptrs(), batch.d_ld()),
+        crate::sep::VView::new(rhs.d_ptrs(), rhs.d_ld()),
+        batch.d_cols(),
+        rhs.d_cols(),
+        batch.d_info(),
+    )?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_dense::gen::{rand_mat, seeded_rng};
+    use vbatch_dense::verify::{qr_residual, residual_tol};
+    use vbatch_dense::MatRef;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn variable_size_qr_residuals() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let dims = [(30usize, 30usize), (50, 20), (20, 50), (7, 7), (1, 3), (0, 4)];
+        let mut rng = seeded_rng(91);
+        let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+        let origs: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n))| {
+                let a = rand_mat::<f64>(&mut rng, m * n);
+                if m * n > 0 {
+                    batch.upload_matrix(i, &a);
+                }
+                a
+            })
+            .collect();
+        let (report, tau) =
+            geqrf_vbatched(&dev, &mut batch, &GeqrfOptions { nb_panel: 8, tile_cols: 16 }).unwrap();
+        assert!(report.all_ok());
+        for (i, &(m, n)) in dims.iter().enumerate() {
+            let k = m.min(n);
+            if k == 0 {
+                continue;
+            }
+            let f = batch.download_matrix(i);
+            let t = tau.download(i, k);
+            let (r, o) = qr_residual(
+                MatRef::from_slice(&f, m, n, m),
+                &t,
+                MatRef::from_slice(&origs[i], m, n, m),
+            );
+            assert!(r < residual_tol::<f64>(m.max(n)), "matrix {i} residual {r}");
+            assert!(o < residual_tol::<f64>(m.max(n)), "matrix {i} orthogonality {o}");
+        }
+    }
+
+    #[test]
+    fn qr_matches_host_geqrf() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let (m, n) = (20usize, 16usize);
+        let mut rng = seeded_rng(92);
+        let a = rand_mat::<f64>(&mut rng, m * n);
+        let mut batch = VBatch::<f64>::alloc(&dev, &[(m, n)]).unwrap();
+        batch.upload_matrix(0, &a);
+        let (_, tau) =
+            geqrf_vbatched(&dev, &mut batch, &GeqrfOptions { nb_panel: 4, tile_cols: 8 }).unwrap();
+        let mut want = a.clone();
+        let mut tau_want = vec![0.0f64; n];
+        vbatch_dense::geqrf(
+            vbatch_dense::MatMut::from_slice(&mut want, m, n, m),
+            &mut tau_want,
+            4,
+        );
+        let got = batch.download_matrix(0);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "factor mismatch");
+        }
+        for (g, w) in tau.download(0, n).iter().zip(&tau_want) {
+            assert!((g - w).abs() < 1e-12, "tau mismatch");
+        }
+    }
+
+    #[test]
+    fn gels_recovers_planted_solutions() {
+        // Consistent overdetermined systems: b = A·x exactly, so the
+        // least-squares solution equals the planted x.
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut rng = seeded_rng(94);
+        let dims = [(20usize, 8usize), (35, 35), (9, 2)];
+        let nrhs = 2;
+        let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+        let rhs_dims: Vec<(usize, usize)> = dims.iter().map(|&(m, _)| (m, nrhs)).collect();
+        let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).unwrap();
+        let mut xs = Vec::new();
+        for (i, &(m, n)) in dims.iter().enumerate() {
+            let a = rand_mat::<f64>(&mut rng, m * n);
+            let x = rand_mat::<f64>(&mut rng, n * nrhs);
+            let b = vbatch_dense::naive::gemm_ref(
+                vbatch_dense::Trans::NoTrans,
+                vbatch_dense::Trans::NoTrans,
+                1.0,
+                &a,
+                m,
+                n,
+                &x,
+                n,
+                nrhs,
+                0.0,
+                &vec![0.0; m * nrhs],
+                m,
+                nrhs,
+            );
+            batch.upload_matrix(i, &a);
+            rhs.upload_matrix(i, &b);
+            xs.push(x);
+        }
+        let report =
+            gels_vbatched(&dev, &mut batch, &rhs, &GeqrfOptions { nb_panel: 4, tile_cols: 8 })
+                .unwrap();
+        assert!(report.all_ok());
+        for (i, &(_, n)) in dims.iter().enumerate() {
+            let sol = rhs.download_matrix(i);
+            // Solution sits in the leading n rows (ld = m).
+            let m = dims[i].0;
+            for c in 0..nrhs {
+                for r in 0..n {
+                    let got = sol[r + c * m];
+                    let want = xs[i][r + c * n];
+                    assert!(
+                        (got - want).abs() < 1e-8,
+                        "matrix {i} solution ({r},{c}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gels_rejects_underdetermined() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut batch = VBatch::<f64>::alloc(&dev, &[(3, 5)]).unwrap();
+        let rhs = VBatch::<f64>::alloc(&dev, &[(3, 1)]).unwrap();
+        assert!(matches!(
+            gels_vbatched(&dev, &mut batch, &rhs, &GeqrfOptions::default()),
+            Err(VbatchError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn f32_qr() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let (m, n) = (25usize, 18usize);
+        let mut rng = seeded_rng(93);
+        let a = rand_mat::<f32>(&mut rng, m * n);
+        let mut batch = VBatch::<f32>::alloc(&dev, &[(m, n)]).unwrap();
+        batch.upload_matrix(0, &a);
+        let (report, tau) = geqrf_vbatched(&dev, &mut batch, &GeqrfOptions::default()).unwrap();
+        assert!(report.all_ok());
+        let f = batch.download_matrix(0);
+        let (r, o) = qr_residual(
+            MatRef::from_slice(&f, m, n, m),
+            &tau.download(0, n),
+            MatRef::from_slice(&a, m, n, m),
+        );
+        assert!(r < residual_tol::<f32>(m.max(n)), "residual {r}");
+        assert!(o < residual_tol::<f32>(m.max(n)), "orthogonality {o}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Vbatched matrix–vector multiply (`gemv`) — the Level-2 member of the
+//! vbatched BLAS foundation. Batched solvers use it for residual
+//! computation (iterative refinement) and Krylov iterations over many
+//! small systems.
+
+use vbatch_dense::{Scalar, Trans};
+use vbatch_gpu_sim::{Device, DevicePtr, Dim3, KernelStats, LaunchConfig};
+
+use crate::etm::EtmPolicy;
+use crate::kernels::{charge_flops, charge_read, charge_write, mat_ref};
+use crate::report::VbatchError;
+use crate::sep::VView;
+
+/// Rows of `y` produced per thread block.
+pub const GEMV_TILE: usize = 256;
+
+/// `y_i ← α·op(A_i)·x_i + β·y_i` for every matrix in the batch.
+///
+/// `x` and `y` are device arrays of per-problem vector pointers
+/// (contiguous, unit stride). `d_m`/`d_n` are the per-matrix dimensions
+/// of `A_i` (not of `op(A_i)`); `max_rows` bounds `op(A_i)`'s row count
+/// across the batch and sizes the grid.
+///
+/// # Errors
+/// [`VbatchError::Launch`] on launch rejection.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_vbatched<T: Scalar>(
+    dev: &Device,
+    count: usize,
+    trans: Trans,
+    alpha: T,
+    a: VView<T>,
+    x: DevicePtr<DevicePtr<T>>,
+    beta: T,
+    y: DevicePtr<DevicePtr<T>>,
+    d_m: DevicePtr<i32>,
+    d_n: DevicePtr<i32>,
+    max_rows: usize,
+) -> Result<KernelStats, VbatchError> {
+    if count == 0 || max_rows == 0 {
+        return Err(VbatchError::InvalidArgument("gemv_vbatched: empty launch"));
+    }
+    let grid = Dim3::xy(max_rows.div_ceil(GEMV_TILE) as u32, count as u32);
+    let cfg = LaunchConfig::new(grid, Dim3::x(256), 0);
+    let stats = dev.launch(&format!("{}gemv_vbatched", T::PREFIX), cfg, move |ctx| {
+        let bx = ctx.block_idx().x as usize;
+        let i = ctx.block_idx().y as usize;
+        let m = d_m.get(i).max(0) as usize;
+        let n = d_n.get(i).max(0) as usize;
+        // Dimensions of op(A): out_len × in_len.
+        let (out_len, in_len) = match trans {
+            Trans::NoTrans => (m, n),
+            Trans::Trans => (n, m),
+        };
+        let r0 = bx * GEMV_TILE;
+        let live = out_len > 0 && r0 < out_len;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let rows = GEMV_TILE.min(out_len - r0);
+        let ld = a.lds.get(i) as usize;
+        let av = mat_ref(a.ptrs.get(i), m, n, ld);
+        let xv = x.get(i);
+        let yv = y.get(i);
+        for r in r0..r0 + rows {
+            let mut acc = T::ZERO;
+            for l in 0..in_len {
+                let aval = match trans {
+                    Trans::NoTrans => av.get(r, l),
+                    Trans::Trans => av.get(l, r),
+                };
+                acc += aval * xv.get(l);
+            }
+            let base = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * yv.get(r)
+            };
+            yv.set(r, base + alpha * acc);
+        }
+        charge_read::<T>(ctx, rows * in_len + in_len + if beta == T::ZERO { 0 } else { rows });
+        charge_write::<T>(ctx, rows);
+        charge_flops::<T>(ctx, 256.min(rows), 2.0 * rows as f64 * in_len as f64);
+        ctx.sync();
+    })?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VBatch;
+    use vbatch_dense::gen::{rand_mat, seeded_rng};
+    use vbatch_dense::naive;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn matches_reference_both_trans() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut rng = seeded_rng(75);
+        let dims = [(30usize, 12usize), (5, 5), (300, 7), (1, 9)];
+        for &trans in &[Trans::NoTrans, Trans::Trans] {
+            let mut ab = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+            let xs_len: Vec<usize> = dims
+                .iter()
+                .map(|&(m, n)| if trans == Trans::NoTrans { n } else { m })
+                .collect();
+            let ys_len: Vec<usize> = dims
+                .iter()
+                .map(|&(m, n)| if trans == Trans::NoTrans { m } else { n })
+                .collect();
+            // Vector storage.
+            let x_buf = dev.alloc::<f64>(xs_len.iter().sum()).unwrap();
+            let y_buf = dev.alloc::<f64>(ys_len.iter().sum()).unwrap();
+            let mut x_ptrs = Vec::new();
+            let mut y_ptrs = Vec::new();
+            let mut xo = 0;
+            let mut yo = 0;
+            let mut hosts = Vec::new();
+            for (i, &(m, n)) in dims.iter().enumerate() {
+                let av = rand_mat::<f64>(&mut rng, m * n);
+                ab.upload_matrix(i, &av);
+                let xv = rand_mat::<f64>(&mut rng, xs_len[i]);
+                let yv = rand_mat::<f64>(&mut rng, ys_len[i]);
+                let xp = x_buf.ptr().offset(xo).truncate(xs_len[i]);
+                let yp = y_buf.ptr().offset(yo).truncate(ys_len[i]);
+                for (k, &v) in xv.iter().enumerate() {
+                    xp.set(k, v);
+                }
+                for (k, &v) in yv.iter().enumerate() {
+                    yp.set(k, v);
+                }
+                x_ptrs.push(xp);
+                y_ptrs.push(yp);
+                xo += xs_len[i];
+                yo += ys_len[i];
+                hosts.push((av, xv, yv));
+            }
+            let d_x = dev.alloc::<DevicePtr<f64>>(dims.len()).unwrap();
+            let d_y = dev.alloc::<DevicePtr<f64>>(dims.len()).unwrap();
+            d_x.fill_from_host(&x_ptrs);
+            d_y.fill_from_host(&y_ptrs);
+            let max_rows = ys_len.iter().copied().max().unwrap();
+            gemv_vbatched(
+                &dev,
+                dims.len(),
+                trans,
+                2.0,
+                VView::new(ab.d_ptrs(), ab.d_ld()),
+                d_x.ptr(),
+                1.0,
+                d_y.ptr(),
+                ab.d_rows(),
+                ab.d_cols(),
+                max_rows,
+            )
+            .unwrap();
+            for (i, &(m, n)) in dims.iter().enumerate() {
+                let (av, xv, yv) = &hosts[i];
+                // Reference via gemm with x as an n×1 matrix.
+                let (am, an) = (m, n);
+                let want = naive::gemm_ref(
+                    trans,
+                    Trans::NoTrans,
+                    2.0,
+                    av,
+                    am,
+                    an,
+                    xv,
+                    xs_len[i],
+                    1,
+                    1.0,
+                    yv,
+                    ys_len[i],
+                    1,
+                );
+                let got: Vec<f64> = (0..ys_len[i]).map(|k| y_ptrs[i].get(k)).collect();
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-10, "{trans:?} matrix {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tall_matrix_spans_multiple_blocks() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let m = 3 * GEMV_TILE + 17;
+        let mut ab = VBatch::<f64>::alloc(&dev, &[(m, 2)]).unwrap();
+        let a: Vec<f64> = vec![1.0; m * 2];
+        ab.upload_matrix(0, &a);
+        let x_buf = dev.alloc::<f64>(2).unwrap();
+        x_buf.fill_from_host(&[3.0, 4.0]);
+        let y_buf = dev.alloc::<f64>(m).unwrap();
+        let d_x = dev.alloc::<DevicePtr<f64>>(1).unwrap();
+        let d_y = dev.alloc::<DevicePtr<f64>>(1).unwrap();
+        d_x.fill_from_host(&[x_buf.ptr()]);
+        d_y.fill_from_host(&[y_buf.ptr()]);
+        let stats = gemv_vbatched(
+            &dev,
+            1,
+            Trans::NoTrans,
+            1.0,
+            VView::new(ab.d_ptrs(), ab.d_ld()),
+            d_x.ptr(),
+            0.0,
+            d_y.ptr(),
+            ab.d_rows(),
+            ab.d_cols(),
+            m,
+        )
+        .unwrap();
+        assert_eq!(stats.timing.blocks, 4);
+        assert!(y_buf.read_to_host().iter().all(|&v| v == 7.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Vbatched panel factorization (paper §III-E1).
+//!
+//! "This kernel performs the Cholesky factorization as described by the
+//! `potf2` routine. In fact, we reuse the fused kernel ... in order to
+//! factorize a square panel of size `NB`, where `NB > nb`." One thread
+//! block factorizes one matrix's `jb × jb` diagonal tile (`jb =
+//! min(NB, rem)`), blocked internally by `nb` with the panel staged in
+//! shared memory. Dead matrices (`rem == 0` or already broken)
+//! early-terminate (ETM-classic).
+
+use vbatch_dense::{Scalar, Uplo};
+use vbatch_gpu_sim::{Device, DevicePtr, KernelStats, LaunchConfig};
+
+use crate::etm::EtmPolicy;
+use crate::kernels::{mat_mut, panel_smem_bytes, round_to_warp};
+use crate::report::VbatchError;
+use crate::sep::VView;
+
+/// Factorizes the `jb_i × jb_i` leading tile of each per-matrix operand
+/// (pointers pre-displaced to `A(j,j)`), where
+/// `jb_i = min(nb_panel, rem_i)`.
+///
+/// `d_rem` holds the per-matrix trailing size at this step; `d_info`
+/// receives `j + col + 1` on breakdown (`j` = global column offset of
+/// this step); broken matrices are skipped.
+///
+/// # Errors
+/// [`VbatchError::Launch`] on launch rejection.
+#[allow(clippy::too_many_arguments)]
+pub fn potf2_panel_vbatched<T: Scalar>(
+    dev: &Device,
+    count: usize,
+    uplo: Uplo,
+    a: VView<T>,
+    d_rem: DevicePtr<i32>,
+    d_info: DevicePtr<i32>,
+    nb_panel: usize,
+    nb_inner: usize,
+    j: usize,
+) -> Result<KernelStats, VbatchError> {
+    let warp = dev.config().warp_size;
+    let threads = round_to_warp(nb_panel, warp).min(dev.config().max_threads_per_block);
+    let cfg = LaunchConfig::grid_1d(count as u32, threads)
+        .with_shared_mem(panel_smem_bytes::<T>(nb_panel, nb_inner));
+    let stats = dev.launch(
+        &format!("{}potf2_vbatched", T::PREFIX),
+        cfg,
+        move |ctx| {
+            let i = ctx.linear_block_id();
+            let rem = d_rem.get(i).max(0) as usize;
+            let live = rem > 0 && d_info.get(i) == 0;
+            if !EtmPolicy::Classic.apply(ctx, if live { rem.min(nb_panel) } else { 0 }) {
+                return;
+            }
+            let jb = rem.min(nb_panel);
+            let ld = a.lds.get(i) as usize;
+            // Internally blocked left-looking factorization of the tile,
+            // reusing the fused step logic.
+            let mut jj = 0;
+            while jj < jb {
+                let tile = mat_mut(a.ptrs.get(i), jb, jb, ld);
+                if let Err(col) = crate::fused::fused_step_math::<T>(ctx, uplo, tile, jb, jj, nb_inner) {
+                    d_info.set(i, (j + col + 1) as i32);
+                    return;
+                }
+                jj += nb_inner;
+            }
+        },
+    )?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aux::StepState;
+    use crate::VBatch;
+    use vbatch_dense::gen::{seeded_rng, spd_vec};
+    use vbatch_dense::verify::{chol_residual, residual_tol};
+    use vbatch_dense::{MatRef, Uplo};
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn panel_factorizes_leading_tiles() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [10usize, 40, 0, 25];
+        let mut rng = seeded_rng(31);
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        let origs: Vec<Vec<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let m = spd_vec::<f64>(&mut rng, n);
+                if n > 0 {
+                    batch.upload_matrix(i, &m);
+                }
+                m
+            })
+            .collect();
+        let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
+        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
+            .unwrap();
+        let nb_panel = 16;
+        potf2_panel_vbatched(
+            &dev,
+            sizes.len(),
+            Uplo::Lower,
+            VView::new(st.d_ptrs.ptr(), batch.d_ld()),
+            st.d_rem.ptr(),
+            batch.d_info(),
+            nb_panel,
+            8,
+            0,
+        )
+        .unwrap();
+        // Matrix 0 (10 ≤ 16): fully factorized.
+        let f0 = batch.download_matrix(0);
+        let r = chol_residual(
+            Uplo::Lower,
+            MatRef::from_slice(&f0, 10, 10, 10),
+            MatRef::from_slice(&origs[0], 10, 10, 10),
+        );
+        assert!(r < residual_tol::<f64>(10), "residual {r}");
+        // Matrix 1 (40): only its leading 16×16 tile factorized.
+        let f1 = batch.download_matrix(1);
+        let lead_orig: Vec<f64> = {
+            let m = MatRef::from_slice(&origs[1], 40, 40, 40);
+            m.sub(0, 0, 16, 16).to_vec()
+        };
+        let lead_fact: Vec<f64> = MatRef::from_slice(&f1, 40, 40, 40).sub(0, 0, 16, 16).to_vec();
+        let r = chol_residual(
+            Uplo::Lower,
+            MatRef::from_slice(&lead_fact, 16, 16, 16),
+            MatRef::from_slice(&lead_orig, 16, 16, 16),
+        );
+        assert!(r < residual_tol::<f64>(16), "tile residual {r}");
+        // Trailing part untouched.
+        assert_eq!(f1[17 + 17 * 40], origs[1][17 + 17 * 40]);
+    }
+
+    #[test]
+    fn panel_reports_info_with_global_offset() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let n = 12;
+        let mut rng = seeded_rng(32);
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
+        let mut bad = spd_vec::<f64>(&mut rng, n);
+        bad[2 + 2 * n] = -50.0;
+        batch.upload_matrix(0, &bad);
+        let st = StepState::<f64>::alloc(&dev, 1).unwrap();
+        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0).unwrap();
+        potf2_panel_vbatched(
+            &dev,
+            1,
+            Uplo::Lower,
+            VView::new(st.d_ptrs.ptr(), batch.d_ld()),
+            st.d_rem.ptr(),
+            batch.d_info(),
+            16,
+            4,
+            100, // pretend this panel starts at global column 100
+        )
+        .unwrap();
+        assert_eq!(batch.read_info(), vec![103]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Vbatched triangular inversion of diagonal blocks (paper §III-E2).
+//!
+//! The vbatched `trsm` "starts by inverting the diagonal blocks ...
+//! using a vbatched `trtri` routine". One thread block inverts one
+//! matrix's `jb × jb` lower-triangular tile into a per-matrix workspace,
+//! leaving the factor itself untouched. ETM-classic only.
+
+use vbatch_dense::{Diag, Scalar, Uplo};
+use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, KernelStats, LaunchConfig};
+
+use crate::etm::EtmPolicy;
+use crate::kernels::{charge_flops, charge_read, charge_write, mat_mut, mat_ref, round_to_warp};
+use crate::report::VbatchError;
+use crate::sep::VView;
+
+/// Per-matrix square workspace arena (e.g. for inverted diagonal
+/// blocks): `count` tiles of `nb × nb` elements each.
+pub struct TileWorkspace<T> {
+    arena: DeviceBuffer<T>,
+    d_ptrs: DeviceBuffer<DevicePtr<T>>,
+    nb: usize,
+}
+
+impl<T: Scalar> TileWorkspace<T> {
+    /// Allocates `count` tiles of order `nb`.
+    ///
+    /// # Errors
+    /// [`VbatchError::Oom`] when device memory is exhausted.
+    pub fn alloc(dev: &Device, count: usize, nb: usize) -> Result<Self, VbatchError> {
+        let arena: DeviceBuffer<T> = dev.alloc(count * nb * nb)?;
+        let ptrs: Vec<DevicePtr<T>> = (0..count)
+            .map(|i| arena.ptr().offset(i * nb * nb).truncate(nb * nb))
+            .collect();
+        let d_ptrs = dev.alloc(count)?;
+        d_ptrs.fill_from_host(&ptrs);
+        Ok(Self { arena, d_ptrs, nb })
+    }
+
+    /// Device array of tile pointers.
+    #[must_use]
+    pub fn d_ptrs(&self) -> DevicePtr<DevicePtr<T>> {
+        self.d_ptrs.ptr()
+    }
+
+    /// Tile order.
+    #[must_use]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Total bytes held.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.arena.bytes()
+    }
+}
+
+/// Inverts each live matrix's `jb_i × jb_i` lower-triangular diagonal
+/// tile (`jb_i = min(nb, rem_i)`) into the workspace
+/// (`W_i ← L11_i⁻¹`). Matrices with `rem_i == 0`, broken `info`, or no
+/// trailing rows (`rem_i ≤ nb`, nothing for `trsm` to do) terminate
+/// early.
+///
+/// # Errors
+/// [`VbatchError::Launch`] on launch rejection.
+#[allow(clippy::too_many_arguments)]
+pub fn trtri_diag_vbatched<T: Scalar>(
+    dev: &Device,
+    count: usize,
+    uplo: Uplo,
+    a: VView<T>,
+    d_rem: DevicePtr<i32>,
+    d_info: DevicePtr<i32>,
+    work: &TileWorkspace<T>,
+    nb: usize,
+    require_trailing: bool,
+) -> Result<KernelStats, VbatchError> {
+    let warp = dev.config().warp_size;
+    let threads = round_to_warp(nb, warp).min(dev.config().max_threads_per_block);
+    // The inversion stages 32×32 diagonal sub-blocks through shared
+    // memory (as MAGMA's trtri does); the full inverse lives in the
+    // global workspace, so the request does not grow with `nb`.
+    let stage = nb.min(32);
+    let cfg = LaunchConfig::grid_1d(count as u32, threads)
+        .with_shared_mem(2 * stage * stage * T::BYTES);
+    let w_ptrs = work.d_ptrs();
+    let stats = dev.launch(&format!("{}trtri_vbatched", T::PREFIX), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let rem = d_rem.get(i).max(0) as usize;
+        let jb = rem.min(nb);
+        let live = jb > 0 && d_info.get(i) == 0 && (!require_trailing || rem > nb);
+        if !EtmPolicy::Classic.apply(ctx, if live { jb } else { 0 }) {
+            return;
+        }
+        let ld = a.lds.get(i) as usize;
+        let t11 = mat_ref(a.ptrs.get(i), jb, jb, ld);
+        let mut w = mat_mut(w_ptrs.get(i), jb, jb, nb);
+        // Copy the tile then invert in place (the factor must survive).
+        for c in 0..jb {
+            for r in 0..jb {
+                let in_tri = match uplo {
+                    Uplo::Lower => r >= c,
+                    Uplo::Upper => r <= c,
+                };
+                let v = if in_tri { t11.get(r, c) } else { T::ZERO };
+                w.set(r, c, v);
+            }
+        }
+        // The tile is SPD-derived: diagonal entries are positive, so
+        // inversion cannot fail; a zero diagonal would have been caught
+        // by potf2 already. Guard anyway.
+        if vbatch_dense::trtri(uplo, Diag::NonUnit, w).is_err() {
+            // Leave info to potf2's report; the workspace holds garbage
+            // but the matrix is already marked broken.
+            return;
+        }
+        charge_read::<T>(ctx, jb * jb / 2 + jb);
+        charge_write::<T>(ctx, jb * jb / 2 + jb);
+        charge_flops::<T>(ctx, jb, vbatch_dense::flops::trtri(jb));
+        for _ in 0..jb {
+            ctx.sync();
+        }
+    })?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aux::StepState;
+    use crate::VBatch;
+    use vbatch_dense::gen::{seeded_rng, spd_vec};
+    use vbatch_dense::{potf2 as dense_potf2, MatMut};
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn inverts_factored_tiles() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [20usize, 6, 40];
+        let nb = 8;
+        let mut rng = seeded_rng(41);
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        // Pre-factorize leading nb×nb tiles on the host.
+        let mut tiles = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let mut m = spd_vec::<f64>(&mut rng, n);
+            let jb = n.min(nb);
+            dense_potf2(Uplo::Lower, MatMut::from_slice(&mut m, n, n, n).sub(0, 0, jb, jb))
+                .unwrap();
+            batch.upload_matrix(i, &m);
+            tiles.push(m);
+        }
+        let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
+        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
+            .unwrap();
+        let work = TileWorkspace::<f64>::alloc(&dev, sizes.len(), nb).unwrap();
+        trtri_diag_vbatched(
+            &dev,
+            sizes.len(),
+            Uplo::Lower,
+            VView::new(st.d_ptrs.ptr(), batch.d_ld()),
+            st.d_rem.ptr(),
+            batch.d_info(),
+            &work,
+            nb,
+            true,
+        )
+        .unwrap();
+        // Matrix 0 (rem 20 > nb): W·L11 = I.
+        let w = {
+            let p = work.d_ptrs().get(0);
+            (0..nb * nb).map(|k| p.get(k)).collect::<Vec<f64>>()
+        };
+        for c in 0..nb {
+            for r in 0..nb {
+                let mut acc = 0.0;
+                for l in 0..nb {
+                    let wv = if r >= l { w[r + l * nb] } else { 0.0 };
+                    let lv = if l >= c { tiles[0][l + c * sizes[0]] } else { 0.0 };
+                    acc += wv * lv;
+                }
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((acc - want).abs() < 1e-10, "W·L ≠ I at ({r},{c})");
+            }
+        }
+        // Matrix 1 (rem 6 ≤ nb, no trailing rows): dead, workspace zero.
+        assert_eq!(work.d_ptrs().get(1).get(0), 0.0);
+    }
+
+    #[test]
+    fn workspace_layout() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let w = TileWorkspace::<f32>::alloc(&dev, 3, 4).unwrap();
+        assert_eq!(w.nb(), 4);
+        assert_eq!(w.bytes(), 3 * 16 * 4);
+        w.d_ptrs().get(2).set(15, 8.0);
+        assert_eq!(w.d_ptrs().get(2).get(15), 8.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Vbatched triangular solves against factored batches (`potrs`,
+//! `getrs`) — the "solve routines" the paper's title class covers and
+//! its applications (e.g. direct-iterative preconditioners, RX anomaly
+//! detection) consume right after the factorization.
+
+use vbatch_dense::{Diag, Scalar, Trans, Uplo};
+use vbatch_gpu_sim::{Device, DevicePtr, LaunchConfig};
+
+use crate::etm::EtmPolicy;
+use crate::kernels::{charge_read, charge_write, mat_mut};
+use crate::lu::PivotArray;
+use crate::report::VbatchError;
+use crate::sep::trsm::trsm_left_vbatched;
+use crate::sep::VView;
+use crate::VBatch;
+
+/// Solves `A_i·X_i = B_i` for every matrix, given the lower Cholesky
+/// factors in `factors` (from [`crate::potrf_vbatched`]); right-hand
+/// sides in `rhs` (per-matrix `n_i × nrhs_i`) are overwritten with the
+/// solutions. Matrices whose factorization failed (`info != 0`) are
+/// skipped, leaving their right-hand sides untouched.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures or shape mismatch.
+pub fn potrs_vbatched<T: Scalar>(
+    dev: &Device,
+    factors: &VBatch<T>,
+    rhs: &VBatch<T>,
+) -> Result<(), VbatchError> {
+    if factors.count() != rhs.count() {
+        return Err(VbatchError::InvalidArgument(
+            "potrs_vbatched: factor and rhs batch counts differ",
+        ));
+    }
+    if factors.count() == 0 {
+        return Ok(());
+    }
+    let a = VView::new(factors.d_ptrs(), factors.d_ld());
+    let b = VView::new(rhs.d_ptrs(), rhs.d_ld());
+    // L·Y = B, then Lᵀ·X = Y.
+    trsm_left_vbatched(
+        dev,
+        factors.count(),
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        a,
+        b,
+        factors.d_cols(),
+        rhs.d_cols(),
+        factors.d_info(),
+    )?;
+    trsm_left_vbatched(
+        dev,
+        factors.count(),
+        Uplo::Lower,
+        Trans::Trans,
+        Diag::NonUnit,
+        a,
+        b,
+        factors.d_cols(),
+        rhs.d_cols(),
+        factors.d_info(),
+    )?;
+    Ok(())
+}
+
+/// Factor-and-solve in one call (LAPACK `xPOSV`): vbatched Cholesky of
+/// the batch followed by the triangular solves. Matrices that fail to
+/// factorize are reported in the returned [`crate::BatchReport`] and
+/// their right-hand sides are left untouched.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures or shape mismatch.
+pub fn posv_vbatched<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    rhs: &VBatch<T>,
+    opts: &crate::PotrfOptions,
+) -> Result<crate::BatchReport, VbatchError> {
+    if batch.count() != rhs.count() {
+        return Err(VbatchError::InvalidArgument(
+            "posv_vbatched: factor and rhs batch counts differ",
+        ));
+    }
+    let report = crate::potrf_vbatched(dev, batch, opts)?;
+    if opts.uplo != Uplo::Lower {
+        return Err(VbatchError::InvalidArgument(
+            "posv_vbatched: solves are implemented for Uplo::Lower factors",
+        ));
+    }
+    potrs_vbatched(dev, batch, rhs)?;
+    Ok(report)
+}
+
+/// Solves `A_i·X_i = B_i` given LU factors and pivots (from
+/// [`crate::lu::getrf_vbatched`]): applies the row interchanges to the
+/// right-hand sides, then unit-lower and upper solves. Broken matrices
+/// are skipped.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures or shape mismatch.
+pub fn getrs_vbatched<T: Scalar>(
+    dev: &Device,
+    factors: &VBatch<T>,
+    pivots: &PivotArray,
+    rhs: &VBatch<T>,
+) -> Result<(), VbatchError> {
+    if factors.count() != rhs.count() {
+        return Err(VbatchError::InvalidArgument(
+            "getrs_vbatched: factor and rhs batch counts differ",
+        ));
+    }
+    let count = factors.count();
+    if count == 0 {
+        return Ok(());
+    }
+    laswp_rhs(dev, factors, pivots, rhs)?;
+    let a = VView::new(factors.d_ptrs(), factors.d_ld());
+    let b = VView::new(rhs.d_ptrs(), rhs.d_ld());
+    trsm_left_vbatched(
+        dev,
+        count,
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        a,
+        b,
+        factors.d_cols(),
+        rhs.d_cols(),
+        factors.d_info(),
+    )?;
+    trsm_left_vbatched(
+        dev,
+        count,
+        Uplo::Upper,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        a,
+        b,
+        factors.d_cols(),
+        rhs.d_cols(),
+        factors.d_info(),
+    )?;
+    Ok(())
+}
+
+/// Batched SPD inverse (LAPACK `xPOTRI`): overwrites each matrix's
+/// Cholesky factor with `A_i⁻¹` (stored triangle only). The application
+/// the paper cites for this pattern is RX anomaly detection [Molero et
+/// al.], where each pixel neighborhood needs the inverse covariance for
+/// a Mahalanobis distance. One thread block per matrix; broken matrices
+/// (`info != 0`) are skipped.
+///
+/// # Errors
+/// [`VbatchError`] on launch failures.
+pub fn potri_vbatched<T: Scalar>(
+    dev: &Device,
+    factors: &VBatch<T>,
+    uplo: Uplo,
+) -> Result<(), VbatchError> {
+    let count = factors.count();
+    if count == 0 {
+        return Ok(());
+    }
+    let ptrs = factors.d_ptrs();
+    let lds = factors.d_ld();
+    let d_n = factors.d_cols();
+    let d_info = factors.d_info();
+    let cfg = LaunchConfig::grid_1d(count as u32, 128);
+    dev.launch(&format!("{}potri_vbatched", T::PREFIX), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let n = d_n.get(i).max(0) as usize;
+        let live = n > 0 && d_info.get(i) == 0;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let ld = lds.get(i).max(1) as usize;
+        let a = mat_mut(ptrs.get(i), n, n, ld);
+        if vbatch_dense::potri(uplo, a).is_err() {
+            // A zero diagonal would have been caught by potf2; record
+            // defensively.
+            if d_info.get(i) == 0 {
+                d_info.set(i, -1);
+            }
+            return;
+        }
+        charge_read::<T>(ctx, n * n);
+        charge_write::<T>(ctx, n * n / 2 + n);
+        // trtri (n³/3) + lauum (n³/3).
+        ctx.flops(
+            T::IS_DOUBLE,
+            128.min(n.max(1)),
+            2.0 * vbatch_dense::flops::trtri(n) / 128.min(n.max(1)) as f64,
+        );
+        for _ in 0..2 * n.div_ceil(8).max(1) {
+            ctx.sync();
+        }
+    })?;
+    Ok(())
+}
+
+/// Applies each matrix's pivots to its right-hand sides (forward order).
+fn laswp_rhs<T: Scalar>(
+    dev: &Device,
+    factors: &VBatch<T>,
+    pivots: &PivotArray,
+    rhs: &VBatch<T>,
+) -> Result<(), VbatchError> {
+    let count = factors.count();
+    let d_n = factors.d_cols();
+    let d_info = factors.d_info();
+    let d_nrhs = rhs.d_cols();
+    let b_ptrs = rhs.d_ptrs();
+    let b_ld = rhs.d_ld();
+    let piv: DevicePtr<DevicePtr<i32>> = pivots.d_ptrs();
+    let cfg = LaunchConfig::grid_1d(count as u32, 128);
+    dev.launch(&format!("{}laswp_rhs_vbatched", T::PREFIX), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let n = d_n.get(i).max(0) as usize;
+        let nrhs = d_nrhs.get(i).max(0) as usize;
+        let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let ld = b_ld.get(i).max(1) as usize;
+        let mut b = mat_mut(b_ptrs.get(i), n, nrhs, ld);
+        let p = piv.get(i);
+        for t in 0..n {
+            let pr = p.get(t) as usize;
+            if pr != t {
+                for c in 0..nrhs {
+                    let x = b.get(t, c);
+                    b.set(t, c, b.get(pr, c));
+                    b.set(pr, c, x);
+                }
+            }
+        }
+        charge_read::<T>(ctx, n * nrhs);
+        charge_write::<T>(ctx, n * nrhs);
+        ctx.sync();
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{potrf_vbatched, PotrfOptions};
+    use crate::lu::{getrf_vbatched, GetrfOptions};
+    use vbatch_dense::gen::{diag_dominant_vec, rand_mat, seeded_rng, spd_vec};
+    use vbatch_dense::naive;
+    use vbatch_dense::verify::max_abs_diff_slices;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn potrs_solves_variable_batch() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [9usize, 25, 4];
+        let nrhs = [2usize, 1, 5];
+        let mut rng = seeded_rng(95);
+        let mut factors = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        let rhs_dims: Vec<(usize, usize)> =
+            sizes.iter().zip(&nrhs).map(|(&n, &r)| (n, r)).collect();
+        let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).unwrap();
+        let mut xs = Vec::new();
+        for i in 0..sizes.len() {
+            let n = sizes[i];
+            let r = nrhs[i];
+            let a = spd_vec::<f64>(&mut rng, n);
+            let x = rand_mat::<f64>(&mut rng, n * r);
+            let b = naive::gemm_ref(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                1.0,
+                &a,
+                n,
+                n,
+                &x,
+                n,
+                r,
+                0.0,
+                &vec![0.0; n * r],
+                n,
+                r,
+            );
+            factors.upload_matrix(i, &a);
+            rhs.upload_matrix(i, &b);
+            xs.push(x);
+        }
+        let report = potrf_vbatched(&dev, &mut factors, &PotrfOptions::default()).unwrap();
+        assert!(report.all_ok());
+        potrs_vbatched(&dev, &factors, &rhs).unwrap();
+        for i in 0..sizes.len() {
+            let got = rhs.download_matrix(i);
+            assert!(
+                max_abs_diff_slices(&got, &xs[i]) < 1e-8,
+                "solve {i} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn getrs_solves_after_lu() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [12usize, 30, 7];
+        let mut rng = seeded_rng(96);
+        let dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, n)).collect();
+        let mut factors = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+        let rhs_dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, 3)).collect();
+        let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).unwrap();
+        let mut xs = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let a = diag_dominant_vec::<f64>(&mut rng, n, n);
+            let x = rand_mat::<f64>(&mut rng, n * 3);
+            let b = naive::gemm_ref(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                1.0,
+                &a,
+                n,
+                n,
+                &x,
+                n,
+                3,
+                0.0,
+                &vec![0.0; n * 3],
+                n,
+                3,
+            );
+            factors.upload_matrix(i, &a);
+            rhs.upload_matrix(i, &b);
+            xs.push(x);
+        }
+        let (report, pivots) =
+            getrf_vbatched(&dev, &mut factors, &GetrfOptions { nb_panel: 8 }).unwrap();
+        assert!(report.all_ok());
+        getrs_vbatched(&dev, &factors, &pivots, &rhs).unwrap();
+        for i in 0..sizes.len() {
+            let got = rhs.download_matrix(i);
+            assert!(
+                max_abs_diff_slices(&got, &xs[i]) < 1e-8,
+                "solve {i} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn potri_inverts_batch() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [10usize, 3, 27];
+        let mut rng = seeded_rng(99);
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        let origs: Vec<Vec<f64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let a = spd_vec::<f64>(&mut rng, n);
+                batch.upload_matrix(i, &a);
+                a
+            })
+            .collect();
+        let report = crate::potrf_vbatched(&dev, &mut batch, &PotrfOptions::default()).unwrap();
+        assert!(report.all_ok());
+        potri_vbatched(&dev, &batch, Uplo::Lower).unwrap();
+        for (i, &n) in sizes.iter().enumerate() {
+            let inv = batch.download_matrix(i);
+            // Symmetrize the lower triangle and check A·A⁻¹ = I.
+            let mut full = vec![0.0f64; n * n];
+            for j in 0..n {
+                for r in 0..n {
+                    full[r + j * n] = inv[r.max(j) + r.min(j) * n];
+                }
+            }
+            let prod = naive::gemm_ref(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                1.0,
+                &origs[i],
+                n,
+                n,
+                &full,
+                n,
+                n,
+                0.0,
+                &vec![0.0; n * n],
+                n,
+                n,
+            );
+            for j in 0..n {
+                for r in 0..n {
+                    let want = if r == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (prod[r + j * n] - want).abs() < 1e-7,
+                        "matrix {i} (n={n}) at ({r},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn posv_factor_and_solve() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let sizes = [14usize, 6, 40];
+        let mut rng = seeded_rng(98);
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        let rhs_dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, 1)).collect();
+        let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).unwrap();
+        let mut xs = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let a = spd_vec::<f64>(&mut rng, n);
+            let x = rand_mat::<f64>(&mut rng, n);
+            let b = naive::matvec_ref(&a, n, n, &x);
+            batch.upload_matrix(i, &a);
+            rhs.upload_matrix(i, &b);
+            xs.push(x);
+        }
+        let report = posv_vbatched(&dev, &mut batch, &rhs, &PotrfOptions::default()).unwrap();
+        assert!(report.all_ok());
+        for (i, x) in xs.iter().enumerate() {
+            assert!(max_abs_diff_slices(&rhs.download_matrix(i), x) < 1e-8, "posv {i}");
+        }
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let f = VBatch::<f64>::alloc_square(&dev, &[3]).unwrap();
+        let b = VBatch::<f64>::alloc(&dev, &[(3, 1), (3, 1)]).unwrap();
+        assert!(matches!(
+            potrs_vbatched(&dev, &f, &b),
+            Err(VbatchError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn broken_factor_skips_its_rhs() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut rng = seeded_rng(97);
+        let n = 8;
+        let mut factors = VBatch::<f64>::alloc_square(&dev, &[n, n]).unwrap();
+        let good = spd_vec::<f64>(&mut rng, n);
+        let mut bad = good.clone();
+        bad[0] = -5.0;
+        factors.upload_matrix(0, &bad);
+        factors.upload_matrix(1, &good);
+        let mut rhs = VBatch::<f64>::alloc(&dev, &[(n, 1), (n, 1)]).unwrap();
+        let b0 = rand_mat::<f64>(&mut rng, n);
+        rhs.upload_matrix(0, &b0);
+        rhs.upload_matrix(1, &b0);
+        let report = potrf_vbatched(&dev, &mut factors, &PotrfOptions::default()).unwrap();
+        assert_eq!(report.failure_count(), 1);
+        potrs_vbatched(&dev, &factors, &rhs).unwrap();
+        // Broken matrix's rhs untouched; healthy one solved (changed).
+        assert_eq!(rhs.download_matrix(0), b0);
+        assert!(max_abs_diff_slices(&rhs.download_matrix(1), &b0) > 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Implicit sorting (paper §III-D2).
+//!
+//! "At every step of the computation, a window of sizes is noted as
+//! 'active' ... Matrices of size within this window move to a ready
+//! state queue. This approach allows the algorithm to go through the
+//! matrices by batch of nearly similar sizes, improving occupancy and
+//! workload balance. The window size is determined by the block size
+//! `nb`."
+//!
+//! The scheduler here produces exactly that: matrix indices grouped into
+//! size windows of width `window_factor · nb`. The driver then runs each
+//! window group to completion with launches sized to the *window*
+//! maximum — which both balances the wave (blocks of nearly-equal cost)
+//! and raises occupancy (smaller shared-memory panels for small
+//! windows).
+//!
+//! The index permutation is computed on the host from a one-off
+//! device→host copy of the size array (charged to the simulated clock),
+//! then uploaded as a device index array the kernels indirect through.
+
+use vbatch_gpu_sim::{Device, DeviceBuffer, OomError};
+
+/// One window of nearly-equal-size matrices, ready to be factorized
+/// together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeWindow {
+    /// Batch indices of the matrices in this window (ascending size).
+    pub indices: Vec<usize>,
+    /// Largest matrix size in the window — sizes every launch for the
+    /// group.
+    pub max_size: usize,
+}
+
+/// Groups matrix sizes into ascending windows of width `window`.
+///
+/// Zero-sized matrices are dropped (nothing to factorize). Every other
+/// index appears in exactly one window.
+#[must_use]
+pub fn build_windows(sizes: &[usize], window: usize) -> Vec<SizeWindow> {
+    let window = window.max(1);
+    let mut order: Vec<usize> = (0..sizes.len()).filter(|&i| sizes[i] > 0).collect();
+    order.sort_by_key(|&i| sizes[i]);
+
+    let mut out: Vec<SizeWindow> = Vec::new();
+    for idx in order {
+        let n = sizes[idx];
+        // Window bucket: sizes in ((k-1)·w, k·w] share a bucket.
+        let bucket = (n - 1) / window;
+        match out.last_mut() {
+            Some(last) if (last.max_size - 1) / window == bucket => {
+                last.indices.push(idx);
+                last.max_size = last.max_size.max(n);
+            }
+            _ => out.push(SizeWindow {
+                indices: vec![idx],
+                max_size: n,
+            }),
+        }
+    }
+    out
+}
+
+/// The trivial schedule used when implicit sorting is off: one window
+/// containing every (nonzero) matrix, sized by the global maximum.
+#[must_use]
+pub fn single_window(sizes: &[usize]) -> Vec<SizeWindow> {
+    let indices: Vec<usize> = (0..sizes.len()).filter(|&i| sizes[i] > 0).collect();
+    if indices.is_empty() {
+        return Vec::new();
+    }
+    let max_size = indices.iter().map(|&i| sizes[i]).max().unwrap_or(0);
+    vec![SizeWindow { indices, max_size }]
+}
+
+/// Uploads a window's index list as a device `i32` array (the kernels
+/// indirect block → matrix through it).
+///
+/// # Errors
+/// [`OomError`] when device memory is exhausted.
+pub fn upload_indices(dev: &Device, indices: &[usize]) -> Result<DeviceBuffer<i32>, OomError> {
+    let buf = dev.alloc::<i32>(indices.len())?;
+    buf.fill_from_host(&indices.iter().map(|&i| i as i32).collect::<Vec<_>>());
+    Ok(buf)
+}
+
+/// Charges the host↔device traffic the sorting pass needs (sizes down,
+/// indices up) to the simulated clock.
+pub fn charge_sort_transfers(dev: &Device, count: usize) {
+    dev.copy_dtoh_bytes(count * 4);
+    dev.copy_htod_bytes(count * 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn windows_partition_all_indices() {
+        let sizes = vec![100, 3, 57, 64, 8, 200, 33, 1];
+        let wins = build_windows(&sizes, 32);
+        let mut seen: Vec<usize> = wins.iter().flat_map(|w| w.indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Ascending window maxima.
+        for pair in wins.windows(2) {
+            assert!(pair[0].max_size < pair[1].max_size);
+        }
+        // Every member within (max - window, max].
+        for w in &wins {
+            for &i in &w.indices {
+                assert!(sizes[i] <= w.max_size);
+                assert!(sizes[i] + 32 > w.max_size, "size {} vs window max {}", sizes[i], w.max_size);
+            }
+        }
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        // Width 32: sizes 1..=32 in one bucket, 33..=64 the next.
+        let sizes = vec![32, 33, 1, 64];
+        let wins = build_windows(&sizes, 32);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0].max_size, 32);
+        assert_eq!(wins[0].indices, vec![2, 0]);
+        assert_eq!(wins[1].max_size, 64);
+        assert_eq!(wins[1].indices, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_sizes_dropped() {
+        let wins = build_windows(&[0, 5, 0], 8);
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].indices, vec![1]);
+        assert!(build_windows(&[0, 0], 8).is_empty());
+    }
+
+    #[test]
+    fn single_window_covers_everything() {
+        let wins = single_window(&[9, 0, 4]);
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].indices, vec![0, 2]);
+        assert_eq!(wins[0].max_size, 9);
+        assert!(single_window(&[0]).is_empty());
+    }
+
+    #[test]
+    fn identical_sizes_share_one_window() {
+        let wins = build_windows(&[16; 100], 8);
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].indices.len(), 100);
+    }
+
+    #[test]
+    fn upload_and_charge() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let buf = upload_indices(&dev, &[4, 7, 1]).unwrap();
+        assert_eq!(buf.read_to_host(), vec![4, 7, 1]);
+        let t0 = dev.now();
+        charge_sort_transfers(&dev, 1000);
+        assert!(dev.now() > t0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Size histograms (paper Fig. 3).
+
+/// A histogram of matrix sizes with fixed-width bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: usize,
+    max: usize,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `sizes` with `bin_width`-wide bins over
+    /// `[1, max]`.
+    #[must_use]
+    pub fn new(sizes: &[usize], max: usize, bin_width: usize) -> Self {
+        let bin_width = bin_width.max(1);
+        let bins = max.div_ceil(bin_width).max(1);
+        let mut counts = vec![0usize; bins];
+        for &s in sizes {
+            if s == 0 {
+                continue;
+            }
+            let b = ((s - 1) / bin_width).min(bins - 1);
+            counts[b] += 1;
+        }
+        Self {
+            bin_width,
+            max,
+            counts,
+        }
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Inclusive size range of bin `b`.
+    #[must_use]
+    pub fn bin_range(&self, b: usize) -> (usize, usize) {
+        let lo = b * self.bin_width + 1;
+        let hi = ((b + 1) * self.bin_width).min(self.max);
+        (lo, hi)
+    }
+
+    /// Total number of samples counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Renders an ASCII bar chart (one line per bin), the harness's
+    /// stand-in for the paper's Fig. 3 plots.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (b, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_range(b);
+            let bar = "#".repeat(c * width / peak);
+            out.push_str(&format!("{lo:>5}-{hi:<5} |{bar:<w$}| {c}\n", w = width));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let h = Histogram::new(&[1, 8, 9, 16, 17, 32], 32, 8);
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.bin_range(0), (1, 8));
+        assert_eq!(h.bin_range(3), (25, 32));
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn zero_sizes_ignored() {
+        let h = Histogram::new(&[0, 0, 5], 10, 5);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let h = Histogram::new(&[1, 1, 1, 6], 10, 5);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn ragged_final_bin() {
+        let h = Histogram::new(&[33], 33, 8);
+        assert_eq!(h.counts().len(), 5);
+        assert_eq!(h.bin_range(4), (33, 33));
+        assert_eq!(h.counts()[4], 1);
+    }
+}

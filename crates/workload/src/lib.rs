@@ -1,0 +1,56 @@
+//! Workload generation for variable-size batched computation.
+//!
+//! The paper's test cases draw matrix sizes from two pseudo-random
+//! generators (§IV-B): a uniform distribution over `[1, Nmax]` and a
+//! Gaussian centered at `⌊Nmax/2⌋` clamped to the same interval
+//! (Fig. 3). This crate reproduces those generators (seeded, so every
+//! experiment is repeatable), the histograms, and batch-building
+//! helpers that fill device batches with SPD or general matrices.
+
+pub mod dist;
+pub mod histogram;
+
+pub use dist::SizeDist;
+pub use histogram::Histogram;
+
+use rand::Rng;
+use vbatch_dense::gen::{diag_dominant_vec, spd_vec};
+use vbatch_dense::Scalar;
+
+/// Fills an already-allocated square batch with SPD matrices (seeded by
+/// the caller's RNG) and returns host copies for verification.
+pub fn fill_spd_batch<T: Scalar>(
+    batch: &mut vbatch_core::VBatch<T>,
+    sizes: &[usize],
+    rng: &mut impl Rng,
+) -> Vec<Vec<T>> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let m = spd_vec::<T>(rng, n);
+            if n > 0 {
+                batch.upload_matrix(i, &m);
+            }
+            m
+        })
+        .collect()
+}
+
+/// Fills a general rectangular batch with diagonally-dominant matrices.
+pub fn fill_general_batch<T: Scalar>(
+    batch: &mut vbatch_core::VBatch<T>,
+    dims: &[(usize, usize)],
+    rng: &mut impl Rng,
+) -> Vec<Vec<T>> {
+    dims.iter()
+        .enumerate()
+        .map(|(i, &(m, n))| {
+            let a = diag_dominant_vec::<T>(rng, m, n);
+            if m * n > 0 {
+                batch.upload_matrix(i, &a);
+            }
+            a
+        })
+        .collect()
+}

@@ -1,0 +1,92 @@
+//! Autotuning walkthrough: measure the templated `nb` candidates of the
+//! fused kernel and locate the fused/separated crossover for this
+//! device, mirroring the paper's tuning methodology ("we autotuned this
+//! kernel for all the possible sizes" + the Fig. 7 crossover study).
+//!
+//! ```text
+//! cargo run --release -p vbatch-bench --example autotune_crossover
+//! ```
+
+use vbatch_core::fused::{fused_feasible, NB_CANDIDATES};
+use vbatch_core::{potrf_vbatched_max, FusedOpts, PotrfOptions, SepOpts, Strategy, VBatch};
+use vbatch_dense::gen::{seeded_rng, spd_vec};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+use vbatch_workload::SizeDist;
+
+fn run(dev: &Device, sizes: &[usize], opts: &PotrfOptions) -> f64 {
+    let mut rng = seeded_rng(4);
+    let mut batch = VBatch::<f64>::alloc_square(dev, sizes).unwrap();
+    for (i, &n) in sizes.iter().enumerate() {
+        batch.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+    }
+    dev.reset_metrics();
+    let max = sizes.iter().copied().max().unwrap();
+    potrf_vbatched_max(dev, &mut batch, max, opts).unwrap();
+    vbatch_dense::flops::potrf_batch(sizes) / dev.now() / 1e9
+}
+
+fn main() {
+    let dev = Device::new(DeviceConfig::k40c());
+    println!("autotuning the fused kernel on {}\n", dev.config().name);
+
+    // Phase 1: nb template selection per maximum size.
+    println!("{:>6}  {}", "Nmax", NB_CANDIDATES.map(|nb| format!("nb={nb:>2} (Gflop/s)")).join("  "));
+    let mut best_nb = Vec::new();
+    for &max in &[32usize, 64, 128, 256, 512] {
+        let sizes = SizeDist::Uniform { max }.sample_batch(&mut seeded_rng(5), 96);
+        let mut row = format!("{max:>6}");
+        let mut best = (0usize, 0.0f64);
+        for &nb in &NB_CANDIDATES {
+            if !fused_feasible::<f64>(&dev, max, nb) {
+                row.push_str(&format!("  {:>15}", "n/a"));
+                continue;
+            }
+            let opts = PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { nb: Some(nb), ..Default::default() },
+                ..Default::default()
+            };
+            let g = run(&dev, &sizes, &opts);
+            if g > best.1 {
+                best = (nb, g);
+            }
+            row.push_str(&format!("  {g:>15.1}"));
+        }
+        println!("{row}   -> pick nb={}", best.0);
+        best_nb.push((max, best.0));
+    }
+
+    // Phase 2: crossover search between fused (tuned) and separated.
+    // NOTE: the crossover moves with the batch count (launch overheads
+    // amortize over more blocks); 256 approximates the paper's regime.
+    println!("\ncrossover search (uniform batches of 256):");
+    let mut crossover = None;
+    for &max in &[128usize, 256, 320, 384, 448, 512, 640, 768] {
+        let sizes = SizeDist::Uniform { max }.sample_batch(&mut seeded_rng(6), 256);
+        let fused = PotrfOptions {
+            strategy: Strategy::Fused,
+            ..Default::default()
+        };
+        let sep = PotrfOptions {
+            strategy: Strategy::Separated,
+            sep: SepOpts::default(),
+            ..Default::default()
+        };
+        let gf = if fused_feasible::<f64>(&dev, max, 8) {
+            run(&dev, &sizes, &fused)
+        } else {
+            0.0
+        };
+        let gs = run(&dev, &sizes, &sep);
+        println!("  Nmax {max:>4}: fused {gf:>7.1}  separated {gs:>7.1}  -> {}",
+            if gf >= gs { "fused" } else { "separated" });
+        if crossover.is_none() && gs > gf {
+            crossover = Some(max);
+        }
+    }
+    match crossover {
+        Some(x) => println!("\nmeasured crossover at Nmax ≈ {x} (library default: {})",
+            vbatch_core::driver::default_crossover::<f64>()),
+        None => println!("\nno crossover in the tested range"),
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-crate integration: every vbatched Cholesky configuration
+//! (strategy × ETM × sorting × syrk mode × precision × interface) must
+//! produce residual-verified factors on mixed-size batches, including
+//! degenerate sizes.
+
+use vbatch_core::{
+    potrf_vbatched, potrf_vbatched_max, EtmPolicy, FusedOpts, PotrfOptions, SepOpts, Strategy,
+    SyrkMode, VBatch,
+};
+use vbatch_dense::gen::seeded_rng;
+use vbatch_dense::verify::{chol_residual, residual_tol};
+use vbatch_dense::{MatRef, Scalar, Uplo};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+use vbatch_workload::{fill_spd_batch, SizeDist};
+
+fn all_options() -> Vec<PotrfOptions> {
+    let mut v = Vec::new();
+    for etm in [EtmPolicy::Classic, EtmPolicy::Aggressive] {
+        for sorting in [false, true] {
+            v.push(PotrfOptions {
+                strategy: Strategy::Fused,
+                fused: FusedOpts { etm, sorting, ..Default::default() },
+                ..Default::default()
+            });
+        }
+    }
+    for syrk in [SyrkMode::Batched, SyrkMode::Streamed] {
+        for nb_panel in [16usize, 48, 128] {
+            v.push(PotrfOptions {
+                strategy: Strategy::Separated,
+                sep: SepOpts { nb_panel, nb_inner: 8, syrk },
+                ..Default::default()
+            });
+        }
+    }
+    v.push(PotrfOptions::default()); // Auto
+    v
+}
+
+fn check_batch<T: Scalar>(dev: &Device, sizes: &[usize], opts: &PotrfOptions, seed: u64) {
+    let mut rng = seeded_rng(seed);
+    let mut batch = VBatch::<T>::alloc_square(dev, sizes).unwrap();
+    let origs = fill_spd_batch(&mut batch, sizes, &mut rng);
+    let report = potrf_vbatched(dev, &mut batch, opts).unwrap();
+    assert!(report.all_ok(), "{opts:?}: {:?}", report.failures());
+    for (i, &n) in sizes.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let f = batch.download_matrix(i);
+        let r = chol_residual(
+            Uplo::Lower,
+            MatRef::from_slice(&f, n, n, n),
+            MatRef::from_slice(&origs[i], n, n, n),
+        );
+        assert!(
+            r < residual_tol::<T>(n),
+            "{opts:?}: matrix {i} (n={n}) residual {r}"
+        );
+    }
+}
+
+#[test]
+fn every_configuration_factorizes_mixed_batch() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes = [17usize, 0, 64, 3, 129, 1, 40, 77, 8, 100];
+    for (k, opts) in all_options().iter().enumerate() {
+        check_batch::<f64>(&dev, &sizes, opts, 1000 + k as u64);
+        check_batch::<f32>(&dev, &sizes, opts, 2000 + k as u64);
+    }
+}
+
+#[test]
+fn upper_triangle_mirrors_lower() {
+    // Uᵀ from the Upper factorization must equal L from the Lower one
+    // (uniqueness of the Cholesky factor), across both strategies.
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes = [19usize, 52, 8, 130];
+    for strategy in [Strategy::Fused, Strategy::Separated] {
+        let mut rng = seeded_rng(900);
+        let mut lower = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        let origs = fill_spd_batch(&mut lower, &sizes, &mut rng);
+        let mut upper = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        for (i, m) in origs.iter().enumerate() {
+            upper.upload_matrix(i, m);
+        }
+        let base = PotrfOptions {
+            strategy,
+            sep: SepOpts { nb_panel: 32, ..Default::default() },
+            ..Default::default()
+        };
+        potrf_vbatched(&dev, &mut lower, &base).unwrap();
+        let up_opts = PotrfOptions { uplo: Uplo::Upper, ..base };
+        let rep = potrf_vbatched(&dev, &mut upper, &up_opts).unwrap();
+        assert!(rep.all_ok());
+        for (i, &n) in sizes.iter().enumerate() {
+            let l = lower.download_matrix(i);
+            let u = upper.download_matrix(i);
+            for j in 0..n {
+                for r in j..n {
+                    let d = (l[r + j * n] - u[j + r * n]).abs();
+                    assert!(d < 1e-9, "{strategy:?} matrix {i} ({r},{j}): {d}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_and_gaussian_workloads() {
+    let dev = Device::new(DeviceConfig::k40c());
+    for dist in [SizeDist::Uniform { max: 150 }, SizeDist::Gaussian { max: 150 }] {
+        let sizes = dist.sample_batch(&mut seeded_rng(3), 60);
+        check_batch::<f64>(&dev, &sizes, &PotrfOptions::default(), 30);
+    }
+}
+
+#[test]
+fn expert_and_lapack_interfaces_agree() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes = [12usize, 30, 5, 44];
+    let mut rng = seeded_rng(5);
+    let mut b1 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    let origs = fill_spd_batch(&mut b1, &sizes, &mut rng);
+    let mut b2 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    for (i, m) in origs.iter().enumerate() {
+        b2.upload_matrix(i, m);
+    }
+    let opts = PotrfOptions::default();
+    potrf_vbatched_max(&dev, &mut b1, 44, &opts).unwrap();
+    potrf_vbatched(&dev, &mut b2, &opts).unwrap();
+    for i in 0..sizes.len() {
+        assert_eq!(
+            b1.download_matrix(i),
+            b2.download_matrix(i),
+            "interfaces disagree on matrix {i}"
+        );
+    }
+}
+
+#[test]
+fn lapack_interface_charges_the_max_kernel() {
+    // The LAPACK-style wrapper must cost strictly more simulated time
+    // (aux reduction + copy) than the expert interface, and the paper
+    // says that overhead is negligible — check both.
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes: Vec<usize> = (0..200).map(|i| 10 + i % 120).collect();
+    let mut rng = seeded_rng(6);
+
+    let mut b1 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    fill_spd_batch(&mut b1, &sizes, &mut rng);
+    dev.reset_metrics();
+    potrf_vbatched_max(&dev, &mut b1, 129, &PotrfOptions::default()).unwrap();
+    let t_expert = dev.now();
+
+    let mut rng = seeded_rng(6);
+    let mut b2 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    fill_spd_batch(&mut b2, &sizes, &mut rng);
+    dev.reset_metrics();
+    potrf_vbatched(&dev, &mut b2, &PotrfOptions::default()).unwrap();
+    let t_lapack = dev.now();
+
+    assert!(t_lapack > t_expert);
+    assert!(
+        (t_lapack - t_expert) / t_expert < 0.10,
+        "max-computation overhead should be negligible: expert {t_expert}, lapack {t_lapack}"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // Block-parallel execution must not perturb results: two identical
+    // runs give bitwise-identical factors.
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes = [33usize, 71, 18, 90];
+    let run = || {
+        let mut rng = seeded_rng(7);
+        let mut b = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        fill_spd_batch(&mut b, &sizes, &mut rng);
+        potrf_vbatched(&dev, &mut b, &PotrfOptions::default()).unwrap();
+        (0..sizes.len()).map(|i| b.download_matrix(i)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn all_matrices_same_size_matches_fixed_kernel() {
+    // A vbatched call on a uniform batch must agree numerically with the
+    // dedicated fixed-size kernel.
+    let dev = Device::new(DeviceConfig::k40c());
+    let n = 40;
+    let sizes = vec![n; 6];
+    let mut rng = seeded_rng(8);
+    let mut b1 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    let origs = fill_spd_batch(&mut b1, &sizes, &mut rng);
+    let opts = PotrfOptions {
+        strategy: Strategy::Fused,
+        fused: FusedOpts { nb: Some(8), sorting: false, ..Default::default() },
+        ..Default::default()
+    };
+    potrf_vbatched_max(&dev, &mut b1, n, &opts).unwrap();
+
+    let mut b2 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    for (i, m) in origs.iter().enumerate() {
+        b2.upload_matrix(i, m);
+    }
+    vbatch_core::fused::potrf_fused_fixed(&dev, &mut b2, Uplo::Lower, n, 8).unwrap();
+    for i in 0..sizes.len() {
+        let a = b1.download_matrix(i);
+        let b = b2.download_matrix(i);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "matrix {i} differs");
+        }
+    }
+}

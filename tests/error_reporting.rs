@@ -1,0 +1,137 @@
+//! LAPACK-compliance of batched error reporting (the paper's conclusion
+//! raises exactly this open question): per-matrix `info` codes, no
+//! cross-matrix poisoning, argument validation.
+
+use vbatch_core::lu::{getrf_vbatched, GetrfOptions};
+use vbatch_core::report::VbatchError;
+use vbatch_core::{
+    potrf_vbatched, EtmPolicy, FusedOpts, PotrfOptions, SepOpts, Strategy, VBatch,
+};
+use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
+use vbatch_dense::verify::{chol_residual, residual_tol};
+use vbatch_dense::{MatRef, Uplo};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+
+#[test]
+fn info_codes_match_single_matrix_lapack() {
+    // The batched info for each matrix must equal what the dense
+    // routine reports for the same matrix alone.
+    let dev = Device::new(DeviceConfig::k40c());
+    let n = 20;
+    let mut rng = seeded_rng(60);
+    let good = spd_vec::<f64>(&mut rng, n);
+    let mut bad_a = good.clone();
+    bad_a[0] = -1.0; // fails at column 1
+    let mut bad_b = good.clone();
+    bad_b[7 + 7 * n] = -1e9; // fails at column 8
+
+    // Dense reference info.
+    let dense_info = |m: &Vec<f64>| {
+        let mut c = m.clone();
+        match vbatch_dense::potf2(
+            Uplo::Lower,
+            vbatch_dense::MatMut::from_slice(&mut c, n, n, n),
+        ) {
+            Ok(()) => 0i32,
+            Err(e) => e.info() as i32,
+        }
+    };
+    let expect = [dense_info(&bad_a), dense_info(&good), dense_info(&bad_b)];
+    assert_eq!(expect[0], 1);
+    assert_eq!(expect[1], 0);
+    assert_eq!(expect[2], 8);
+
+    for strategy in [Strategy::Fused, Strategy::Separated] {
+        let mut batch = VBatch::<f64>::alloc_square(&dev, &[n, n, n]).unwrap();
+        batch.upload_matrix(0, &bad_a);
+        batch.upload_matrix(1, &good);
+        batch.upload_matrix(2, &bad_b);
+        let opts = PotrfOptions {
+            strategy,
+            sep: SepOpts { nb_panel: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let report = potrf_vbatched(&dev, &mut batch, &opts).unwrap();
+        assert_eq!(report.info, expect.to_vec(), "{strategy:?}");
+
+        // The healthy matrix is fully factorized despite its neighbors.
+        let f = batch.download_matrix(1);
+        let r = chol_residual(
+            Uplo::Lower,
+            MatRef::from_slice(&f, n, n, n),
+            MatRef::from_slice(&good, n, n, n),
+        );
+        assert!(r < residual_tol::<f64>(n), "{strategy:?}: healthy residual {r}");
+    }
+}
+
+#[test]
+fn broken_matrix_stops_consuming_steps() {
+    // Once a matrix breaks, subsequent fused steps must treat its block
+    // as dead (early exit), not keep factorizing garbage.
+    let dev = Device::new(DeviceConfig::k40c());
+    let n = 64;
+    let mut rng = seeded_rng(61);
+    let mut bad = spd_vec::<f64>(&mut rng, n);
+    bad[1 + n] = -1e9; // breaks in the first panel
+    bad[1] = 0.0;
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
+    batch.upload_matrix(0, &bad);
+    let opts = PotrfOptions {
+        strategy: Strategy::Fused,
+        fused: FusedOpts {
+            etm: EtmPolicy::Aggressive,
+            sorting: false,
+            nb: Some(8),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = potrf_vbatched(&dev, &mut batch, &opts).unwrap();
+    assert_eq!(report.failure_count(), 1);
+    dev.with_profiler(|p| {
+        let e = p.get("dpotrf_fused_step").expect("fused steps ran");
+        // 8 steps for n=64, nb=8; the matrix dies at step 0, so at
+        // least 7 launches see a dead block.
+        assert!(
+            e.early_exit_blocks >= 7,
+            "expected dead-block exits, got {}",
+            e.early_exit_blocks
+        );
+    });
+}
+
+#[test]
+fn invalid_arguments_rejected_before_any_work() {
+    let dev = Device::new(DeviceConfig::k40c());
+    // Rectangular batch rejected by Cholesky.
+    let mut r = VBatch::<f64>::alloc(&dev, &[(4, 6)]).unwrap();
+    assert!(matches!(
+        potrf_vbatched(&dev, &mut r, &PotrfOptions::default()),
+        Err(VbatchError::InvalidArgument(_))
+    ));
+}
+
+#[test]
+fn lu_singularity_reported_with_global_column() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let n = 24;
+    let mut rng = seeded_rng(62);
+    let mut a = rand_mat::<f64>(&mut rng, n * n);
+    for r in 0..n {
+        a[r + 17 * n] = 0.0; // exactly-zero column 17
+    }
+    let mut batch = VBatch::<f64>::alloc(&dev, &[(n, n)]).unwrap();
+    batch.upload_matrix(0, &a);
+    let (report, _) = getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 8 }).unwrap();
+    assert_eq!(report.info[0], 18, "1-based zero-pivot column");
+}
+
+#[test]
+fn error_display_messages() {
+    let e = VbatchError::InvalidArgument("nope");
+    assert!(e.to_string().contains("nope"));
+    let oom = vbatch_gpu_sim::OomError { requested: 10, in_use: 5, capacity: 12 };
+    let e: VbatchError = oom.into();
+    assert!(e.to_string().contains("out of memory"));
+}

@@ -1,0 +1,242 @@
+//! Integration tests of the paper's future-work extensions: vbatched LU
+//! (partial pivoting) and QR over random variable-size batches,
+//! including the batched solves that consume them.
+
+use proptest::prelude::*;
+use rand::Rng;
+use vbatch_core::lu::{getrf_vbatched, GetrfOptions};
+use vbatch_core::qr::{geqrf_vbatched, GeqrfOptions};
+use vbatch_core::solve::getrs_vbatched;
+use vbatch_core::VBatch;
+use vbatch_dense::gen::{diag_dominant_vec, rand_mat, seeded_rng};
+use vbatch_dense::naive;
+use vbatch_dense::verify::{lu_residual, max_abs_diff_slices, qr_residual, residual_tol};
+use vbatch_dense::{MatRef, Trans};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lu_random_rectangular_batches(
+        seed in 0u64..100_000, count in 1usize..6, nb in 4usize..32,
+    ) {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut rng = seeded_rng(seed);
+        let dims: Vec<(usize, usize)> = (0..count)
+            .map(|_| (rng.gen_range(1usize..70), rng.gen_range(1usize..70)))
+            .collect();
+        let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+        let origs: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n))| {
+                let a = rand_mat::<f64>(&mut rng, m * n);
+                batch.upload_matrix(i, &a);
+                a
+            })
+            .collect();
+        let (report, pivots) =
+            getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: nb }).unwrap();
+        prop_assert!(report.all_ok());
+        for (i, &(m, n)) in dims.iter().enumerate() {
+            let k = m.min(n);
+            let f = batch.download_matrix(i);
+            let ipiv = pivots.download(i, k);
+            let r = lu_residual(
+                MatRef::from_slice(&f, m, n, m),
+                &ipiv,
+                MatRef::from_slice(&origs[i], m, n, m),
+            );
+            prop_assert!(r < residual_tol::<f64>(m.max(n)), "matrix {i}: {r}");
+        }
+    }
+
+    #[test]
+    fn qr_random_rectangular_batches(
+        seed in 0u64..100_000, count in 1usize..6, nb in 2usize..24,
+    ) {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut rng = seeded_rng(seed);
+        let dims: Vec<(usize, usize)> = (0..count)
+            .map(|_| (rng.gen_range(1usize..60), rng.gen_range(1usize..60)))
+            .collect();
+        let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+        let origs: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n))| {
+                let a = rand_mat::<f64>(&mut rng, m * n);
+                batch.upload_matrix(i, &a);
+                a
+            })
+            .collect();
+        let (report, tau) = geqrf_vbatched(
+            &dev,
+            &mut batch,
+            &GeqrfOptions { nb_panel: nb, tile_cols: 16 },
+        )
+        .unwrap();
+        prop_assert!(report.all_ok());
+        for (i, &(m, n)) in dims.iter().enumerate() {
+            let k = m.min(n);
+            let f = batch.download_matrix(i);
+            let (r, o) = qr_residual(
+                MatRef::from_slice(&f, m, n, m),
+                &tau.download(i, k),
+                MatRef::from_slice(&origs[i], m, n, m),
+            );
+            prop_assert!(r < residual_tol::<f64>(m.max(n)), "matrix {i} residual {r}");
+            prop_assert!(o < residual_tol::<f64>(m.max(n)), "matrix {i} orthogonality {o}");
+        }
+    }
+}
+
+#[test]
+fn lu_then_solve_recovers_solutions() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let mut rng = seeded_rng(44);
+    let orders = [20usize, 45, 7, 33];
+    let dims: Vec<(usize, usize)> = orders.iter().map(|&n| (n, n)).collect();
+    let mut factors = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+    let rhs_dims: Vec<(usize, usize)> = orders.iter().map(|&n| (n, 2)).collect();
+    let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).unwrap();
+    let mut xs = Vec::new();
+    for (i, &n) in orders.iter().enumerate() {
+        let a = diag_dominant_vec::<f64>(&mut rng, n, n);
+        let x = rand_mat::<f64>(&mut rng, n * 2);
+        let b = naive::gemm_ref(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            &a,
+            n,
+            n,
+            &x,
+            n,
+            2,
+            0.0,
+            &vec![0.0; n * 2],
+            n,
+            2,
+        );
+        factors.upload_matrix(i, &a);
+        rhs.upload_matrix(i, &b);
+        xs.push(x);
+    }
+    let (report, pivots) = getrf_vbatched(&dev, &mut factors, &GetrfOptions::default()).unwrap();
+    assert!(report.all_ok());
+    getrs_vbatched(&dev, &factors, &pivots, &rhs).unwrap();
+    for (i, x) in xs.iter().enumerate() {
+        let got = rhs.download_matrix(i);
+        assert!(max_abs_diff_slices(&got, x) < 1e-7, "solve {i}");
+    }
+}
+
+#[test]
+fn gels_minimizes_residual_on_inconsistent_systems() {
+    // Overdetermined, noisy systems: the QR least-squares solution must
+    // match the normal-equations solution computed densely on the host.
+    use vbatch_core::qr::gels_vbatched;
+    let dev = Device::new(DeviceConfig::k40c());
+    let mut rng = seeded_rng(47);
+    let dims = [(24usize, 6usize), (40, 15)];
+    let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+    let rhs_dims: Vec<(usize, usize)> = dims.iter().map(|&(m, _)| (m, 1)).collect();
+    let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).unwrap();
+    let mut expected = Vec::new();
+    for (i, &(m, n)) in dims.iter().enumerate() {
+        let a = rand_mat::<f64>(&mut rng, m * n);
+        let b = rand_mat::<f64>(&mut rng, m); // generic rhs: inconsistent
+        batch.upload_matrix(i, &a);
+        rhs.upload_matrix(i, &b);
+        // Host normal equations: (AᵀA) x = Aᵀ b.
+        let ata = naive::gemm_ref(
+            Trans::Trans, Trans::NoTrans, 1.0, &a, m, n, &a, m, n, 0.0,
+            &vec![0.0; n * n], n, n,
+        );
+        let atb = naive::gemm_ref(
+            Trans::Trans, Trans::NoTrans, 1.0, &a, m, n, &b, m, 1, 0.0,
+            &vec![0.0; n], n, 1,
+        );
+        let mut f = ata.clone();
+        vbatch_dense::potf2(
+            vbatch_dense::Uplo::Lower,
+            vbatch_dense::MatMut::from_slice(&mut f, n, n, n),
+        )
+        .unwrap();
+        let mut x = atb.clone();
+        vbatch_dense::potrs(
+            vbatch_dense::Uplo::Lower,
+            MatRef::from_slice(&f, n, n, n),
+            vbatch_dense::MatMut::from_slice(&mut x, n, 1, n),
+        );
+        expected.push(x);
+    }
+    let report = gels_vbatched(
+        &dev,
+        &mut batch,
+        &rhs,
+        &vbatch_core::qr::GeqrfOptions { nb_panel: 4, tile_cols: 8 },
+    )
+    .unwrap();
+    assert!(report.all_ok());
+    for (i, &(m, n)) in dims.iter().enumerate() {
+        let sol = rhs.download_matrix(i);
+        for r in 0..n {
+            let d = (sol[r] - expected[i][r]).abs();
+            assert!(d < 1e-8, "matrix {i} x[{r}]: {d} (m={m})");
+        }
+    }
+}
+
+#[test]
+fn lu_qr_advance_the_simulated_clock() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let mut rng = seeded_rng(45);
+    let dims = [(40usize, 40usize), (25, 30)];
+    let mut b1 = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+    for (i, &(m, n)) in dims.iter().enumerate() {
+        b1.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
+    }
+    dev.reset_metrics();
+    getrf_vbatched(&dev, &mut b1, &GetrfOptions::default()).unwrap();
+    assert!(dev.now() > 0.0);
+    assert!(dev.launch_count() > 0);
+
+    let mut b2 = VBatch::<f64>::alloc(&dev, &dims).unwrap();
+    for (i, &(m, n)) in dims.iter().enumerate() {
+        b2.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
+    }
+    dev.reset_metrics();
+    geqrf_vbatched(&dev, &mut b2, &GeqrfOptions::default()).unwrap();
+    assert!(dev.now() > 0.0);
+}
+
+#[test]
+fn f32_extensions() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let mut rng = seeded_rng(46);
+    let dims = [(30usize, 30usize), (18, 24)];
+    let mut batch = VBatch::<f32>::alloc(&dev, &dims).unwrap();
+    let origs: Vec<Vec<f32>> = dims
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, n))| {
+            let a = rand_mat::<f32>(&mut rng, m * n);
+            batch.upload_matrix(i, &a);
+            a
+        })
+        .collect();
+    let (report, pivots) = getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 8 }).unwrap();
+    assert!(report.all_ok());
+    for (i, &(m, n)) in dims.iter().enumerate() {
+        let f = batch.download_matrix(i);
+        let r = lu_residual(
+            MatRef::from_slice(&f, m, n, m),
+            &pivots.download(i, m.min(n)),
+            MatRef::from_slice(&origs[i], m, n, m),
+        );
+        assert!(r < residual_tol::<f32>(m.max(n)), "matrix {i}: {r}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Device-memory accounting across the stack: allocation tracking,
+//! release on drop, workspace sizing, and the padding baseline's
+//! out-of-memory failure mode.
+
+use vbatch_baselines::padded::build_padded_batch;
+use vbatch_core::report::VbatchError;
+use vbatch_core::{potrf_vbatched, PotrfOptions, VBatch};
+use vbatch_dense::gen::seeded_rng;
+use vbatch_gpu_sim::{Device, DeviceConfig};
+use vbatch_workload::fill_spd_batch;
+
+#[test]
+fn batch_allocation_accounted_and_released() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let before = dev.mem_in_use();
+    {
+        let sizes = [100usize, 50, 10];
+        let b = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+        // At least the matrix payload must be accounted.
+        let payload: usize = sizes.iter().map(|&n| n * n * 8).sum();
+        assert!(dev.mem_in_use() >= before + payload);
+        assert_eq!(b.storage_bytes(), payload);
+    }
+    assert_eq!(dev.mem_in_use(), before, "drop must release device memory");
+}
+
+#[test]
+fn factorization_releases_workspaces() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes: Vec<usize> = (0..40).map(|i| 10 + i * 3).collect();
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    let mut rng = seeded_rng(70);
+    fill_spd_batch(&mut batch, &sizes, &mut rng);
+    let with_batch = dev.mem_in_use();
+    potrf_vbatched(&dev, &mut batch, &PotrfOptions::default()).unwrap();
+    // Separated-path workspaces (step state, trtri tiles, index arrays)
+    // must all be transient.
+    assert_eq!(dev.mem_in_use(), with_batch, "driver leaked workspaces");
+    assert!(dev.mem_peak() >= with_batch);
+}
+
+#[test]
+fn padded_oom_at_realistic_scale() {
+    // 800 matrices padded to 1536² in f64 = 15.1 GB > 12 GB.
+    let dev = Device::new(DeviceConfig::k40c());
+    let sizes = vec![8usize; 800];
+    let mats: Vec<Vec<f64>> = sizes
+        .iter()
+        .map(|&n| {
+            let mut m = vec![0.0f64; n * n];
+            for d in 0..n {
+                m[d + d * n] = 4.0;
+            }
+            m
+        })
+        .collect();
+    match build_padded_batch(&dev, &mats, &sizes, 1536) {
+        Err(VbatchError::Oom(e)) => {
+            assert!(e.requested > 0);
+            assert!(e.capacity == dev.config().global_mem_bytes);
+        }
+        Err(other) => panic!("expected OOM, got {other}"),
+        Ok(_) => panic!("expected OOM, got a batch"),
+    }
+    // The failed attempt must not leak partial allocations.
+    assert_eq!(dev.mem_in_use(), 0);
+
+    // The same data fits without padding.
+    let vb = VBatch::<f64>::alloc_square(&dev, &sizes);
+    assert!(vb.is_ok(), "unpadded batch must fit trivially");
+}
+
+#[test]
+fn oom_error_reports_numbers() {
+    let dev = Device::new(DeviceConfig::tiny_test()); // 1 MB
+    let err = match dev.alloc::<f64>(1 << 20) {
+        Err(e) => e,
+        Ok(_) => panic!("expected OOM"),
+    };
+    assert_eq!(err.capacity, 1024 * 1024);
+    assert_eq!(err.requested, 8 << 20);
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"));
+}
+
+#[test]
+fn workspace_oom_propagates_as_error() {
+    // A device whose memory barely fits the batch: the separated
+    // driver's trtri workspace (count × NB² elements) must fail with a
+    // clean Oom error, not a panic, leaving no leaked allocations.
+    let mut cfg = DeviceConfig::k40c();
+    let sizes = vec![200usize; 16];
+    let payload: usize = sizes.iter().map(|&n| n * n * 8).sum();
+    cfg.global_mem_bytes = payload + 64 * 1024; // metadata fits, workspace not
+    let dev = Device::new(cfg);
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    let mut rng = seeded_rng(71);
+    fill_spd_batch(&mut batch, &sizes, &mut rng);
+    let in_use = dev.mem_in_use();
+    let opts = vbatch_core::PotrfOptions {
+        strategy: vbatch_core::Strategy::Separated,
+        ..Default::default()
+    };
+    match potrf_vbatched(&dev, &mut batch, &opts) {
+        Err(VbatchError::Oom(_)) => {}
+        other => panic!("expected workspace OOM, got {:?}", other.map(|r| r.info)),
+    }
+    assert_eq!(dev.mem_in_use(), in_use, "failed driver leaked workspace");
+}
+
+#[test]
+fn launch_limits_propagate_as_error() {
+    // On a device with 1 KB shared memory, the separated syrk tile
+    // buffers cannot launch; the driver must surface the launch error.
+    let dev = Device::new(DeviceConfig::tiny_test());
+    let sizes = [64usize, 80];
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    let mut rng = seeded_rng(72);
+    fill_spd_batch(&mut batch, &sizes, &mut rng);
+    let opts = vbatch_core::PotrfOptions {
+        strategy: vbatch_core::Strategy::Separated,
+        ..Default::default()
+    };
+    assert!(matches!(
+        potrf_vbatched(&dev, &mut batch, &opts),
+        Err(VbatchError::Launch(_))
+    ));
+}
+
+#[test]
+fn peak_tracks_high_water_mark() {
+    let dev = Device::new(DeviceConfig::tiny_test());
+    {
+        let _a = dev.alloc::<f64>(1000).unwrap();
+        let _b = dev.alloc::<f64>(2000).unwrap();
+    }
+    assert_eq!(dev.mem_in_use(), 0);
+    assert!(dev.mem_peak() >= 3000 * 8);
+}
