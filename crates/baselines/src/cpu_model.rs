@@ -251,7 +251,12 @@ mod tests {
         }
         let st = one_core_per_matrix(&c, &sizes, true, CpuSchedule::Static);
         let dy = one_core_per_matrix(&c, &sizes, true, CpuSchedule::Dynamic);
-        assert!(dy.seconds < st.seconds, "dynamic {} vs static {}", dy.seconds, st.seconds);
+        assert!(
+            dy.seconds < st.seconds,
+            "dynamic {} vs static {}",
+            dy.seconds,
+            st.seconds
+        );
         assert!(dy.utilization() > st.utilization());
     }
 

@@ -49,8 +49,7 @@ pub fn potrf_hybrid_serial<T: Scalar>(
     let nb = opts.nb.max(1);
     let count = batch.count();
     let sizes = batch.cols().to_vec();
-    for i in 0..count {
-        let n = sizes[i];
+    for (i, &n) in sizes.iter().enumerate().take(count) {
         if n == 0 {
             continue;
         }
@@ -66,8 +65,9 @@ pub fn potrf_hybrid_serial<T: Scalar>(
             dev.copy_dtoh_bytes(jb * jb * T::BYTES);
             let nf = jb as f64;
             let par_eff = nf / (nf + cpu.cores as f64 * cpu.par_half_n);
-            let cpu_rate =
-                cpu.core_rate(jb, T::IS_DOUBLE) * cpu.cores as f64 * par_eff.max(1.0 / cpu.cores as f64);
+            let cpu_rate = cpu.core_rate(jb, T::IS_DOUBLE)
+                * cpu.cores as f64
+                * par_eff.max(1.0 / cpu.cores as f64);
             let cpu_t = vbatch_dense::flops::potrf(jb) / cpu_rate + cpu.region_overhead_s;
             dev.advance_time(cpu_t, 0.0);
             // The math itself runs in place (the simulation's host and
@@ -164,7 +164,11 @@ pub fn potrf_hybrid_serial<T: Scalar>(
                     }
                     charge_read::<T>(ctx, (mt + nt) * jb + mt * nt);
                     charge_write::<T>(ctx, mt * nt);
-                    charge_flops::<T>(ctx, 128.min(mt * nt / 8).max(32), 2.0 * mt as f64 * nt as f64 * jb as f64);
+                    charge_flops::<T>(
+                        ctx,
+                        128.min(mt * nt / 8).max(32),
+                        2.0 * mt as f64 * nt as f64 * jb as f64,
+                    );
                     ctx.sync();
                 })?;
             }
@@ -254,8 +258,7 @@ mod tests {
         let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
         batch.upload_matrix(0, &bad);
         let cpu = CpuConfig::dual_e5_2670();
-        let report =
-            potrf_hybrid_serial(&dev, &mut batch, &cpu, &HybridOptions { nb: 8 }).unwrap();
+        let report = potrf_hybrid_serial(&dev, &mut batch, &cpu, &HybridOptions { nb: 8 }).unwrap();
         assert_eq!(report.failures(), vec![(0, 6)]);
     }
 }

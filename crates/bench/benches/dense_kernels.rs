@@ -1,14 +1,21 @@
 //! Criterion: real wall-time of the dense building-block kernels that
 //! every simulated thread block executes.
+//!
+//! `dense_gemm_nt` measures the dispatching engine; `dense_gemm_small` /
+//! `dense_gemm_blocked` pin each tier explicitly so a perf regression in
+//! one tier can't hide behind the dispatch threshold.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
+use vbatch_dense::level3::tier;
 use vbatch_dense::{flops, gemm, potf2, trsm, Diag, MatMut, MatRef, Side, Trans, Uplo};
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dense_gemm_nt");
+type GemmFn = fn(Trans, Trans, f64, MatRef<'_, f64>, MatRef<'_, f64>, f64, MatMut<'_, f64>);
+
+fn bench_gemm_with(c: &mut Criterion, group: &str, sizes: &[usize], gemm_fn: GemmFn) {
+    let mut g = c.benchmark_group(group);
     g.sample_size(20);
-    for &n in &[16usize, 32, 64, 128] {
+    for &n in sizes {
         let mut rng = seeded_rng(1);
         let a = rand_mat::<f64>(&mut rng, n * n);
         let b = rand_mat::<f64>(&mut rng, n * n);
@@ -16,7 +23,7 @@ fn bench_gemm(c: &mut Criterion) {
         g.throughput(Throughput::Elements(flops::gemm(n, n, n) as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
             bench.iter(|| {
-                gemm(
+                gemm_fn(
                     Trans::NoTrans,
                     Trans::Trans,
                     -1.0,
@@ -29,6 +36,22 @@ fn bench_gemm(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    bench_gemm_with(c, "dense_gemm_nt", &[16, 32, 64, 128], gemm::<f64>);
+    bench_gemm_with(
+        c,
+        "dense_gemm_small",
+        &[16, 32, 64],
+        tier::gemm_small::<f64>,
+    );
+    bench_gemm_with(
+        c,
+        "dense_gemm_blocked",
+        &[32, 64, 128],
+        tier::gemm_blocked::<f64>,
+    );
 }
 
 fn bench_potf2(c: &mut Criterion) {

@@ -24,7 +24,11 @@ fn bench_strategies(c: &mut Criterion) {
             "fused-classic",
             PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm: EtmPolicy::Classic, sorting: false, ..Default::default() },
+                fused: FusedOpts {
+                    etm: EtmPolicy::Classic,
+                    sorting: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         ),
@@ -32,7 +36,11 @@ fn bench_strategies(c: &mut Criterion) {
             "fused-aggr-sort",
             PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm: EtmPolicy::Aggressive, sorting: true, ..Default::default() },
+                fused: FusedOpts {
+                    etm: EtmPolicy::Aggressive,
+                    sorting: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         ),
@@ -40,7 +48,11 @@ fn bench_strategies(c: &mut Criterion) {
             "separated-batched",
             PotrfOptions {
                 strategy: Strategy::Separated,
-                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Batched },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    nb_inner: 8,
+                    syrk: SyrkMode::Batched,
+                },
                 ..Default::default()
             },
         ),
@@ -48,7 +60,11 @@ fn bench_strategies(c: &mut Criterion) {
             "separated-streamed",
             PotrfOptions {
                 strategy: Strategy::Separated,
-                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Streamed },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    nb_inner: 8,
+                    syrk: SyrkMode::Streamed,
+                },
                 ..Default::default()
             },
         ),

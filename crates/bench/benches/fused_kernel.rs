@@ -40,7 +40,7 @@ fn bench_nb_ablation(c: &mut Criterion) {
         let spd = spd_vec::<f64>(&mut rng, n);
         g.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |bench, &nb| {
             bench.iter(|| {
-                let mut batch = VBatch::<f64>::alloc_square(&dev, &vec![n; 16]).unwrap();
+                let mut batch = VBatch::<f64>::alloc_square(&dev, &[n; 16]).unwrap();
                 for i in 0..16 {
                     batch.upload_matrix(i, &spd);
                 }

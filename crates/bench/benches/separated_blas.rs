@@ -20,8 +20,15 @@ fn bench_separated(c: &mut Criterion) {
         batch.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
     }
     let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
-    st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
-        .unwrap();
+    st.update(
+        &dev,
+        batch.d_ptrs(),
+        batch.d_cols(),
+        batch.d_ld(),
+        sizes.len(),
+        0,
+    )
+    .unwrap();
     let max_trail = sizes.iter().max().unwrap() - 32;
 
     g.bench_function("syrk_vbatched", |b| {

@@ -13,10 +13,12 @@ use vbatch_core::{EtmPolicy, FusedOpts, PotrfOptions, Strategy};
 use vbatch_dense::gen::seeded_rng;
 use vbatch_workload::SizeDist;
 
+type DistFactory = Box<dyn Fn(usize) -> SizeDist>;
+
 fn main() {
     let wall = Instant::now();
     let count = scaled_count(256);
-    let dists: Vec<(&str, Box<dyn Fn(usize) -> SizeDist>)> = vec![
+    let dists: Vec<(&str, DistFactory)> = vec![
         ("fixed", Box::new(|max| SizeDist::Fixed { size: max })),
         ("uniform", Box::new(|max| SizeDist::Uniform { max })),
         ("gaussian", Box::new(|max| SizeDist::Gaussian { max })),
@@ -78,5 +80,8 @@ fn main() {
         "Nmax",
         &sort_gain,
     );
-    eprintln!("ablation_distributions done in {:.1}s", wall.elapsed().as_secs_f64());
+    eprintln!(
+        "ablation_distributions done in {:.1}s",
+        wall.elapsed().as_secs_f64()
+    );
 }

@@ -54,5 +54,8 @@ fn main() {
         "Nmax",
         &series,
     );
-    eprintln!("ablation_window done in {:.1}s", wall.elapsed().as_secs_f64());
+    eprintln!(
+        "ablation_window done in {:.1}s",
+        wall.elapsed().as_secs_f64()
+    );
 }

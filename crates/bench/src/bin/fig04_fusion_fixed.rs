@@ -43,7 +43,11 @@ fn separated_time<T: Scalar>(n: usize, count: usize, seed: u64) -> f64 {
     // per step.
     let opts = PotrfOptions {
         strategy: Strategy::Separated,
-        sep: SepOpts { nb_panel: 32, nb_inner: 1, ..Default::default() },
+        sep: SepOpts {
+            nb_panel: 32,
+            nb_inner: 1,
+            ..Default::default()
+        },
         ..Default::default()
     };
     potrf_vbatched_max(&dev, &mut batch, n, &opts).unwrap();

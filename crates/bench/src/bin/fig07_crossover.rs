@@ -52,7 +52,13 @@ fn run<T: Scalar>(fig: &str, title: &str) {
 
 fn main() {
     let wall = Instant::now();
-    run::<f32>("fig07a", "Crossover fused/separated/combined — SPOTRF (Gflop/s)");
-    run::<f64>("fig07b", "Crossover fused/separated/combined — DPOTRF (Gflop/s)");
+    run::<f32>(
+        "fig07a",
+        "Crossover fused/separated/combined — SPOTRF (Gflop/s)",
+    );
+    run::<f64>(
+        "fig07b",
+        "Crossover fused/separated/combined — DPOTRF (Gflop/s)",
+    );
     eprintln!("fig07 done in {:.1}s", wall.elapsed().as_secs_f64());
 }

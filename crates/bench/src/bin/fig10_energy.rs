@@ -7,8 +7,8 @@
 //! package power model (PAPI substitute).
 
 use std::time::Instant;
-use vbatch_bench::{fresh_device, scaled_count};
 use vbatch_baselines::cpu_model::{cpu_energy_j, one_core_per_matrix, CpuConfig, CpuSchedule};
+use vbatch_bench::{fresh_device, scaled_count};
 use vbatch_core::{potrf_vbatched_max, PotrfOptions, VBatch};
 use vbatch_dense::gen::seeded_rng;
 use vbatch_workload::fill_spd_batch;
@@ -64,7 +64,9 @@ fn main() {
     std::fs::create_dir_all("target/figures").unwrap();
     let mut csv = String::from("lo,hi,cpu_s,cpu_j,gpu_s,gpu_j,ratio\n");
     for (lo, hi, cs, ce, gs, ge, r) in rows {
-        csv.push_str(&format!("{lo},{hi},{cs:.6},{ce:.3},{gs:.6},{ge:.3},{r:.3}\n"));
+        csv.push_str(&format!(
+            "{lo},{hi},{cs:.6},{ce:.3},{gs:.6},{ge:.3},{r:.3}\n"
+        ));
     }
     std::fs::write("target/figures/fig10.csv", csv).unwrap();
     println!("(csv: target/figures/fig10.csv)");

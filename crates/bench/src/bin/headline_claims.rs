@@ -16,9 +16,7 @@
 //!  8. the GPU is more energy-efficient than the CPU.
 
 use std::time::Instant;
-use vbatch_baselines::cpu_model::{
-    cpu_energy_j, one_core_per_matrix, CpuConfig, CpuSchedule,
-};
+use vbatch_baselines::cpu_model::{cpu_energy_j, one_core_per_matrix, CpuConfig, CpuSchedule};
 use vbatch_baselines::hybrid::{potrf_hybrid_serial, HybridOptions};
 use vbatch_baselines::padded::run_padded;
 use vbatch_bench::{fresh_device, run_gpu_potrf, scaled_count};
@@ -28,7 +26,10 @@ use vbatch_dense::gen::{seeded_rng, spd_vec};
 use vbatch_workload::{fill_spd_batch, SizeDist};
 
 fn claim(id: u32, text: &str, pass: bool, detail: String) -> bool {
-    println!("[{}] claim {id}: {text}\n      {detail}", if pass { "PASS" } else { "FAIL" });
+    println!(
+        "[{}] claim {id}: {text}\n      {detail}",
+        if pass { "PASS" } else { "FAIL" }
+    );
     pass
 }
 
@@ -43,12 +44,19 @@ fn main() {
             let sizes = vec![n; (4096 / n).clamp(32, 256)];
             let fused = PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { sorting: false, ..Default::default() },
+                fused: FusedOpts {
+                    sorting: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let sep = PotrfOptions {
                 strategy: Strategy::Separated,
-                sep: SepOpts { nb_panel: 32, nb_inner: 1, ..Default::default() },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    nb_inner: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             run_gpu_potrf::<f64>(&sizes, &fused, 1) / run_gpu_potrf::<f64>(&sizes, &sep, 1)
@@ -69,19 +77,29 @@ fn main() {
             let sizes = dist.sample_batch(&mut seeded_rng(2), count);
             let opts = PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm, sorting, ..Default::default() },
+                fused: FusedOpts {
+                    etm,
+                    sorting,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             run_gpu_potrf::<f64>(&sizes, &opts, 3)
         };
         let uni = SizeDist::Uniform { max: 384 };
         let gau = SizeDist::Gaussian { max: 384 };
-        let (uc, ua) = (gf(uni, EtmPolicy::Classic, false), gf(uni, EtmPolicy::Aggressive, false));
+        let (uc, ua) = (
+            gf(uni, EtmPolicy::Classic, false),
+            gf(uni, EtmPolicy::Aggressive, false),
+        );
         all &= claim(
             2,
             "ETM-aggressive beats ETM-classic (uniform, no sorting)",
             ua > uc,
-            format!("classic {uc:.1} vs aggressive {ua:.1} Gflop/s (+{:.0}%)", (ua / uc - 1.0) * 100.0),
+            format!(
+                "classic {uc:.1} vs aggressive {ua:.1} Gflop/s (+{:.0}%)",
+                (ua / uc - 1.0) * 100.0
+            ),
         );
         let ucs = gf(uni, EtmPolicy::Classic, true);
         let gc = gf(gau, EtmPolicy::Classic, false);
@@ -92,7 +110,11 @@ fn main() {
             3,
             "sorting helps, Gaussian more than uniform (ETM-classic)",
             gcs > gc && gain_g > gain_u,
-            format!("gain uniform {:.0}%, gaussian {:.0}%", gain_u * 100.0, gain_g * 100.0),
+            format!(
+                "gain uniform {:.0}%, gaussian {:.0}%",
+                gain_u * 100.0,
+                gain_g * 100.0
+            ),
         );
     }
 
@@ -104,10 +126,16 @@ fn main() {
             let auto = run_gpu_potrf::<f64>(&sizes, &PotrfOptions::default(), 5);
             let sep = run_gpu_potrf::<f64>(
                 &sizes,
-                &PotrfOptions { strategy: Strategy::Separated, ..Default::default() },
+                &PotrfOptions {
+                    strategy: Strategy::Separated,
+                    ..Default::default()
+                },
                 5,
             );
-            let fused_opts = PotrfOptions { strategy: Strategy::Fused, ..Default::default() };
+            let fused_opts = PotrfOptions {
+                strategy: Strategy::Fused,
+                ..Default::default()
+            };
             let fused = if vbatch_core::fused::fused_feasible::<f64>(
                 &fresh_device(),
                 max,
@@ -141,7 +169,10 @@ fn main() {
             5,
             "vbatched beats the best CPU competitor (paper: up to 2.5x)",
             g_vb > g_dy && g_vb / g_dy < 4.0,
-            format!("GPU {g_vb:.1} vs CPU-dynamic {g_dy:.1} Gflop/s ({:.2}x)", g_vb / g_dy),
+            format!(
+                "GPU {g_vb:.1} vs CPU-dynamic {g_dy:.1} Gflop/s ({:.2}x)",
+                g_vb / g_dy
+            ),
         );
 
         let dev = fresh_device();
@@ -150,13 +181,15 @@ fn main() {
         dev.reset_metrics();
         run_padded(&dev, &mats, &sizes, max).unwrap();
         let g_pad = total / dev.now() / 1e9;
-        let oom_at_paper_scale =
-            800 * 1536 * 1536 * 8 > fresh_device().config().global_mem_bytes;
+        let oom_at_paper_scale = 800 * 1536 * 1536 * 8 > fresh_device().config().global_mem_bytes;
         all &= claim(
             6,
             "padding is several times slower and OOMs at paper scale",
             g_vb / g_pad > 2.0 && oom_at_paper_scale,
-            format!("vbatched/padded {:.1}x; 800x1536^2 f64 > 12 GB: {oom_at_paper_scale}", g_vb / g_pad),
+            format!(
+                "vbatched/padded {:.1}x; 800x1536^2 f64 > 12 GB: {oom_at_paper_scale}",
+                g_vb / g_pad
+            ),
         );
 
         // Hybrid vs padded at a smaller maximum (the paper's curves show
@@ -181,7 +214,9 @@ fn main() {
             7,
             "hybrid is the worst GPU-side alternative (small/mid sizes)",
             g_hy < g_pad_s && g_hy < g_vb,
-            format!("hybrid {g_hy:.1} vs padded {g_pad_s:.1} vs vbatched {g_vb:.1} Gflop/s (Nmax 256)"),
+            format!(
+                "hybrid {g_hy:.1} vs padded {g_pad_s:.1} vs vbatched {g_vb:.1} Gflop/s (Nmax 256)"
+            ),
         );
 
         let dev = fresh_device();
@@ -196,14 +231,20 @@ fn main() {
             8,
             "GPU more energy-efficient than CPU (paper: up to 3x)",
             e_cpu > e_gpu,
-            format!("CPU {e_cpu:.2} J vs GPU {e_gpu:.2} J ({:.2}x)", e_cpu / e_gpu),
+            format!(
+                "CPU {e_cpu:.2} J vs GPU {e_gpu:.2} J ({:.2}x)",
+                e_cpu / e_gpu
+            ),
         );
     }
 
     println!(
-        "\n{} — {} ({:.1}s)",
-        if all { "ALL CLAIMS HOLD" } else { "SOME CLAIMS FAILED" },
-        "paper-shape audit",
+        "\n{} — paper-shape audit ({:.1}s)",
+        if all {
+            "ALL CLAIMS HOLD"
+        } else {
+            "SOME CLAIMS FAILED"
+        },
         wall.elapsed().as_secs_f64()
     );
     std::process::exit(i32::from(!all));

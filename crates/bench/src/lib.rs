@@ -119,7 +119,11 @@ pub fn run_gpu_potrf<T: Scalar>(sizes: &[usize], opts: &PotrfOptions, seed: u64)
     dev.reset_metrics();
     let max_n = sizes.iter().copied().max().unwrap_or(0);
     let report = potrf_vbatched_max(&dev, &mut batch, max_n, opts).expect("potrf");
-    assert!(report.all_ok(), "unexpected failures: {:?}", report.failures());
+    assert!(
+        report.all_ok(),
+        "unexpected failures: {:?}",
+        report.failures()
+    );
     let t = dev.now();
     if std::env::var("VBATCH_VERBOSE").is_ok() {
         eprintln!(
@@ -175,10 +179,8 @@ pub fn run_versions<T: Scalar>(
         .map(|(name, _)| Series::new(format!("{}{name}", T::PREFIX)))
         .collect();
     for &max in &[64usize, 128, 256, 384, 512] {
-        let sizes = dist(max).sample_batch(
-            &mut vbatch_dense::gen::seeded_rng(40 + max as u64),
-            count,
-        );
+        let sizes =
+            dist(max).sample_batch(&mut vbatch_dense::gen::seeded_rng(40 + max as u64), count);
         for (si, (_, opts)) in version_options().iter().enumerate() {
             let g = run_gpu_potrf::<T>(&sizes, opts, 41);
             series[si].push(max, g);
@@ -218,11 +220,15 @@ pub fn run_overall<T: Scalar>(
     let mut pad_notes: Vec<String> = Vec::new();
 
     for &max in &[128usize, 256, 384, 512, 768, 1024] {
-        let sizes = dist(max).sample_batch(&mut vbatch_dense::gen::seeded_rng(80 + max as u64), count);
+        let sizes =
+            dist(max).sample_batch(&mut vbatch_dense::gen::seeded_rng(80 + max as u64), count);
         let total = flops::potrf_batch(&sizes);
 
         // Proposed vbatched (combined strategy).
-        s_vb.push(max, run_gpu_potrf::<T>(&sizes, &PotrfOptions::default(), 81));
+        s_vb.push(
+            max,
+            run_gpu_potrf::<T>(&sizes, &PotrfOptions::default(), 81),
+        );
 
         // MAGMA hybrid, one matrix at a time.
         {

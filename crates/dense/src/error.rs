@@ -54,7 +54,11 @@ impl fmt::Display for Error {
                 column + 1
             ),
             Error::Singular { column } => {
-                write!(f, "matrix is singular (zero pivot at column {})", column + 1)
+                write!(
+                    f,
+                    "matrix is singular (zero pivot at column {})",
+                    column + 1
+                )
             }
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

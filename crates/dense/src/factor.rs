@@ -7,7 +7,7 @@
 //! baselines and as single-matrix references for the batched results.
 
 use crate::error::{Error, Result};
-use crate::level3::{gemm, syrk, trsm};
+use crate::level3::{axpy, dot, gemm, syrk, trsm};
 use crate::matrix::{Diag, MatMut, MatRef, Side, Trans, Uplo};
 use crate::scalar::Scalar;
 
@@ -23,44 +23,51 @@ pub fn potf2<T: Scalar>(uplo: Uplo, mut a: MatMut<'_, T>) -> Result<()> {
     assert_eq!(a.ncols(), n, "potf2: matrix must be square");
     match uplo {
         Uplo::Lower => {
+            // Left-looking by column: the trailing update of column j is
+            // a sequence of column axpys `A(j+1.., j) −= A(j,l)·A(j+1.., l)`
+            // over contiguous slices.
             for j in 0..n {
                 let mut ajj = a.get(j, j);
                 for l in 0..j {
                     let v = a.get(j, l);
                     ajj -= v * v;
                 }
-                if !(ajj > T::ZERO) || !ajj.is_finite() {
+                if ajj <= T::ZERO || !ajj.is_finite() {
                     return Err(Error::NotPositiveDefinite { column: j });
                 }
                 let ajj = ajj.sqrt();
                 a.set(j, j, ajj);
-                for i in j + 1..n {
-                    let mut v = a.get(i, j);
-                    for l in 0..j {
-                        v -= a.get(i, l) * a.get(j, l);
+                if j + 1 == n {
+                    continue;
+                }
+                for l in 0..j {
+                    let w = a.get(j, l);
+                    if w != T::ZERO {
+                        let (dst, src) = a.col_pair_mut(j, l);
+                        axpy(&mut dst[j + 1..], &src[j + 1..], -w);
                     }
-                    a.set(i, j, v / ajj);
+                }
+                for v in &mut a.col_as_mut_slice(j)[j + 1..] {
+                    *v /= ajj;
                 }
             }
         }
         Uplo::Upper => {
+            // Column j's factored prefix is contiguous, so both the pivot
+            // and the row-j update reduce to slice dot products.
             for j in 0..n {
-                let mut ajj = a.get(j, j);
-                for l in 0..j {
-                    let v = a.get(l, j);
-                    ajj -= v * v;
-                }
-                if !(ajj > T::ZERO) || !ajj.is_finite() {
+                let ajj = {
+                    let cj = a.col_as_slice(j);
+                    a.get(j, j) - dot(&cj[..j], &cj[..j])
+                };
+                if ajj <= T::ZERO || !ajj.is_finite() {
                     return Err(Error::NotPositiveDefinite { column: j });
                 }
                 let ajj = ajj.sqrt();
                 a.set(j, j, ajj);
                 for i in j + 1..n {
-                    let mut v = a.get(j, i);
-                    for l in 0..j {
-                        v -= a.get(l, i) * a.get(l, j);
-                    }
-                    a.set(j, i, v / ajj);
+                    let (ci, cj) = a.col_pair_mut(i, j);
+                    ci[j] = (ci[j] - dot(&ci[..j], &cj[..j])) / ajj;
                 }
             }
         }
@@ -82,7 +89,9 @@ pub fn potrf_blocked<T: Scalar>(uplo: Uplo, mut a: MatMut<'_, T>, nb: usize) -> 
         let jb = nb.min(n - j);
         // Factorize the diagonal tile.
         potf2(uplo, a.rb().sub(j, j, jb, jb)).map_err(|e| match e {
-            Error::NotPositiveDefinite { column } => Error::NotPositiveDefinite { column: j + column },
+            Error::NotPositiveDefinite { column } => {
+                Error::NotPositiveDefinite { column: j + column }
+            }
             other => other,
         })?;
         let rest = n - j - jb;
@@ -200,7 +209,11 @@ pub fn trtri<T: Scalar>(uplo: Uplo, diag: Diag, mut a: MatMut<'_, T>) -> Result<
                     for l in i + 1..j {
                         acc += a.get(i, l) * a.get(l, j);
                     }
-                    let d = if diag == Diag::NonUnit { a.get(i, i) } else { T::ONE };
+                    let d = if diag == Diag::NonUnit {
+                        a.get(i, i)
+                    } else {
+                        T::ONE
+                    };
                     a.set(i, j, -acc / d);
                 }
             }
@@ -284,7 +297,7 @@ pub fn getf2<T: Scalar>(mut a: MatMut<'_, T>, ipiv: &mut [usize]) -> Result<()> 
     let k = m.min(n);
     assert!(ipiv.len() >= k, "getf2: ipiv too short");
     let mut first_zero: Option<usize> = None;
-    for j in 0..k {
+    for (j, piv) in ipiv.iter_mut().enumerate().take(k) {
         // Pivot search in column j, rows j..m.
         let mut p = j;
         let mut best = a.get(j, j).abs();
@@ -295,7 +308,7 @@ pub fn getf2<T: Scalar>(mut a: MatMut<'_, T>, ipiv: &mut [usize]) -> Result<()> 
                 p = i;
             }
         }
-        ipiv[j] = p;
+        *piv = p;
         if best == T::ZERO {
             if first_zero.is_none() {
                 first_zero = Some(j);
@@ -336,8 +349,7 @@ pub fn getf2<T: Scalar>(mut a: MatMut<'_, T>, ipiv: &mut [usize]) -> Result<()> 
 /// order): for `i` in `k1..k2`, swap rows `i` and `ipiv[i]` of `a`.
 pub fn laswp<T: Scalar>(mut a: MatMut<'_, T>, k1: usize, k2: usize, ipiv: &[usize]) {
     let n = a.ncols();
-    for i in k1..k2 {
-        let p = ipiv[i];
+    for (i, &p) in ipiv.iter().enumerate().take(k2).skip(k1) {
         if p != i {
             for j in 0..n {
                 let t = a.get(i, j);
@@ -376,8 +388,8 @@ pub fn getrf<T: Scalar>(mut a: MatMut<'_, T>, ipiv: &mut [usize], nb: usize) -> 
         }
         // Globalize pivot indices and apply the swaps to the columns
         // outside the panel.
-        for i in j..j + jb {
-            ipiv[i] += j;
+        for p in &mut ipiv[j..j + jb] {
+            *p += j;
         }
         if j > 0 {
             laswp(a.rb().sub(0, 0, m, j), j, j + jb, ipiv);
@@ -451,7 +463,7 @@ pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>, tau: &mut [T]) {
     let n = a.ncols();
     let k = m.min(n);
     assert!(tau.len() >= k, "geqr2: tau too short");
-    for j in 0..k {
+    for (j, tau_j) in tau.iter_mut().enumerate().take(k) {
         // Generate the reflector for column j (LAPACK xLARFG).
         let alpha = a.get(j, j);
         let mut xnorm2 = T::ZERO;
@@ -460,11 +472,11 @@ pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>, tau: &mut [T]) {
             xnorm2 += v * v;
         }
         if xnorm2 == T::ZERO {
-            tau[j] = T::ZERO;
+            *tau_j = T::ZERO;
         } else {
             let norm = (alpha * alpha + xnorm2).sqrt();
             let beta = if alpha >= T::ZERO { -norm } else { norm };
-            tau[j] = (beta - alpha) / beta;
+            *tau_j = (beta - alpha) / beta;
             let scale = T::ONE / (alpha - beta);
             for i in j + 1..m {
                 let v = a.get(i, j) * scale;
@@ -473,10 +485,10 @@ pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>, tau: &mut [T]) {
             a.set(j, j, beta);
         }
         // Apply H_j to the trailing columns A[j:m, j+1:n].
-        if j + 1 < n && tau[j] != T::ZERO {
+        if j + 1 < n && *tau_j != T::ZERO {
             let v_tail = a.alias_ref().sub(j + 1, j, m - j - 1, 1);
             let trailing = a.rb().sub(j, j + 1, m - j, n - j - 1);
-            larf_left(v_tail, tau[j], trailing);
+            larf_left(v_tail, *tau_j, trailing);
         }
     }
 }
@@ -501,14 +513,14 @@ pub fn larft<T: Scalar>(v: MatRef<'_, T>, tau: &[T], t_out: &mut [T]) {
         }
         // t(0..c, c) = −τ_c · T(0..c,0..c) · (Vᵀ·v_c)(0..c)
         let mut w = vec![T::ZERO; c];
-        for p in 0..c {
+        for (p, wp) in w.iter_mut().enumerate() {
             // w_p = v_pᵀ·v_c over rows p..rows (unit diagonal at row p,
             // v_c zero above row c, implicit 1 at row c).
             let mut acc = v.get(c, p);
             for r in c + 1..rows {
                 acc += v.get(r, p) * v.get(r, c);
             }
-            w[p] = acc;
+            *wp = acc;
         }
         for p in 0..c {
             let mut acc = T::ZERO;
@@ -673,7 +685,9 @@ mod tests {
     use super::*;
     use crate::gen::{diag_dominant_vec, rand_mat, seeded_rng, spd_vec};
     use crate::naive;
-    use crate::verify::{chol_residual, lu_residual, max_abs_diff_slices, qr_residual, residual_tol};
+    use crate::verify::{
+        chol_residual, lu_residual, max_abs_diff_slices, qr_residual, residual_tol,
+    };
 
     #[test]
     fn potf2_known_3x3() {
@@ -823,7 +837,12 @@ mod tests {
     #[test]
     fn trtri_detects_singular() {
         let mut a = vec![1.0f64, 5.0, 0.0, 0.0];
-        let err = trtri(Uplo::Lower, Diag::NonUnit, MatMut::from_slice(&mut a, 2, 2, 2)).unwrap_err();
+        let err = trtri(
+            Uplo::Lower,
+            Diag::NonUnit,
+            MatMut::from_slice(&mut a, 2, 2, 2),
+        )
+        .unwrap_err();
         assert_eq!(err, Error::Singular { column: 1 });
     }
 
@@ -905,7 +924,10 @@ mod tests {
         );
         for j in 0..n {
             for i in j..n {
-                assert!((got[i + j * n] - want[i + j * n]).abs() < 1e-12, "({i},{j})");
+                assert!(
+                    (got[i + j * n] - want[i + j * n]).abs() < 1e-12,
+                    "({i},{j})"
+                );
             }
         }
     }
@@ -925,7 +947,10 @@ mod tests {
                 &p1,
                 MatRef::from_slice(&orig, m, n, m),
             );
-            assert!(r1 < residual_tol::<f64>(m.max(n)), "getf2 {m}x{n} residual {r1}");
+            assert!(
+                r1 < residual_tol::<f64>(m.max(n)),
+                "getf2 {m}x{n} residual {r1}"
+            );
 
             let mut a2 = orig.clone();
             let mut p2 = vec![0usize; k];
@@ -935,7 +960,10 @@ mod tests {
                 &p2,
                 MatRef::from_slice(&orig, m, n, m),
             );
-            assert!(r2 < residual_tol::<f64>(m.max(n)), "getrf {m}x{n} residual {r2}");
+            assert!(
+                r2 < residual_tol::<f64>(m.max(n)),
+                "getrf {m}x{n} residual {r2}"
+            );
         }
     }
 
@@ -966,7 +994,10 @@ mod tests {
                 &t1,
                 MatRef::from_slice(&orig, m, n, m),
             );
-            assert!(r < residual_tol::<f64>(m.max(n)), "geqr2 {m}x{n} residual {r}");
+            assert!(
+                r < residual_tol::<f64>(m.max(n)),
+                "geqr2 {m}x{n} residual {r}"
+            );
             assert!(o < residual_tol::<f64>(m.max(n)), "geqr2 {m}x{n} orth {o}");
 
             let mut a2 = orig.clone();
@@ -977,7 +1008,10 @@ mod tests {
                 &t2,
                 MatRef::from_slice(&orig, m, n, m),
             );
-            assert!(r < residual_tol::<f64>(m.max(n)), "geqrf {m}x{n} residual {r}");
+            assert!(
+                r < residual_tol::<f64>(m.max(n)),
+                "geqrf {m}x{n} residual {r}"
+            );
             assert!(o < residual_tol::<f64>(m.max(n)), "geqrf {m}x{n} orth {o}");
 
             // Blocked and unblocked must agree bitwise-closely on R.

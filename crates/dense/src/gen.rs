@@ -18,7 +18,9 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 
 /// A vector of `len` uniform values in `[-1, 1]`.
 pub fn rand_mat<T: Scalar>(rng: &mut impl Rng, len: usize) -> Vec<T> {
-    (0..len).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect()
+    (0..len)
+        .map(|_| T::from_f64(rng.gen_range(-1.0..1.0)))
+        .collect()
 }
 
 /// Fills `a` with uniform values in `[-1, 1]`.

@@ -1,4 +1,5 @@
-//! Level-3 BLAS kernels (`gemm`, `syrk`, `trsm`, `trmm`).
+//! Level-3 BLAS kernels (`gemm`, `syrk`, `trsm`, `trmm`) — a two-tier
+//! engine.
 //!
 //! These are the building blocks the paper's *separated* approach exposes
 //! as vbatched kernels, and the primitives that the fused kernel inlines.
@@ -6,16 +7,66 @@
 //! real scalars (no conjugation); dimensions follow the BLAS convention
 //! that `op(A)` is `m × k`, `op(B)` is `k × n` and `C` is `m × n`.
 //!
-//! Loop orders are chosen for column-major access: the innermost loop
-//! walks down a column wherever possible (axpy-form `gemm`), matching how
-//! the real MAGMA kernels stream panels.
+//! # The two tiers
+//!
+//! **Small tier** — inner loops run over contiguous column slices
+//! ([`MatRef::col_as_slice`] / [`MatMut::col_as_mut_slice`]) in axpy or
+//! dot form, so the compiler auto-vectorizes them instead of issuing
+//! per-element pointer arithmetic. This is the profile that dominates the
+//! paper's variable-size batched workloads, where most operands are tiny.
+//!
+//! **Blocked tier** — for larger operands, `gemm` switches to BLIS-style
+//! cache tiling: `MC × KC` panels of `op(A)` and `KC × NR` micro-panels
+//! of `op(B)` are packed into reusable thread-local scratch
+//! ([`Scalar::with_scratch`], no steady-state allocation) and consumed by
+//! an `MR × NR` register-tiled microkernel. `syrk` routes its
+//! off-diagonal rank-k updates and `trsm` its block updates through the
+//! same engine, so every consumer — blocked Cholesky/LU, the vbatched
+//! kernels, the CPU baselines — inherits the fast path.
+//!
+//! [`uses_blocked`] exposes the dispatch predicate and the [`tier`]
+//! module exposes both tiers directly so tests and benches can pin a
+//! path regardless of operand size.
 
 use crate::matrix::{Diag, MatMut, MatRef, Side, Trans, Uplo};
 use crate::scalar::Scalar;
 
+/// Rows per register tile of the blocked microkernel.
+pub const MR: usize = 8;
+/// Columns per register tile of the blocked microkernel.
+pub const NR: usize = 4;
+/// Row-panel height cached per packed `op(A)` block (multiple of `MR`).
+pub const MC: usize = 64;
+/// Depth of one packed panel pair (the shared `k` extent per sweep).
+pub const KC: usize = 256;
+
+/// Minimum inner extent `k` for the blocked tier: packing `op(A)` and
+/// `op(B)` is paid once per element but amortized over `k` fused
+/// multiply-adds, so a thin inner dimension can't recoup it.
+pub const BLOCKED_MIN_K: usize = 12;
+/// Minimum column count `n` for the blocked tier: with fewer columns
+/// than two `NR`-wide micro-panels the register tile runs mostly padded.
+pub const BLOCKED_MIN_N: usize = 8;
+
+/// Dispatch predicate: `true` when `gemm` with these dimensions takes
+/// the packed/blocked tier rather than the slice tier.
+///
+/// Host-measured crossover (see `tier_scan` history in the PR): the
+/// packed path wins for every shape with a non-thin inner extent and at
+/// least two micro-panels of columns — volume is irrelevant, `m` is
+/// irrelevant (even `m = 3` amortizes via the zero-padded tile).
+#[inline]
+#[must_use]
+pub fn uses_blocked(m: usize, n: usize, k: usize) -> bool {
+    let _ = m;
+    k >= BLOCKED_MIN_K && n >= BLOCKED_MIN_N
+}
+
 /// General matrix-matrix multiply: `C ← α·op(A)·op(B) + β·C`.
 ///
 /// `C` is `m × n`; `op(A)` must be `m × k` and `op(B)` `k × n`.
+/// Dispatches between the slice tier and the packed/blocked tier on
+/// [`uses_blocked`].
 ///
 /// # Panics
 /// On dimension mismatch.
@@ -28,12 +79,30 @@ pub fn gemm<T: Scalar>(
     beta: T,
     mut c: MatMut<'_, T>,
 ) {
+    let (m, n, k) = check_gemm_dims(transa, transb, a, b, &c);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        scale(&mut c, beta);
+        return;
+    }
+    if uses_blocked(m, n, k) {
+        // β folds into the first panel sweep's writeback — no separate
+        // pass over C.
+        gemm_blocked_acc(transa, transb, alpha, a, b, beta, &mut c);
+    } else {
+        scale(&mut c, beta);
+        gemm_small_acc(transa, transb, alpha, a, b, &mut c);
+    }
+}
+
+fn check_gemm_dims<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &MatMut<'_, T>,
+) -> (usize, usize, usize) {
     let m = c.nrows();
     let n = c.ncols();
-    let k = match transa {
-        Trans::NoTrans => a.ncols(),
-        Trans::Trans => a.nrows(),
-    };
     let (am, ak) = match transa {
         Trans::NoTrans => (a.nrows(), a.ncols()),
         Trans::Trans => (a.ncols(), a.nrows()),
@@ -43,77 +112,448 @@ pub fn gemm<T: Scalar>(
         Trans::Trans => (b.ncols(), b.nrows()),
     };
     assert_eq!(am, m, "gemm: op(A) row mismatch");
-    assert_eq!(ak, k, "gemm: op(A)/op(B) inner mismatch");
-    assert_eq!(bk, k, "gemm: op(B) row mismatch");
+    assert_eq!(bk, ak, "gemm: op(A)/op(B) inner mismatch");
     assert_eq!(bn, n, "gemm: op(B) col mismatch");
+    (m, n, ak)
+}
 
-    // Scale C by beta first.
-    scale(&mut c, beta);
-    if alpha == T::ZERO || m == 0 || n == 0 {
-        return;
+// ---------------------------------------------------------------------
+// Slice helpers — the vectorization primitives of the small tier.
+// ---------------------------------------------------------------------
+
+/// `y ← y + a·x` over equal-length slices.
+#[inline]
+pub(crate) fn axpy<T: Scalar>(y: &mut [T], x: &[T], a: T) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = a.mul_add(*xi, *yi);
     }
+}
 
-    match (transa, transb) {
-        (Trans::NoTrans, Trans::NoTrans) => {
-            // C(:,j) += alpha * A(:,l) * B(l,j)  — pure column axpys.
-            for j in 0..n {
-                for l in 0..k {
-                    let blj = alpha * b.get(l, j);
-                    if blj == T::ZERO {
-                        continue;
-                    }
-                    for i in 0..m {
-                        let v = c.get(i, j) + a.get(i, l) * blj;
-                        c.set(i, j, v);
-                    }
-                }
-            }
+/// Dot product with eight partial accumulators, so the float reduction
+/// can vectorize without re-association concerns on the final sum.
+#[inline]
+pub(crate) fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    const LANES: usize = 8;
+    let n = x.len().min(y.len());
+    let split = n - n % LANES;
+    let mut acc = [T::ZERO; LANES];
+    for (xa, ya) in x[..split]
+        .chunks_exact(LANES)
+        .zip(y[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] = xa[l].mul_add(ya[l], acc[l]);
         }
-        (Trans::NoTrans, Trans::Trans) => {
+    }
+    let mut s = T::ZERO;
+    for v in acc {
+        s += v;
+    }
+    for (xi, yi) in x[split..n].iter().zip(&y[split..n]) {
+        s += *xi * *yi;
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Small tier: column-slice axpy/dot loops.
+// ---------------------------------------------------------------------
+
+/// `C ← C + α·op(A)·op(B)` (β already applied) via slice loops.
+fn gemm_small_acc<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = match transa {
+        Trans::NoTrans => a.ncols(),
+        Trans::Trans => a.nrows(),
+    };
+    match (transa, transb) {
+        (Trans::NoTrans, _) => {
+            // C(:,j) += α·B(l,j) · A(:,l) — pure column axpys.
             for j in 0..n {
+                let cj = c.col_as_mut_slice(j);
                 for l in 0..k {
-                    let blj = alpha * b.get(j, l);
-                    if blj == T::ZERO {
-                        continue;
-                    }
-                    for i in 0..m {
-                        let v = c.get(i, j) + a.get(i, l) * blj;
-                        c.set(i, j, v);
+                    let w = alpha
+                        * match transb {
+                            Trans::NoTrans => b.get(l, j),
+                            Trans::Trans => b.get(j, l),
+                        };
+                    if w != T::ZERO {
+                        axpy(cj, a.col_as_slice(l), w);
                     }
                 }
             }
         }
         (Trans::Trans, Trans::NoTrans) => {
-            // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both columns walk down.
+            // C(i,j) += α·dot(A(:,i), B(:,j)) — both columns contiguous.
             for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for l in 0..k {
-                        acc += a.get(l, i) * b.get(l, j);
-                    }
-                    let v = c.get(i, j) + alpha * acc;
-                    c.set(i, j, v);
+                let bj = b.col_as_slice(j);
+                let cj = c.col_as_mut_slice(j);
+                for (i, ci) in cj.iter_mut().enumerate().take(m) {
+                    *ci += alpha * dot(a.col_as_slice(i), bj);
                 }
             }
         }
         (Trans::Trans, Trans::Trans) => {
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for l in 0..k {
-                        acc += a.get(l, i) * b.get(j, l);
+            // Gather row j of B once per output column so the inner dot
+            // runs over two contiguous slices.
+            T::with_scratch(k, |brow| {
+                for j in 0..n {
+                    for (l, slot) in brow.iter_mut().enumerate() {
+                        *slot = b.get(j, l);
                     }
-                    let v = c.get(i, j) + alpha * acc;
-                    c.set(i, j, v);
+                    let cj = c.col_as_mut_slice(j);
+                    for (i, ci) in cj.iter_mut().enumerate().take(m) {
+                        *ci += alpha * dot(a.col_as_slice(i), brow);
+                    }
+                }
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked tier: packed panels + register-tiled microkernel.
+// ---------------------------------------------------------------------
+
+/// `C ← C + α·op(A)·op(B)` (β already applied) via MC×KC×NR tiling.
+fn gemm_blocked_acc<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = match transa {
+        Trans::NoTrans => a.ncols(),
+        Trans::Trans => a.nrows(),
+    };
+    let kc_max = KC.min(k);
+    let pa_len = MC * kc_max;
+    let pb_len = n.div_ceil(NR) * NR * kc_max;
+    T::with_scratch(pa_len + pb_len, |scratch| {
+        let (pa_buf, pb_buf) = scratch.split_at_mut(pa_len);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Every C tile is written exactly once per panel sweep, so
+            // the first sweep applies β and later sweeps accumulate.
+            let beta_eff = if pc == 0 { beta } else { T::ONE };
+            pack_b(transb, b, pc, kc, n, pb_buf);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(transa, a, ic, mc, pc, kc, pa_buf);
+                for jr0 in (0..n).step_by(NR) {
+                    let nr = NR.min(n - jr0);
+                    let pb_panel = &pb_buf[(jr0 / NR) * (NR * kc)..][..NR * kc];
+                    for ir0 in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir0);
+                        let pa_panel = &pa_buf[(ir0 / MR) * (MR * kc)..][..MR * kc];
+                        microkernel(
+                            alpha,
+                            pa_panel,
+                            pb_panel,
+                            beta_eff,
+                            c,
+                            ic + ir0,
+                            jr0,
+                            mr,
+                            nr,
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Packs `op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-row micro-panels:
+/// element `(ir0+r, pc+p)` lands at `(ir0/MR)·MR·kc + p·MR + r`, with
+/// rows past `mc` zero-padded so the microkernel needs no row masking.
+fn pack_a<T: Scalar>(
+    transa: Trans,
+    a: MatRef<'_, T>,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut [T],
+) {
+    for ir0 in (0..mc).step_by(MR) {
+        let mr = MR.min(mc - ir0);
+        let panel = &mut buf[(ir0 / MR) * (MR * kc)..][..MR * kc];
+        match transa {
+            Trans::NoTrans => {
+                for p in 0..kc {
+                    let col = &a.col_as_slice(pc + p)[ic + ir0..];
+                    let dst = &mut panel[p * MR..p * MR + MR];
+                    dst[..mr].copy_from_slice(&col[..mr]);
+                    dst[mr..].fill(T::ZERO);
+                }
+            }
+            Trans::Trans => {
+                // op(A)(i,p) = A(p,i): read each needed column of A once.
+                for r in 0..mr {
+                    let col = &a.col_as_slice(ic + ir0 + r)[pc..];
+                    for p in 0..kc {
+                        panel[p * MR + r] = col[p];
+                    }
+                }
+                for r in mr..MR {
+                    for p in 0..kc {
+                        panel[p * MR + r] = T::ZERO;
+                    }
                 }
             }
         }
     }
 }
 
+/// Packs `op(B)[pc..pc+kc, 0..n]` into `NR`-column micro-panels:
+/// element `(pc+p, jr0+j)` lands at `(jr0/NR)·NR·kc + p·NR + j`, with
+/// columns past `n` zero-padded.
+fn pack_b<T: Scalar>(
+    transb: Trans,
+    b: MatRef<'_, T>,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    buf: &mut [T],
+) {
+    for jr0 in (0..n).step_by(NR) {
+        let nr = NR.min(n - jr0);
+        let panel = &mut buf[(jr0 / NR) * (NR * kc)..][..NR * kc];
+        match transb {
+            Trans::NoTrans => {
+                for j in 0..nr {
+                    let col = &b.col_as_slice(jr0 + j)[pc..];
+                    for p in 0..kc {
+                        panel[p * NR + j] = col[p];
+                    }
+                }
+                for j in nr..NR {
+                    for p in 0..kc {
+                        panel[p * NR + j] = T::ZERO;
+                    }
+                }
+            }
+            Trans::Trans => {
+                // op(B)(p,j) = B(j,p): column pc+p of B is contiguous.
+                for p in 0..kc {
+                    let col = &b.col_as_slice(pc + p)[jr0..];
+                    let dst = &mut panel[p * NR..p * NR + NR];
+                    dst[..nr].copy_from_slice(&col[..nr]);
+                    dst[nr..].fill(T::ZERO);
+                }
+            }
+        }
+    }
+}
+
+/// Register-tiled `MR × NR` microkernel: accumulates one packed
+/// `op(A)`-panel × `op(B)`-panel product over the shared `kc` extent in
+/// an `MR × NR` accumulator block, then writes
+/// `C ← α·acc + β·C` on the live `mr × nr` corner of `C`
+/// (β = 0 overwrites without reading, BLAS-style).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn microkernel<T: Scalar>(
+    alpha: T,
+    pa: &[T],
+    pb: &[T],
+    beta: T,
+    c: &mut MatMut<'_, T>,
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[T::ZERO; MR]; NR];
+    accumulate_tile(pa, pb, &mut acc);
+    for (jr, accj) in acc.iter().enumerate().take(nr) {
+        let col = &mut c.col_as_mut_slice(j0 + jr)[i0..i0 + mr];
+        if beta == T::ONE {
+            for (r, ci) in col.iter_mut().enumerate() {
+                *ci = alpha.mul_add(accj[r], *ci);
+            }
+        } else if beta == T::ZERO {
+            for (r, ci) in col.iter_mut().enumerate() {
+                *ci = alpha * accj[r];
+            }
+        } else {
+            for (r, ci) in col.iter_mut().enumerate() {
+                *ci = alpha.mul_add(accj[r], beta * *ci);
+            }
+        }
+    }
+}
+
+/// `acc[jr][r] += Σ_p pa[p·MR + r] · pb[p·NR + jr]` over packed panels
+/// (`pa.len() == MR·kc`, `pb.len() == NR·kc`).
+///
+/// On x86-64 hosts with AVX2+FMA (runtime-detected) and `T` ∈
+/// {`f32`, `f64`}, this routes to hand-written fused-multiply-add
+/// kernels; everywhere else it falls back to the portable loop below.
+/// The portable loop deliberately uses `mul` + `add` rather than
+/// `mul_add`: LLVM SLP-vectorizes this register-tile shape, while the
+/// scalar fma intrinsic blocks that and serializes the tile.
+#[inline]
+fn accumulate_tile<T: Scalar>(pa: &[T], pb: &[T], acc: &mut [[T; MR]; NR]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::accumulate_tile(pa, pb, acc) {
+        return;
+    }
+    for (av, bv) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
+        for (jr, accj) in acc.iter_mut().enumerate() {
+            let b = bv[jr];
+            for (r, slot) in accj.iter_mut().enumerate() {
+                *slot += av[r] * b;
+            }
+        }
+    }
+}
+
+/// Hand-written AVX2+FMA microkernel accumulators. The generic tile loop
+/// tops out without fused multiply-adds (Rust never contracts
+/// `a*b + c`, and the scalar `mul_add` intrinsic defeats SLP
+/// vectorization), so the two primitive precisions get explicit
+/// `_mm256_fmadd` kernels, selected per call by `TypeId` after a
+/// runtime CPU-feature check.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{Scalar, MR, NR};
+    use core::any::TypeId;
+    use std::arch::x86_64::*;
+
+    /// Returns `true` when the tile was handled by an FMA kernel,
+    /// `false` when the caller must run the portable loop.
+    #[inline]
+    pub(super) fn accumulate_tile<T: Scalar>(pa: &[T], pb: &[T], acc: &mut [[T; MR]; NR]) -> bool {
+        // `is_x86_feature_detected!` caches its answer in an atomic, so
+        // the per-call cost is two relaxed loads.
+        if !(is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")) {
+            return false;
+        }
+        debug_assert_eq!(pa.len() / MR, pb.len() / NR);
+        if TypeId::of::<T>() == TypeId::of::<f64>() {
+            // Safety: `T` is exactly `f64` (TypeId match above), so the
+            // pointer casts only re-state the slice types; AVX2+FMA was
+            // just detected.
+            unsafe {
+                accumulate_f64(
+                    core::slice::from_raw_parts(pa.as_ptr().cast::<f64>(), pa.len()),
+                    core::slice::from_raw_parts(pb.as_ptr().cast::<f64>(), pb.len()),
+                    &mut *(acc as *mut [[T; MR]; NR]).cast::<[[f64; MR]; NR]>(),
+                );
+            }
+            true
+        } else if TypeId::of::<T>() == TypeId::of::<f32>() {
+            // Safety: as above with `T` == `f32`.
+            unsafe {
+                accumulate_f32(
+                    core::slice::from_raw_parts(pa.as_ptr().cast::<f32>(), pa.len()),
+                    core::slice::from_raw_parts(pb.as_ptr().cast::<f32>(), pb.len()),
+                    &mut *(acc as *mut [[T; MR]; NR]).cast::<[[f32; MR]; NR]>(),
+                );
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// 8×4 f64 tile: two 4-lane registers per C column, eight
+    /// independent fma chains — enough to cover fma latency at two
+    /// issues per cycle.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn accumulate_f64(pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
+        let kc = pa.len() / MR;
+        let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+        let mut c: [[__m256d; 2]; NR] = [[_mm256_setzero_pd(); 2]; NR];
+        for p in 0..kc {
+            let a0 = _mm256_loadu_pd(pa.add(p * MR));
+            let a1 = _mm256_loadu_pd(pa.add(p * MR + 4));
+            for (jr, cj) in c.iter_mut().enumerate() {
+                let b = _mm256_set1_pd(*pb.add(p * NR + jr));
+                cj[0] = _mm256_fmadd_pd(a0, b, cj[0]);
+                cj[1] = _mm256_fmadd_pd(a1, b, cj[1]);
+            }
+        }
+        for (accj, cj) in acc.iter_mut().zip(&c) {
+            let lo = _mm256_add_pd(_mm256_loadu_pd(accj.as_ptr()), cj[0]);
+            let hi = _mm256_add_pd(_mm256_loadu_pd(accj.as_ptr().add(4)), cj[1]);
+            _mm256_storeu_pd(accj.as_mut_ptr(), lo);
+            _mm256_storeu_pd(accj.as_mut_ptr().add(4), hi);
+        }
+    }
+
+    /// 8×4 f32 tile: one 8-lane register per C column. Four columns give
+    /// only four fma chains, so the k loop runs two steps at a time into
+    /// separate partial sums (eight chains) that merge at the end.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn accumulate_f32(pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+        let kc = pa.len() / MR;
+        let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+        let mut c0: [__m256; NR] = [_mm256_setzero_ps(); NR];
+        let mut c1: [__m256; NR] = [_mm256_setzero_ps(); NR];
+        let mut p = 0;
+        while p + 2 <= kc {
+            let a0 = _mm256_loadu_ps(pa.add(p * MR));
+            let a1 = _mm256_loadu_ps(pa.add((p + 1) * MR));
+            for jr in 0..NR {
+                let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
+                let b1 = _mm256_set1_ps(*pb.add((p + 1) * NR + jr));
+                c0[jr] = _mm256_fmadd_ps(a0, b0, c0[jr]);
+                c1[jr] = _mm256_fmadd_ps(a1, b1, c1[jr]);
+            }
+            p += 2;
+        }
+        if p < kc {
+            let a0 = _mm256_loadu_ps(pa.add(p * MR));
+            for (jr, c0j) in c0.iter_mut().enumerate() {
+                let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
+                *c0j = _mm256_fmadd_ps(a0, b0, *c0j);
+            }
+        }
+        for (jr, accj) in acc.iter_mut().enumerate() {
+            let sum = _mm256_add_ps(c0[jr], c1[jr]);
+            let prev = _mm256_loadu_ps(accj.as_ptr());
+            _mm256_storeu_ps(accj.as_mut_ptr(), _mm256_add_ps(prev, sum));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// syrk
+// ---------------------------------------------------------------------
+
+/// Column-block width for the blocked `syrk` sweep (diagonal blocks run
+/// on the slice tier; everything below/right of them is `gemm`).
+const SYRK_NB: usize = 48;
+
 /// Symmetric rank-k update: `C ← α·A·Aᵀ + β·C` (`NoTrans`) or
 /// `C ← α·Aᵀ·A + β·C` (`Trans`), updating only the `uplo` triangle of the
 /// `n × n` matrix `C`. `A` is `n × k` (`NoTrans`) or `k × n` (`Trans`).
+///
+/// Large updates are decomposed into slice-tier diagonal blocks plus
+/// off-diagonal rectangles routed through the [`gemm`] engine, so the
+/// rank-k updates inside blocked Cholesky hit the packed tier.
 ///
 /// # Panics
 /// On dimension mismatch.
@@ -132,35 +572,128 @@ pub fn syrk<T: Scalar>(
         Trans::Trans => (a.ncols(), a.nrows()),
     };
     assert_eq!(an, n, "syrk: A dimension mismatch");
-
-    for j in 0..n {
-        let (lo, hi) = match uplo {
-            Uplo::Lower => (j, n),
-            Uplo::Upper => (0, j + 1),
+    if n == 0 {
+        return;
+    }
+    if n <= SYRK_NB || k == 0 {
+        syrk_small(uplo, trans, alpha, a, beta, c);
+        return;
+    }
+    for j0 in (0..n).step_by(SYRK_NB) {
+        let jb = SYRK_NB.min(n - j0);
+        let a_diag = match trans {
+            Trans::NoTrans => a.sub(j0, 0, jb, k),
+            Trans::Trans => a.sub(0, j0, k, jb),
         };
-        for i in lo..hi {
-            let mut acc = T::ZERO;
-            match trans {
-                Trans::NoTrans => {
-                    for l in 0..k {
-                        acc += a.get(i, l) * a.get(j, l);
-                    }
-                }
-                Trans::Trans => {
-                    for l in 0..k {
-                        acc += a.get(l, i) * a.get(l, j);
-                    }
-                }
-            }
-            let v = beta * c.get(i, j) + alpha * acc;
-            c.set(i, j, v);
+        syrk_small(uplo, trans, alpha, a_diag, beta, c.rb().sub(j0, j0, jb, jb));
+        // Off-diagonal rectangle of this block column, via gemm.
+        let (ci, cj, cm, cn) = match uplo {
+            Uplo::Lower => (j0 + jb, j0, n - (j0 + jb), jb),
+            Uplo::Upper => (0, j0, j0, jb),
+        };
+        if cm == 0 {
+            continue;
+        }
+        let csub = c.rb().sub(ci, cj, cm, cn);
+        match trans {
+            Trans::NoTrans => gemm(
+                Trans::NoTrans,
+                Trans::Trans,
+                alpha,
+                a.sub(ci, 0, cm, k),
+                a.sub(cj, 0, cn, k),
+                beta,
+                csub,
+            ),
+            Trans::Trans => gemm(
+                Trans::Trans,
+                Trans::NoTrans,
+                alpha,
+                a.sub(0, ci, k, cm),
+                a.sub(0, cj, k, cn),
+                beta,
+                csub,
+            ),
         }
     }
 }
 
+/// Slice-tier `syrk` on one (diagonal) block.
+fn syrk_small<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.nrows();
+    let k = match trans {
+        Trans::NoTrans => a.ncols(),
+        Trans::Trans => a.nrows(),
+    };
+    let bounds = |j: usize| match uplo {
+        Uplo::Lower => (j, n),
+        Uplo::Upper => (0, j + 1),
+    };
+    // β over the triangle only (β = 0 overwrites, BLAS semantics).
+    for j in 0..n {
+        let (lo, hi) = bounds(j);
+        let col = &mut c.col_as_mut_slice(j)[lo..hi];
+        if beta == T::ZERO {
+            col.fill(T::ZERO);
+        } else if beta != T::ONE {
+            for v in col {
+                *v *= beta;
+            }
+        }
+    }
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+    match trans {
+        Trans::NoTrans => {
+            // C(lo..hi, j) += α·A(j,l) · A(lo..hi, l): column axpys.
+            for l in 0..k {
+                let al = a.col_as_slice(l);
+                for j in 0..n {
+                    let w = alpha * al[j];
+                    if w != T::ZERO {
+                        let (lo, hi) = bounds(j);
+                        axpy(&mut c.col_as_mut_slice(j)[lo..hi], &al[lo..hi], w);
+                    }
+                }
+            }
+        }
+        Trans::Trans => {
+            // C(i,j) += α·dot(A(:,i), A(:,j)): contiguous column dots.
+            for j in 0..n {
+                let aj = a.col_as_slice(j);
+                let (lo, hi) = bounds(j);
+                let cj = &mut c.col_as_mut_slice(j)[lo..hi];
+                for (ci, i) in cj.iter_mut().zip(lo..hi) {
+                    *ci += alpha * dot(a.col_as_slice(i), aj);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// trsm
+// ---------------------------------------------------------------------
+
+/// Diagonal-block size below which `trsm` substitutes directly on the
+/// slice tier instead of recursing.
+const TRSM_NB: usize = 32;
+
 /// Triangular solve with multiple right-hand sides:
 /// `op(A)·X = α·B` (`Side::Left`) or `X·op(A) = α·B` (`Side::Right`),
 /// overwriting `B` with `X`. `A` is triangular per `uplo`/`diag`.
+///
+/// Solves recursively: the triangle splits in half, the off-diagonal
+/// coupling becomes a [`gemm`] update (packed tier for large operands),
+/// and sub-[`TRSM_NB`] diagonal blocks substitute on the slice tier.
 ///
 /// # Panics
 /// On dimension mismatch.
@@ -186,100 +719,272 @@ pub fn trsm<T: Scalar>(
     if m == 0 || n == 0 {
         return;
     }
+    trsm_rec(side, uplo, transa, diag, a, b);
+}
 
-    // Effective orientation: Left+Trans behaves like the flipped-uplo
-    // NoTrans solve, likewise for Right.
+/// Recursive solve of `op(A)·X = B` / `X·op(A) = B` in place (α already
+/// applied by the caller).
+fn trsm_rec<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    a: MatRef<'_, T>,
+    b: MatMut<'_, T>,
+) {
+    let na = a.nrows();
+    if na <= TRSM_NB {
+        trsm_small(side, uplo, transa, diag, a, b);
+        return;
+    }
+    let n1 = na / 2;
+    let a11 = a.sub(0, 0, n1, n1);
+    let a22 = a.sub(n1, n1, na - n1, na - n1);
+    // Only one off-diagonal block is populated per `uplo`.
+    let a21 = || a.sub(n1, 0, na - n1, n1);
+    let a12 = || a.sub(0, n1, n1, na - n1);
+    let rec = |blk: MatRef<'_, T>, rhs: MatMut<'_, T>| {
+        trsm_rec(side, uplo, transa, diag, blk, rhs);
+    };
     match side {
         Side::Left => {
-            // Solve op(A) X = B column by column (forward/back substitution).
-            let forward = matches!(
-                (uplo, transa),
-                (Uplo::Lower, Trans::NoTrans) | (Uplo::Upper, Trans::Trans)
-            );
-            for j in 0..n {
-                if forward {
-                    for i in 0..m {
-                        let mut x = b.get(i, j);
-                        for l in 0..i {
-                            x -= op_get(a, transa, i, l) * b.get(l, j);
-                        }
-                        if diag == Diag::NonUnit {
-                            x /= op_get(a, transa, i, i);
-                        }
-                        b.set(i, j, x);
-                    }
-                } else {
-                    for i in (0..m).rev() {
-                        let mut x = b.get(i, j);
-                        for l in (i + 1)..m {
-                            x -= op_get(a, transa, i, l) * b.get(l, j);
-                        }
-                        if diag == Diag::NonUnit {
-                            x /= op_get(a, transa, i, i);
-                        }
-                        b.set(i, j, x);
-                    }
+            let (mut b1, mut b2) = b.split_at_row(n1);
+            match (uplo, transa) {
+                (Uplo::Lower, Trans::NoTrans) => {
+                    rec(a11, b1.rb());
+                    gemm(
+                        transa,
+                        Trans::NoTrans,
+                        -T::ONE,
+                        a21(),
+                        b1.as_ref(),
+                        T::ONE,
+                        b2.rb(),
+                    );
+                    rec(a22, b2);
+                }
+                (Uplo::Lower, Trans::Trans) => {
+                    rec(a22, b2.rb());
+                    gemm(
+                        transa,
+                        Trans::NoTrans,
+                        -T::ONE,
+                        a21(),
+                        b2.as_ref(),
+                        T::ONE,
+                        b1.rb(),
+                    );
+                    rec(a11, b1);
+                }
+                (Uplo::Upper, Trans::NoTrans) => {
+                    rec(a22, b2.rb());
+                    gemm(
+                        transa,
+                        Trans::NoTrans,
+                        -T::ONE,
+                        a12(),
+                        b2.as_ref(),
+                        T::ONE,
+                        b1.rb(),
+                    );
+                    rec(a11, b1);
+                }
+                (Uplo::Upper, Trans::Trans) => {
+                    rec(a11, b1.rb());
+                    gemm(
+                        transa,
+                        Trans::NoTrans,
+                        -T::ONE,
+                        a12(),
+                        b1.as_ref(),
+                        T::ONE,
+                        b2.rb(),
+                    );
+                    rec(a22, b2);
                 }
             }
         }
         Side::Right => {
-            // Solve X op(A) = B row by row over columns of X.
-            // X(:,j) = (B(:,j) - Σ_{l != j} X(:,l) op(A)(l,j)) / op(A)(j,j)
-            let forward = matches!(
-                (uplo, transa),
-                (Uplo::Upper, Trans::NoTrans) | (Uplo::Lower, Trans::Trans)
-            );
-            if forward {
-                for j in 0..n {
-                    for l in 0..j {
-                        let alj = op_get(a, transa, l, j);
-                        if alj == T::ZERO {
-                            continue;
-                        }
-                        for i in 0..m {
-                            let v = b.get(i, j) - b.get(i, l) * alj;
-                            b.set(i, j, v);
-                        }
-                    }
-                    if diag == Diag::NonUnit {
-                        let ajj = op_get(a, transa, j, j);
-                        for i in 0..m {
-                            let v = b.get(i, j) / ajj;
-                            b.set(i, j, v);
-                        }
-                    }
+            let (mut b1, mut b2) = b.split_at_col(n1);
+            match (uplo, transa) {
+                (Uplo::Lower, Trans::NoTrans) => {
+                    rec(a22, b2.rb());
+                    gemm(
+                        Trans::NoTrans,
+                        transa,
+                        -T::ONE,
+                        b2.as_ref(),
+                        a21(),
+                        T::ONE,
+                        b1.rb(),
+                    );
+                    rec(a11, b1);
                 }
-            } else {
-                for j in (0..n).rev() {
-                    for l in (j + 1)..n {
-                        let alj = op_get(a, transa, l, j);
-                        if alj == T::ZERO {
-                            continue;
-                        }
-                        for i in 0..m {
-                            let v = b.get(i, j) - b.get(i, l) * alj;
-                            b.set(i, j, v);
-                        }
-                    }
-                    if diag == Diag::NonUnit {
-                        let ajj = op_get(a, transa, j, j);
-                        for i in 0..m {
-                            let v = b.get(i, j) / ajj;
-                            b.set(i, j, v);
-                        }
-                    }
+                (Uplo::Lower, Trans::Trans) => {
+                    rec(a11, b1.rb());
+                    gemm(
+                        Trans::NoTrans,
+                        transa,
+                        -T::ONE,
+                        b1.as_ref(),
+                        a21(),
+                        T::ONE,
+                        b2.rb(),
+                    );
+                    rec(a22, b2);
+                }
+                (Uplo::Upper, Trans::NoTrans) => {
+                    rec(a11, b1.rb());
+                    gemm(
+                        Trans::NoTrans,
+                        transa,
+                        -T::ONE,
+                        b1.as_ref(),
+                        a12(),
+                        T::ONE,
+                        b2.rb(),
+                    );
+                    rec(a22, b2);
+                }
+                (Uplo::Upper, Trans::Trans) => {
+                    rec(a22, b2.rb());
+                    gemm(
+                        Trans::NoTrans,
+                        transa,
+                        -T::ONE,
+                        b2.as_ref(),
+                        a12(),
+                        T::ONE,
+                        b1.rb(),
+                    );
+                    rec(a11, b1);
                 }
             }
         }
     }
 }
 
+/// Slice-tier substitution on one diagonal block (α already applied).
+fn trsm_small<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    a: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    let m = b.nrows();
+    let n = b.ncols();
+    match side {
+        Side::Left => match (uplo, transa) {
+            (Uplo::Lower, Trans::NoTrans) => {
+                // Right-looking forward substitution: each solved x_i is
+                // broadcast down the remaining rows via a column axpy.
+                for j in 0..n {
+                    let bj = b.col_as_mut_slice(j);
+                    for i in 0..m {
+                        let (head, tail) = bj.split_at_mut(i + 1);
+                        let mut x = head[i];
+                        if diag == Diag::NonUnit {
+                            x /= a.get(i, i);
+                        }
+                        head[i] = x;
+                        axpy(tail, &a.col_as_slice(i)[i + 1..], -x);
+                    }
+                }
+            }
+            (Uplo::Upper, Trans::NoTrans) => {
+                // Right-looking backward substitution.
+                for j in 0..n {
+                    let bj = b.col_as_mut_slice(j);
+                    for i in (0..m).rev() {
+                        let (head, tail) = bj.split_at_mut(i);
+                        let mut x = tail[0];
+                        if diag == Diag::NonUnit {
+                            x /= a.get(i, i);
+                        }
+                        tail[0] = x;
+                        axpy(head, &a.col_as_slice(i)[..i], -x);
+                    }
+                }
+            }
+            (Uplo::Upper, Trans::Trans) => {
+                // Forward substitution in dot form: column i of A holds
+                // exactly the coefficients op(A)(i, 0..i).
+                for j in 0..n {
+                    let bj = b.col_as_mut_slice(j);
+                    for i in 0..m {
+                        let mut x = bj[i] - dot(&a.col_as_slice(i)[..i], &bj[..i]);
+                        if diag == Diag::NonUnit {
+                            x /= a.get(i, i);
+                        }
+                        bj[i] = x;
+                    }
+                }
+            }
+            (Uplo::Lower, Trans::Trans) => {
+                // Backward substitution in dot form.
+                for j in 0..n {
+                    let bj = b.col_as_mut_slice(j);
+                    for i in (0..m).rev() {
+                        let mut x = bj[i] - dot(&a.col_as_slice(i)[i + 1..], &bj[i + 1..]);
+                        if diag == Diag::NonUnit {
+                            x /= a.get(i, i);
+                        }
+                        bj[i] = x;
+                    }
+                }
+            }
+        },
+        Side::Right => {
+            // X(:,j) = (B(:,j) − Σ_l X(:,l)·op(A)(l,j)) / op(A)(j,j):
+            // column axpys between distinct columns of B.
+            let forward = matches!(
+                (uplo, transa),
+                (Uplo::Upper, Trans::NoTrans) | (Uplo::Lower, Trans::Trans)
+            );
+            let mut solve_col = |j: usize, prior: &mut dyn Iterator<Item = usize>| {
+                for l in prior {
+                    let alj = op_get(a, transa, l, j);
+                    if alj != T::ZERO {
+                        let (dst, src) = b.col_pair_mut(j, l);
+                        axpy(dst, src, -alj);
+                    }
+                }
+                if diag == Diag::NonUnit {
+                    let ajj = op_get(a, transa, j, j);
+                    for v in b.col_as_mut_slice(j) {
+                        *v /= ajj;
+                    }
+                }
+            };
+            if forward {
+                for j in 0..n {
+                    solve_col(j, &mut (0..j));
+                }
+            } else {
+                for j in (0..n).rev() {
+                    solve_col(j, &mut ((j + 1)..n));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// trmm
+// ---------------------------------------------------------------------
+
 /// Triangular matrix multiply: `B ← α·op(A)·B` (`Side::Left`) or
 /// `B ← α·B·op(A)` (`Side::Right`), with triangular `A`.
 ///
 /// Used by the vbatched `trsm` design, which multiplies by inverted
 /// diagonal blocks instead of substituting (the paper's `trtri + gemm`
-/// scheme).
+/// scheme). Runs in place on the slice tier: `NoTrans` variants as
+/// column axpys over `A`'s columns, `Trans` variants as contiguous
+/// column dots, right-side variants as column axpys between columns of
+/// `B` — ordered so every source element is read before the sweep
+/// overwrites it.
 ///
 /// # Panics
 /// On dimension mismatch.
@@ -312,66 +1017,100 @@ pub fn trmm<T: Scalar>(
 
     match side {
         Side::Left => {
-            // B(i,j) = alpha * Σ_l op(A)(i,l) B(l,j) over the triangle.
             for j in 0..n {
-                if op_lower {
-                    // Compute from the bottom up so untouched inputs remain.
-                    for i in (0..m).rev() {
-                        let mut acc = if diag == Diag::Unit {
-                            b.get(i, j)
-                        } else {
-                            op_get(a, transa, i, i) * b.get(i, j)
-                        };
-                        for l in 0..i {
-                            acc += op_get(a, transa, i, l) * b.get(l, j);
+                let bj = b.col_as_mut_slice(j);
+                match (transa, op_lower) {
+                    (Trans::NoTrans, true) => {
+                        // y = L·b via column axpys, descending so each
+                        // b[l] is consumed before row l is overwritten.
+                        for l in (0..m).rev() {
+                            let xl = bj[l];
+                            bj[l] = if diag == Diag::Unit {
+                                xl
+                            } else {
+                                a.get(l, l) * xl
+                            };
+                            if xl != T::ZERO {
+                                let (_, tail) = bj.split_at_mut(l + 1);
+                                axpy(tail, &a.col_as_slice(l)[l + 1..], xl);
+                            }
                         }
-                        b.set(i, j, alpha * acc);
                     }
-                } else {
-                    for i in 0..m {
-                        let mut acc = if diag == Diag::Unit {
-                            b.get(i, j)
-                        } else {
-                            op_get(a, transa, i, i) * b.get(i, j)
-                        };
-                        for l in (i + 1)..m {
-                            acc += op_get(a, transa, i, l) * b.get(l, j);
+                    (Trans::NoTrans, false) => {
+                        // y = U·b, ascending.
+                        for l in 0..m {
+                            let xl = bj[l];
+                            if xl != T::ZERO {
+                                let (head, _) = bj.split_at_mut(l);
+                                axpy(head, &a.col_as_slice(l)[..l], xl);
+                            }
+                            bj[l] = if diag == Diag::Unit {
+                                xl
+                            } else {
+                                a.get(l, l) * xl
+                            };
                         }
-                        b.set(i, j, alpha * acc);
+                    }
+                    (Trans::Trans, true) => {
+                        // y_i = dot(A(0..i, i), b(0..i)) + A(i,i)·b_i,
+                        // descending keeps the dot inputs unmodified.
+                        for i in (0..m).rev() {
+                            let ai = a.col_as_slice(i);
+                            let d = if diag == Diag::Unit {
+                                bj[i]
+                            } else {
+                                ai[i] * bj[i]
+                            };
+                            bj[i] = d + dot(&ai[..i], &bj[..i]);
+                        }
+                    }
+                    (Trans::Trans, false) => {
+                        for i in 0..m {
+                            let ai = a.col_as_slice(i);
+                            let d = if diag == Diag::Unit {
+                                bj[i]
+                            } else {
+                                ai[i] * bj[i]
+                            };
+                            bj[i] = d + dot(&ai[i + 1..], &bj[i + 1..]);
+                        }
+                    }
+                }
+                if alpha != T::ONE {
+                    for v in b.col_as_mut_slice(j) {
+                        *v *= alpha;
                     }
                 }
             }
         }
         Side::Right => {
-            // B(i,j) = alpha * Σ_l B(i,l) op(A)(l,j).
-            if op_lower {
-                // op(A)(l,j) nonzero for l >= j: process columns left→right.
-                for j in 0..n {
-                    for i in 0..m {
-                        let mut acc = if diag == Diag::Unit {
-                            b.get(i, j)
-                        } else {
-                            b.get(i, j) * op_get(a, transa, j, j)
-                        };
-                        for l in (j + 1)..n {
-                            acc += b.get(i, l) * op_get(a, transa, l, j);
-                        }
-                        b.set(i, j, alpha * acc);
+            // B(:,j) ← α·Σ_l B(:,l)·op(A)(l,j): the sweep direction
+            // guarantees source columns are still original when read.
+            let mut mul_col = |j: usize, others: &mut dyn Iterator<Item = usize>| {
+                let d = if diag == Diag::Unit {
+                    T::ONE
+                } else {
+                    op_get(a, transa, j, j)
+                };
+                let w = alpha * d;
+                for v in b.col_as_mut_slice(j) {
+                    *v *= w;
+                }
+                for l in others {
+                    let w = alpha * op_get(a, transa, l, j);
+                    if w != T::ZERO {
+                        let (dst, src) = b.col_pair_mut(j, l);
+                        axpy(dst, src, w);
                     }
+                }
+            };
+            if op_lower {
+                for j in 0..n {
+                    mul_col(j, &mut ((j + 1)..n));
                 }
             } else {
                 for j in (0..n).rev() {
-                    for i in 0..m {
-                        let mut acc = if diag == Diag::Unit {
-                            b.get(i, j)
-                        } else {
-                            b.get(i, j) * op_get(a, transa, j, j)
-                        };
-                        for l in 0..j {
-                            acc += b.get(i, l) * op_get(a, transa, l, j);
-                        }
-                        b.set(i, j, alpha * acc);
-                    }
+                    mul_col(j, &mut (0..j));
                 }
             }
         }
@@ -391,13 +1130,55 @@ fn scale<T: Scalar>(c: &mut MatMut<'_, T>, beta: T) {
         return;
     }
     for j in 0..c.ncols() {
-        for i in 0..c.nrows() {
-            let v = if beta == T::ZERO {
-                T::ZERO
-            } else {
-                beta * c.get(i, j)
-            };
-            c.set(i, j, v);
+        let col = c.col_as_mut_slice(j);
+        if beta == T::ZERO {
+            col.fill(T::ZERO);
+        } else {
+            for v in col {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Direct access to the two `gemm` tiers, bypassing [`uses_blocked`]
+/// dispatch. Tests pin each tier against the oracle on identical inputs;
+/// benches report both so the dispatch threshold stays honest.
+pub mod tier {
+    use super::*;
+
+    /// Slice-tier `gemm` (`C ← α·op(A)·op(B) + β·C`), any size.
+    pub fn gemm_small<T: Scalar>(
+        transa: Trans,
+        transb: Trans,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        mut c: MatMut<'_, T>,
+    ) {
+        let (m, n, k) = check_gemm_dims(transa, transb, a, b, &c);
+        scale(&mut c, beta);
+        if alpha != T::ZERO && m > 0 && n > 0 && k > 0 {
+            gemm_small_acc(transa, transb, alpha, a, b, &mut c);
+        }
+    }
+
+    /// Packed/blocked-tier `gemm` (`C ← α·op(A)·op(B) + β·C`), any size.
+    pub fn gemm_blocked<T: Scalar>(
+        transa: Trans,
+        transb: Trans,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        mut c: MatMut<'_, T>,
+    ) {
+        let (m, n, k) = check_gemm_dims(transa, transb, a, b, &c);
+        if alpha != T::ZERO && m > 0 && n > 0 && k > 0 {
+            gemm_blocked_acc(transa, transb, alpha, a, b, beta, &mut c);
+        } else {
+            scale(&mut c, beta);
         }
     }
 }
@@ -435,7 +1216,8 @@ mod tests {
                         -2.0,
                         MatMut::from_slice(&mut c, m, n, m),
                     );
-                    let want = naive::gemm_ref(ta, tb, 0.5, &a, am, an, &b, bm, bn, -2.0, &c0, m, n);
+                    let want =
+                        naive::gemm_ref(ta, tb, 0.5, &a, am, an, &b, bm, bn, -2.0, &c0, m, n);
                     assert!(
                         max_abs_diff_slices(&c, &want) < 1e-12,
                         "gemm mismatch ta={ta:?} tb={tb:?} m={m} n={n} k={k}"
@@ -443,6 +1225,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gemm_tiers_match_each_other() {
+        // Same inputs through both tiers: sizes straddling MR/NR/MC
+        // boundaries, all transpose combinations.
+        let mut rng = seeded_rng(23);
+        for &(m, n, k) in &[
+            (MR - 1, NR - 1, 3usize),
+            (MR, NR, KC.min(17)),
+            (MR + 1, NR + 1, 5),
+            (MC - 1, 9, 11),
+            (MC + 1, NR * 3 + 2, 13),
+            (65, 67, 66),
+        ] {
+            for &ta in &[Trans::NoTrans, Trans::Trans] {
+                for &tb in &[Trans::NoTrans, Trans::Trans] {
+                    let (am, an) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
+                    let (bm, bn) = if tb == Trans::NoTrans { (k, n) } else { (n, k) };
+                    let a = rand_mat::<f64>(&mut rng, am * an);
+                    let b = rand_mat::<f64>(&mut rng, bm * bn);
+                    let c0 = rand_mat::<f64>(&mut rng, m * n);
+
+                    let mut cs = c0.clone();
+                    tier::gemm_small(
+                        ta,
+                        tb,
+                        1.25,
+                        mat(&a, am, an),
+                        mat(&b, bm, bn),
+                        0.5,
+                        MatMut::from_slice(&mut cs, m, n, m),
+                    );
+                    let mut cb = c0.clone();
+                    tier::gemm_blocked(
+                        ta,
+                        tb,
+                        1.25,
+                        mat(&a, am, an),
+                        mat(&b, bm, bn),
+                        0.5,
+                        MatMut::from_slice(&mut cb, m, n, m),
+                    );
+                    assert!(
+                        max_abs_diff_slices(&cs, &cb) < 1e-10,
+                        "tier mismatch ta={ta:?} tb={tb:?} m={m} n={n} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_threshold_sanity() {
+        assert!(!uses_blocked(4, 4, 4));
+        assert!(uses_blocked(64, 64, 64));
+        assert!(uses_blocked(256, 256, 32));
+        // Short m still pays off through the zero-padded register tile.
+        assert!(uses_blocked(3, 64, 64));
+        // Thin inner dimension stays on the slice tier (axpy form).
+        assert!(!uses_blocked(512, 512, 4));
+        // Too few columns to fill NR-wide micro-panels.
+        assert!(!uses_blocked(64, 3, 64));
     }
 
     #[test]
@@ -466,10 +1311,14 @@ mod tests {
     #[test]
     fn syrk_matches_gemm() {
         let mut rng = seeded_rng(11);
-        for &(n, k) in &[(4usize, 3usize), (6, 6), (1, 5), (5, 1)] {
+        for &(n, k) in &[(4usize, 3usize), (6, 6), (1, 5), (5, 1), (SYRK_NB + 5, 7)] {
             for &trans in &[Trans::NoTrans, Trans::Trans] {
                 for &uplo in &[Uplo::Lower, Uplo::Upper] {
-                    let (am, an) = if trans == Trans::NoTrans { (n, k) } else { (k, n) };
+                    let (am, an) = if trans == Trans::NoTrans {
+                        (n, k)
+                    } else {
+                        (k, n)
+                    };
                     let a = rand_mat::<f64>(&mut rng, am * an);
                     let c0 = rand_mat::<f64>(&mut rng, n * n);
 
@@ -506,7 +1355,11 @@ mod tests {
                                 Uplo::Upper => i <= j,
                             };
                             let got = c[i + j * n];
-                            let want = if in_tri { full[i + j * n] } else { c0[i + j * n] };
+                            let want = if in_tri {
+                                full[i + j * n]
+                            } else {
+                                c0[i + j * n]
+                            };
                             assert!(
                                 (got - want).abs() < 1e-12,
                                 "syrk {uplo:?} {trans:?} n={n} k={k} at ({i},{j})"
@@ -521,7 +1374,14 @@ mod tests {
     #[test]
     fn trsm_roundtrip_all_variants() {
         let mut rng = seeded_rng(13);
-        for &(m, n) in &[(4usize, 3usize), (5, 5), (1, 4), (6, 1)] {
+        for &(m, n) in &[
+            (4usize, 3usize),
+            (5, 5),
+            (1, 4),
+            (6, 1),
+            (TRSM_NB + 3, 5),
+            (5, TRSM_NB + 3),
+        ] {
             for &side in &[Side::Left, Side::Right] {
                 for &uplo in &[Uplo::Lower, Uplo::Upper] {
                     for &trans in &[Trans::NoTrans, Trans::Trans] {

@@ -33,7 +33,9 @@ pub mod scalar;
 pub mod verify;
 
 mod factor;
-mod level3;
+/// Level-3 kernels and the two-tier engine internals ([`level3::tier`],
+/// [`level3::uses_blocked`], tiling constants) for tests and benches.
+pub mod level3;
 
 pub use error::{Error, Result};
 pub use factor::{

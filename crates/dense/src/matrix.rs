@@ -147,7 +147,10 @@ impl<'a, T> MatRef<'a, T> {
     where
         T: Copy,
     {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         // SAFETY: in-bounds per the construction contract and the assert.
         unsafe { *self.ptr.add(i + j * self.ld) }
     }
@@ -164,6 +167,49 @@ impl<'a, T> MatRef<'a, T> {
             ld: self.ld,
             _marker: PhantomData,
         }
+    }
+
+    /// Contiguous slice over column `j` (`rows` elements).
+    ///
+    /// Columns are the contiguous axis of a column-major view, so this
+    /// is the bridge from element-wise `get` loops to auto-vectorizable
+    /// slice kernels. Forming the slice asserts the usual shared-view
+    /// contract: none of these elements may be written concurrently.
+    #[inline]
+    pub fn col_as_slice(&self, j: usize) -> &'a [T] {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        // SAFETY: the construction contract guarantees `rows` readable
+        // elements at column offset `j·ld`, and the shared view forbids
+        // concurrent writes to elements it covers.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Splits into the first `i` rows and the rest.
+    #[must_use]
+    pub fn split_at_row(self, i: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        assert!(
+            i <= self.rows,
+            "row split {i} out of bounds ({})",
+            self.rows
+        );
+        (
+            self.sub(0, 0, i, self.cols),
+            self.sub(i, 0, self.rows - i, self.cols),
+        )
+    }
+
+    /// Splits into the first `j` columns and the rest.
+    #[must_use]
+    pub fn split_at_col(self, j: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        assert!(
+            j <= self.cols,
+            "column split {j} out of bounds ({})",
+            self.cols
+        );
+        (
+            self.sub(0, 0, self.rows, j),
+            self.sub(0, j, self.rows, self.cols - j),
+        )
     }
 
     /// Copies this view into a dense `rows × cols` vector (ld = rows).
@@ -260,7 +306,10 @@ impl<'a, T> MatMut<'a, T> {
     where
         T: Copy,
     {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         // SAFETY: in-bounds per the construction contract and the assert.
         unsafe { *self.ptr.add(i + j * self.ld) }
     }
@@ -268,7 +317,10 @@ impl<'a, T> MatMut<'a, T> {
     /// Writes element `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         // SAFETY: in-bounds per the construction contract and the assert.
         unsafe { *self.ptr.add(i + j * self.ld) = v }
     }
@@ -332,6 +384,106 @@ impl<'a, T> MatMut<'a, T> {
         }
     }
 
+    /// Contiguous shared slice over column `j` (`rows` elements).
+    #[inline]
+    pub fn col_as_slice(&self, j: usize) -> &[T] {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        // SAFETY: in-bounds per the construction contract; `&self`
+        // prevents mutation through this view for the borrow's duration.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Contiguous exclusive slice over column `j` (`rows` elements).
+    ///
+    /// This is the write half of the slice-kernel bridge: an axpy into a
+    /// column becomes a plain `&mut [T]` loop the compiler vectorizes.
+    #[inline]
+    pub fn col_as_mut_slice(&mut self, j: usize) -> &mut [T] {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        // SAFETY: in-bounds per the construction contract; `&mut self`
+        // makes this the only live access path to the column.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Borrows column `dst` mutably and column `src` immutably at once
+    /// (`dst != src`), for in-place column sweeps like the right-side
+    /// `trsm`/`trmm` updates `B(:,dst) ← B(:,dst) ± B(:,src)·a`.
+    ///
+    /// # Panics
+    /// If `dst == src` or either column is out of bounds.
+    #[inline]
+    pub fn col_pair_mut(&mut self, dst: usize, src: usize) -> (&mut [T], &[T]) {
+        assert!(dst != src, "col_pair_mut requires distinct columns");
+        assert!(dst < self.cols && src < self.cols, "column out of bounds");
+        // SAFETY: ld ≥ rows is enforced at construction, so distinct
+        // columns occupy disjoint index ranges; both are in-bounds.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(self.ptr.add(dst * self.ld), self.rows),
+                std::slice::from_raw_parts(self.ptr.add(src * self.ld), self.rows),
+            )
+        }
+    }
+
+    /// Splits into the first `i` rows and the rest, two exclusive views.
+    #[must_use]
+    pub fn split_at_row(self, i: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(
+            i <= self.rows,
+            "row split {i} out of bounds ({})",
+            self.rows
+        );
+        let rows = self.rows;
+        let cols = self.cols;
+        let ld = self.ld;
+        let top = MatMut {
+            ptr: self.ptr,
+            rows: i,
+            cols,
+            ld,
+            _marker: PhantomData,
+        };
+        let bottom = MatMut {
+            // SAFETY: stays within the original extent; the two views
+            // cover disjoint element sets (same columns, disjoint rows).
+            ptr: unsafe { self.ptr.add(i) },
+            rows: rows - i,
+            cols,
+            ld,
+            _marker: PhantomData,
+        };
+        (top, bottom)
+    }
+
+    /// Splits into the first `j` columns and the rest, two exclusive views.
+    #[must_use]
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(
+            j <= self.cols,
+            "column split {j} out of bounds ({})",
+            self.cols
+        );
+        let rows = self.rows;
+        let cols = self.cols;
+        let ld = self.ld;
+        let left = MatMut {
+            ptr: self.ptr,
+            rows,
+            cols: j,
+            ld,
+            _marker: PhantomData,
+        };
+        let right = MatMut {
+            // SAFETY: stays within the original extent; disjoint columns.
+            ptr: unsafe { self.ptr.add(j * ld) },
+            rows,
+            cols: cols - j,
+            ld,
+            _marker: PhantomData,
+        };
+        (left, right)
+    }
+
     /// Fills the view with `v`.
     pub fn fill(&mut self, v: T)
     where
@@ -352,7 +504,11 @@ impl<'a, T> MatMut<'a, T> {
     where
         T: Copy,
     {
-        assert_eq!((self.rows, self.cols), (src.nrows(), src.ncols()), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.nrows(), src.ncols()),
+            "shape mismatch"
+        );
         for j in 0..self.cols {
             for i in 0..self.rows {
                 self.set(i, j, src.get(i, j));
@@ -367,7 +523,10 @@ fn check_extent(len: usize, rows: usize, cols: usize, ld: usize) {
     }
     assert!(ld >= rows, "leading dimension {ld} < row count {rows}");
     let need = ld * (cols - 1) + rows;
-    assert!(len >= need, "slice of length {len} too short for {rows}x{cols} (ld {ld}): need {need}");
+    assert!(
+        len >= need,
+        "slice of length {len} too short for {rows}x{cols} (ld {ld}): need {need}"
+    );
 }
 
 #[cfg(test)]
@@ -461,5 +620,58 @@ mod tests {
     fn uplo_flip() {
         assert_eq!(Uplo::Lower.flip(), Uplo::Upper);
         assert_eq!(Uplo::Upper.flip(), Uplo::Lower);
+    }
+
+    #[test]
+    fn col_slices_respect_ld() {
+        // 3x2 view in a 5-row buffer: columns are rows 0..3 of each stripe.
+        let mut data: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        let mut m = MatMut::from_slice(&mut data, 3, 2, 5);
+        assert_eq!(m.as_ref().col_as_slice(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.col_as_slice(1), &[5.0, 6.0, 7.0]);
+        m.col_as_mut_slice(1).iter_mut().for_each(|v| *v += 100.0);
+        assert_eq!(data[5..8], [105.0, 106.0, 107.0]);
+        assert_eq!(data[8], 8.0); // ld padding untouched
+    }
+
+    #[test]
+    fn col_pair_mut_disjoint() {
+        let mut data = vec![1.0f64; 8];
+        let mut m = MatMut::from_slice(&mut data, 4, 2, 4);
+        let (dst, src) = m.col_pair_mut(1, 0);
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d += 2.0 * s;
+        }
+        assert_eq!(&data[4..], &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn col_pair_mut_same_column_panics() {
+        let mut data = vec![0.0f64; 4];
+        let mut m = MatMut::from_slice(&mut data, 2, 2, 2);
+        let _ = m.col_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn splits_partition_the_view() {
+        let mut data: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        {
+            let m = MatMut::from_slice(&mut data, 4, 4, 4);
+            let (mut top, mut bottom) = m.split_at_row(1);
+            assert_eq!((top.nrows(), bottom.nrows()), (1, 3));
+            top.fill(-1.0);
+            bottom.fill(-2.0);
+        }
+        assert_eq!(data[0], -1.0);
+        assert_eq!(data[4], -1.0);
+        assert_eq!(data[1], -2.0);
+        let m2 = MatRef::from_slice(&data, 4, 4, 4);
+        let (l, r) = m2.split_at_col(3);
+        assert_eq!((l.ncols(), r.ncols()), (3, 1));
+        assert_eq!(r.get(0, 0), m2.get(0, 3));
+        // Degenerate splits at the boundary.
+        let (e, f) = m2.split_at_col(0);
+        assert_eq!((e.ncols(), f.ncols()), (0, 4));
     }
 }

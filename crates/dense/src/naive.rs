@@ -5,7 +5,7 @@
 //! kernels are validated against these in unit, property
 //! and integration tests.
 
-use crate::matrix::Trans;
+use crate::matrix::{Diag, Side, Trans, Uplo};
 use crate::scalar::Scalar;
 
 /// Reference `C = α·op(A)·op(B) + β·C` on packed column-major buffers
@@ -52,6 +52,196 @@ pub fn gemm_ref<T: Scalar>(
         }
     }
     out
+}
+
+/// Reference symmetric rank-k update on packed buffers: returns `C` with
+/// the `uplo` triangle replaced by `α·A·Aᵀ + β·C` (`NoTrans`; `A` is
+/// `n × k`) or `α·Aᵀ·A + β·C` (`Trans`; `A` is `k × n`), other triangle
+/// untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_ref<T: Scalar>(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: T,
+    a: &[T],
+    n: usize,
+    k: usize,
+    beta: T,
+    c: &[T],
+) -> Vec<T> {
+    let ga = |i: usize, l: usize| match trans {
+        Trans::NoTrans => a[i + l * n],
+        Trans::Trans => a[l + i * k],
+    };
+    let mut out = c.to_vec();
+    for j in 0..n {
+        for i in 0..n {
+            let in_tri = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if !in_tri {
+                continue;
+            }
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += ga(i, l) * ga(j, l);
+            }
+            let base = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * c[i + j * n]
+            };
+            out[i + j * n] = base + alpha * acc;
+        }
+    }
+    out
+}
+
+/// Element of a packed triangular `na × na` matrix under `uplo`, `diag`
+/// and `trans`: entries outside the referenced triangle read as zero and
+/// a `Unit` diagonal reads as one, matching what the optimized kernels
+/// may legally touch.
+fn tri_get<T: Scalar>(
+    a: &[T],
+    na: usize,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    i: usize,
+    j: usize,
+) -> T {
+    let (r, c) = match transa {
+        Trans::NoTrans => (i, j),
+        Trans::Trans => (j, i),
+    };
+    if r == c {
+        return match diag {
+            Diag::Unit => T::ONE,
+            Diag::NonUnit => a[r + c * na],
+        };
+    }
+    let stored = match uplo {
+        Uplo::Lower => r > c,
+        Uplo::Upper => r < c,
+    };
+    if stored {
+        a[r + c * na]
+    } else {
+        T::ZERO
+    }
+}
+
+/// Reference triangular multiply on packed buffers: returns
+/// `α·op(tri(A))·B` (`Side::Left`) or `α·B·op(tri(A))` (`Side::Right`)
+/// for `m × n` `B` and `na × na` `A` (`na` = `m` or `n` per side).
+#[allow(clippy::too_many_arguments)]
+pub fn trmm_ref<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    m: usize,
+    n: usize,
+) -> Vec<T> {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    let mut out = vec![T::ZERO; m * n];
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            match side {
+                Side::Left => {
+                    for l in 0..m {
+                        acc += tri_get(a, na, uplo, transa, diag, i, l) * b[l + j * m];
+                    }
+                }
+                Side::Right => {
+                    for l in 0..n {
+                        acc += b[i + l * m] * tri_get(a, na, uplo, transa, diag, l, j);
+                    }
+                }
+            }
+            out[i + j * m] = alpha * acc;
+        }
+    }
+    out
+}
+
+/// Reference triangular solve on packed buffers: returns `X` with
+/// `op(tri(A))·X = α·B` (`Side::Left`) or `X·op(tri(A)) = α·B`
+/// (`Side::Right`), by plain forward/backward substitution.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm_ref<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    m: usize,
+    n: usize,
+) -> Vec<T> {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    let ga = |i: usize, j: usize| tri_get(a, na, uplo, transa, diag, i, j);
+    let mut x: Vec<T> = b.iter().map(|&v| alpha * v).collect();
+    match side {
+        Side::Left => {
+            // op(A) acts lower for Lower/NoTrans and Upper/Trans.
+            let forward = matches!(
+                (uplo, transa),
+                (Uplo::Lower, Trans::NoTrans) | (Uplo::Upper, Trans::Trans)
+            );
+            let order: Vec<usize> = if forward {
+                (0..m).collect()
+            } else {
+                (0..m).rev().collect()
+            };
+            for j in 0..n {
+                for &i in &order {
+                    let mut v = x[i + j * m];
+                    for l in 0..m {
+                        if l != i {
+                            v -= ga(i, l) * x[l + j * m];
+                        }
+                    }
+                    x[i + j * m] = v / ga(i, i);
+                }
+            }
+        }
+        Side::Right => {
+            let forward = matches!(
+                (uplo, transa),
+                (Uplo::Upper, Trans::NoTrans) | (Uplo::Lower, Trans::Trans)
+            );
+            let order: Vec<usize> = if forward {
+                (0..n).collect()
+            } else {
+                (0..n).rev().collect()
+            };
+            for &j in &order {
+                for i in 0..m {
+                    let mut v = x[i + j * m];
+                    for l in 0..n {
+                        if l != j {
+                            v -= x[i + l * m] * ga(l, j);
+                        }
+                    }
+                    x[i + j * m] = v / ga(j, j);
+                }
+            }
+        }
+    }
+    x
 }
 
 /// Reference matrix–vector product `y = A·x` for packed column-major `A`.

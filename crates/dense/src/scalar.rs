@@ -59,15 +59,68 @@ pub trait Scalar:
     fn from_f64(v: f64) -> Self;
     /// Widening conversion to `f64` (used by verification and norms).
     fn to_f64(self) -> f64;
-    /// Fused multiply-add `self * a + b` (semantically; may not lower to
-    /// a hardware FMA in all builds).
-    #[inline]
-    fn mul_add(self, a: Self, b: Self) -> Self {
-        self * a + b
-    }
+    /// Fused multiply-add `self * a + b`. The f32/f64 impls call the
+    /// hardware FMA: the kernel engine's hot loops fund half their
+    /// throughput on it (Rust never contracts `a*b + c` on its own), and
+    /// the workspace builds with `target-cpu=native` so it lowers to a
+    /// real instruction rather than a libm call.
+    fn mul_add(self, a: Self, b: Self) -> Self;
     /// `true` when the value is finite (not NaN/inf).
     fn is_finite(self) -> bool;
+
+    /// Runs `f` over a thread-local scratch buffer of `len` elements
+    /// whose contents are unspecified (typically stale data from the
+    /// previous call) — callers must write every region they read.
+    ///
+    /// The blocked level-3 kernels pack `op(A)`/`op(B)` panels on every
+    /// call; routing that through a per-thread buffer that only ever
+    /// grows means steady-state packing performs **no allocation at all**
+    /// (the paper's batched regime calls these kernels thousands of times
+    /// per factorization sweep). Re-entrant calls on the same thread fall
+    /// back to a fresh allocation instead of aliasing the buffer.
+    fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [Self]) -> R) -> R;
 }
+
+/// Implements [`Scalar::with_scratch`] against a per-precision
+/// thread-local `Vec`. The buffer is handed out as-is (not re-zeroed):
+/// the packing routines overwrite every element they expose, and a
+/// defensive fill would cost more than the packing itself on small
+/// operands.
+macro_rules! impl_with_scratch {
+    ($t:ty, $tls:ident) => {
+        thread_local! {
+            static $tls: core::cell::RefCell<Vec<$t>> =
+                const { core::cell::RefCell::new(Vec::new()) };
+        }
+
+        impl ScratchProvider for $t {
+            fn with_scratch_impl<R>(len: usize, f: impl FnOnce(&mut [Self]) -> R) -> R {
+                $tls.with(|cell| match cell.try_borrow_mut() {
+                    Ok(mut buf) => {
+                        if buf.len() < len {
+                            buf.resize(len, 0.0);
+                        }
+                        f(&mut buf[..len])
+                    }
+                    // Re-entrant use (a kernel nested inside another
+                    // kernel's scratch closure): don't alias, allocate.
+                    Err(_) => f(&mut vec![0.0; len]),
+                    // (fresh fallback happens to be zeroed, but the
+                    // contract leaves contents unspecified)
+                })
+            }
+        }
+    };
+}
+
+/// Internal helper trait so the macro can live outside the `Scalar` impl
+/// blocks while `Scalar::with_scratch` stays a single forwarding call.
+trait ScratchProvider: Sized {
+    fn with_scratch_impl<R>(len: usize, f: impl FnOnce(&mut [Self]) -> R) -> R;
+}
+
+impl_with_scratch!(f32, SCRATCH_F32);
+impl_with_scratch!(f64, SCRATCH_F64);
 
 impl Scalar for f32 {
     const ZERO: Self = 0.0;
@@ -96,6 +149,14 @@ impl Scalar for f32 {
     #[inline]
     fn is_finite(self) -> bool {
         f32::is_finite(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline]
+    fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [Self]) -> R) -> R {
+        <f32 as ScratchProvider>::with_scratch_impl(len, f)
     }
 }
 
@@ -127,6 +188,14 @@ impl Scalar for f64 {
     fn is_finite(self) -> bool {
         f64::is_finite(self)
     }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline]
+    fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [Self]) -> R) -> R {
+        <f64 as ScratchProvider>::with_scratch_impl(len, f)
+    }
 }
 
 #[cfg(test)]
@@ -143,25 +212,55 @@ mod tests {
         assert!(!(T::ONE / T::ZERO).is_finite());
     }
 
+    // Checked through a generic parameter so each assertion compares two
+    // runtime values rather than a compile-time constant.
+    fn meta<T: Scalar>(bytes: usize, is_double: bool, prefix: &str) {
+        assert_eq!(T::BYTES, bytes);
+        assert_eq!(T::IS_DOUBLE, is_double);
+        assert_eq!(T::PREFIX, prefix);
+    }
+
     #[test]
     fn f32_contract() {
         roundtrip::<f32>();
-        assert_eq!(f32::BYTES, 4);
-        assert_eq!(f32::IS_DOUBLE, false);
-        assert_eq!(f32::PREFIX, "s");
+        meta::<f32>(4, false, "s");
     }
 
     #[test]
     fn f64_contract() {
         roundtrip::<f64>();
-        assert_eq!(f64::BYTES, 8);
-        assert_eq!(f64::IS_DOUBLE, true);
-        assert_eq!(f64::PREFIX, "d");
+        meta::<f64>(8, true, "d");
     }
 
     #[test]
     fn mul_add_matches() {
         let x: f64 = 3.0;
         assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn scratch_is_reused_without_reallocation() {
+        let ptr1 = f64::with_scratch(64, |s| {
+            assert_eq!(s.len(), 64);
+            s.fill(3.0);
+            s.as_ptr() as usize
+        });
+        // Same thread, same (or smaller) size: the buffer is reused.
+        let ptr2 = f64::with_scratch(32, |s| {
+            assert_eq!(s.len(), 32);
+            s.as_ptr() as usize
+        });
+        assert_eq!(ptr1, ptr2);
+    }
+
+    #[test]
+    fn scratch_reentrant_does_not_alias() {
+        f32::with_scratch(16, |outer| {
+            outer.fill(1.0);
+            f32::with_scratch(16, |inner| {
+                inner.fill(2.0);
+            });
+            assert!(outer.iter().all(|&v| v == 1.0));
+        });
     }
 }

@@ -11,7 +11,10 @@ use crate::scalar::Scalar;
 
 /// Frobenius norm of a packed column-major buffer.
 pub fn fro_norm_slice<T: Scalar>(a: &[T]) -> f64 {
-    a.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+    a.iter()
+        .map(|v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Frobenius norm of a view.
@@ -135,8 +138,8 @@ pub fn qr_residual<T: Scalar>(
         // v = [zeros(j); 1; A(j+1.., j)]
         let mut v = vec![T::ZERO; m];
         v[j] = T::ONE;
-        for i in j + 1..m {
-            v[i] = factored.get(i, j);
+        for (i, vi) in v.iter_mut().enumerate().skip(j + 1) {
+            *vi = factored.get(i, j);
         }
         // Q = (I − τ v vᵀ) Q  → for each column c: Q(:,c) −= τ v (vᵀ Q(:,c))
         for c in 0..m {

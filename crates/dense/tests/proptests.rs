@@ -223,13 +223,13 @@ proptest! {
 
         // One reflector at a time (forward order = Qᵀ).
         let mut c_seq = c0.clone();
-        for r in 0..jb {
-            if tau[r] == 0.0 {
+        for (r, &tau_r) in tau.iter().enumerate() {
+            if tau_r == 0.0 {
                 continue;
             }
             let v_tail = v.sub(r + 1, r, m - r - 1, 1);
             let c_view = MatMut::from_slice(&mut c_seq, m, cols, m).sub(r, 0, m - r, cols);
-            larf_left(v_tail, tau[r], c_view);
+            larf_left(v_tail, tau_r, c_view);
         }
         prop_assert!(max_abs_diff_slices(&c_blocked, &c_seq) < 1e-9);
     }
@@ -265,5 +265,265 @@ proptest! {
         a[col + col * n] = -1.0 - a[col + col * n].abs();
         let res = potf2(Uplo::Lower, MatMut::from_slice(&mut a, n, n, n));
         prop_assert!(res.is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tier-oracle equivalence: both kernel tiers against the naive
+// references, over every flag combination, boundary-biased sizes (the
+// register tile MR/NR, the dispatch threshold, the trsm/syrk block
+// edges) and non-unit leading dimensions.
+// ---------------------------------------------------------------------
+
+use vbatch_dense::level3::{tier, uses_blocked, MR, NR};
+
+/// Sizes clustered on tile/threshold/block boundaries, ±1 around each,
+/// plus 1 and small odd values.
+fn boundary_dim(max: usize) -> impl Strategy<Value = usize> {
+    let candidates: Vec<usize> = [
+        1,
+        2,
+        3,
+        NR - 1,
+        NR,
+        NR + 1,
+        5,
+        7,
+        MR - 1,
+        MR,
+        MR + 1,
+        11,
+        12,
+        13,
+        17,
+        31,
+        32,
+        33,
+        47,
+        48,
+        49,
+        63,
+        64,
+        65,
+    ]
+    .into_iter()
+    .filter(|&v| v <= max)
+    .collect();
+    proptest::sample::select(candidates)
+}
+
+/// α/β biased toward the special-cased values 0 and 1.
+fn coeff_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(-1.0), -2.0f64..2.0]
+}
+
+/// Random `rows × cols` matrix stored with leading dimension `ld`
+/// (`ld >= rows`); the `ld - rows` gap rows hold sentinel garbage so a
+/// kernel that strays off a column shows up as a mismatch.
+fn padded_mat(rng: &mut impl rand::Rng, rows: usize, cols: usize, ld: usize) -> Vec<f64> {
+    let mut buf = rand_mat::<f64>(rng, ld * cols.max(1));
+    for j in 0..cols {
+        for i in rows..ld {
+            buf[i + j * ld] = 1e30;
+        }
+    }
+    buf
+}
+
+/// Extracts the `rows × cols` view of a padded buffer into packed
+/// (`ld == rows`) storage, the layout the naive references use.
+fn packed_from(buf: &[f64], rows: usize, cols: usize, ld: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(rows * cols);
+    for j in 0..cols {
+        out.extend_from_slice(&buf[j * ld..j * ld + rows]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_tiers_match_reference_any_ld(
+        m in boundary_dim(65), n in boundary_dim(65), k in boundary_dim(65),
+        ta in trans_strategy(), tb in trans_strategy(),
+        pa in 0usize..3, pb in 0usize..3, pc in 0usize..3,
+        alpha in coeff_strategy(), beta in coeff_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let (am, an) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
+        let (bm, bn) = if tb == Trans::NoTrans { (k, n) } else { (n, k) };
+        let (lda, ldb, ldc) = (am + pa, bm + pb, m + pc);
+        let a = padded_mat(&mut rng, am, an, lda);
+        let b = padded_mat(&mut rng, bm, bn, ldb);
+        let c0 = padded_mat(&mut rng, m, n, ldc);
+
+        let want = naive::gemm_ref(
+            ta, tb, alpha,
+            &packed_from(&a, am, an, lda), am, an,
+            &packed_from(&b, bm, bn, ldb), bm, bn,
+            beta, &packed_from(&c0, m, n, ldc), m, n,
+        );
+
+        let ar = MatRef::from_slice(&a, am, an, lda);
+        let br = MatRef::from_slice(&b, bm, bn, ldb);
+        let tol = 1e-10 * (k as f64 + 1.0);
+
+        let mut c_small = c0.clone();
+        tier::gemm_small(ta, tb, alpha, ar, br, beta,
+            MatMut::from_slice(&mut c_small, m, n, ldc));
+        prop_assert!(
+            max_abs_diff_slices(&packed_from(&c_small, m, n, ldc), &want) < tol,
+            "small tier mismatch ta={ta:?} tb={tb:?} m={m} n={n} k={k}"
+        );
+
+        let mut c_blocked = c0.clone();
+        tier::gemm_blocked(ta, tb, alpha, ar, br, beta,
+            MatMut::from_slice(&mut c_blocked, m, n, ldc));
+        prop_assert!(
+            max_abs_diff_slices(&packed_from(&c_blocked, m, n, ldc), &want) < tol,
+            "blocked tier mismatch ta={ta:?} tb={tb:?} m={m} n={n} k={k}"
+        );
+
+        // The dispatching engine must agree with whichever tier it picks
+        // (both threshold sides are exercised: k and n straddle 12 / 8).
+        let _ = uses_blocked(m, n, k);
+        let mut c_engine = c0.clone();
+        gemm(ta, tb, alpha, ar, br, beta,
+            MatMut::from_slice(&mut c_engine, m, n, ldc));
+        prop_assert!(
+            max_abs_diff_slices(&packed_from(&c_engine, m, n, ldc), &want) < tol,
+            "engine mismatch ta={ta:?} tb={tb:?} m={m} n={n} k={k}"
+        );
+    }
+
+    #[test]
+    fn syrk_matches_reference_any_ld(
+        n in boundary_dim(65), k in boundary_dim(65),
+        uplo in uplo_strategy(), trans in trans_strategy(),
+        pa in 0usize..3, pc in 0usize..3,
+        alpha in coeff_strategy(), beta in coeff_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let (am, an) = if trans == Trans::NoTrans { (n, k) } else { (k, n) };
+        let (lda, ldc) = (am + pa, n + pc);
+        let a = padded_mat(&mut rng, am, an, lda);
+        let c0 = padded_mat(&mut rng, n, n, ldc);
+
+        let want = naive::syrk_ref(
+            uplo, trans, alpha,
+            &packed_from(&a, am, an, lda), n, k,
+            beta, &packed_from(&c0, n, n, ldc),
+        );
+
+        let mut c = c0.clone();
+        syrk(uplo, trans, alpha, MatRef::from_slice(&a, am, an, lda),
+            beta, MatMut::from_slice(&mut c, n, n, ldc));
+        prop_assert!(
+            max_abs_diff_slices(&packed_from(&c, n, n, ldc), &want) < 1e-10 * (k as f64 + 1.0),
+            "syrk mismatch uplo={uplo:?} trans={trans:?} n={n} k={k}"
+        );
+    }
+
+    #[test]
+    fn trmm_matches_reference_any_ld(
+        m in boundary_dim(48), n in boundary_dim(48),
+        side in prop_oneof![Just(Side::Left), Just(Side::Right)],
+        uplo in uplo_strategy(), trans in trans_strategy(),
+        diag in prop_oneof![Just(Diag::NonUnit), Just(Diag::Unit)],
+        pa in 0usize..3, pb in 0usize..3,
+        alpha in coeff_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let na = if side == Side::Left { m } else { n };
+        let (lda, ldb) = (na + pa, m + pb);
+        let a = padded_mat(&mut rng, na, na, lda);
+        let b0 = padded_mat(&mut rng, m, n, ldb);
+
+        let want = naive::trmm_ref(
+            side, uplo, trans, diag, alpha,
+            &packed_from(&a, na, na, lda), &packed_from(&b0, m, n, ldb), m, n,
+        );
+
+        let mut b = b0.clone();
+        trmm(side, uplo, trans, diag, alpha, MatRef::from_slice(&a, na, na, lda),
+            MatMut::from_slice(&mut b, m, n, ldb));
+        prop_assert!(
+            max_abs_diff_slices(&packed_from(&b, m, n, ldb), &want)
+                < 1e-10 * (na as f64 + 1.0),
+            "trmm mismatch side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?} m={m} n={n}"
+        );
+    }
+
+    #[test]
+    fn trsm_matches_reference_any_ld(
+        m in boundary_dim(65), n in boundary_dim(48),
+        side in prop_oneof![Just(Side::Left), Just(Side::Right)],
+        uplo in uplo_strategy(), trans in trans_strategy(),
+        diag in prop_oneof![Just(Diag::NonUnit), Just(Diag::Unit)],
+        pa in 0usize..3, pb in 0usize..3,
+        alpha in coeff_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let na = if side == Side::Left { m } else { n };
+        let (lda, ldb) = (na + pa, m + pb);
+        let mut a = padded_mat(&mut rng, na, na, lda);
+        // Diagonal dominance keeps the substitution well-conditioned so
+        // the elementwise comparison tolerance stays meaningful.
+        for i in 0..na {
+            a[i + i * lda] = 2.0 + a[i + i * lda].abs();
+        }
+        let b0 = padded_mat(&mut rng, m, n, ldb);
+
+        let want = naive::trsm_ref(
+            side, uplo, trans, diag, alpha,
+            &packed_from(&a, na, na, lda), &packed_from(&b0, m, n, ldb), m, n,
+        );
+
+        let mut b = b0.clone();
+        trsm(side, uplo, trans, diag, alpha, MatRef::from_slice(&a, na, na, lda),
+            MatMut::from_slice(&mut b, m, n, ldb));
+        // m up to 65 crosses the recursive split (TRSM_NB = 32) twice.
+        prop_assert!(
+            max_abs_diff_slices(&packed_from(&b, m, n, ldb), &want)
+                < 1e-8 * (na as f64 + 1.0),
+            "trsm mismatch side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?} m={m} n={n}"
+        );
+    }
+}
+
+/// Degenerate extents (`0` anywhere) must be no-ops or pure β-scales on
+/// every tier — deterministic rather than property-based so each case
+/// definitely runs.
+#[test]
+fn gemm_tiers_handle_zero_extents() {
+    for &(m, n, k) in &[(0usize, 3usize, 3usize), (3, 0, 3), (3, 3, 0), (0, 0, 0)] {
+        let a = vec![1.0f64; m.max(1) * k.max(1)];
+        let b = vec![1.0f64; k.max(1) * n.max(1)];
+        let c0 = vec![2.0f64; m.max(1) * n.max(1)];
+        let ar = MatRef::from_slice(&a, m, k, m.max(1));
+        let br = MatRef::from_slice(&b, k, n, k.max(1));
+        for which in 0..3 {
+            let mut c = c0.clone();
+            let cm = MatMut::from_slice(&mut c, m, n, m.max(1));
+            match which {
+                0 => gemm(Trans::NoTrans, Trans::NoTrans, 1.0, ar, br, 0.5, cm),
+                1 => tier::gemm_small(Trans::NoTrans, Trans::NoTrans, 1.0, ar, br, 0.5, cm),
+                _ => tier::gemm_blocked(Trans::NoTrans, Trans::NoTrans, 1.0, ar, br, 0.5, cm),
+            }
+            // Only the live m×n corner may change, and only by β.
+            for j in 0..n {
+                for i in 0..m {
+                    assert_eq!(c[i + j * m.max(1)], 1.0, "m={m} n={n} k={k} which={which}");
+                }
+            }
+            if m == 0 || n == 0 {
+                assert_eq!(c, c0, "degenerate view must not write m={m} n={n} k={k}");
+            }
+        }
     }
 }

@@ -118,7 +118,12 @@ impl Device {
     /// # Errors
     /// [`LaunchError`] if the configuration violates device limits; no
     /// block runs in that case (as in CUDA).
-    pub fn launch<F>(&self, name: &str, cfg: LaunchConfig, kernel: F) -> Result<KernelStats, LaunchError>
+    pub fn launch<F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> Result<KernelStats, LaunchError>
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
@@ -160,7 +165,9 @@ impl Device {
         // Launch issue burns idle power; execution burns at the busy
         // fraction.
         inner.energy.add_interval(timing.launch_s, 0.0);
-        inner.energy.add_interval(timing.exec_s, timing.busy_fraction);
+        inner
+            .energy
+            .add_interval(timing.exec_s, timing.busy_fraction);
         inner.profiler.record(name, timing);
         inner.launches += launches;
     }
@@ -190,7 +197,8 @@ impl Device {
     }
 
     fn transfer(&self, bytes: usize) -> f64 {
-        let t = self.cfg.pcie_latency_us * 1e-6 + bytes as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        let t =
+            self.cfg.pcie_latency_us * 1e-6 + bytes as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
         let mut inner = self.inner.lock();
         inner.clock_s += t;
         inner.energy.add_interval(t, 0.0);
@@ -294,7 +302,10 @@ impl StreamGroup<'_> {
 /// leading dimensions — the vbatched metadata triple (§III-A) — built
 /// from host data in one call (bypasses the PCIe clock; use
 /// [`Device::copy_htod_bytes`] to charge it).
-pub fn upload_vec<T: Copy + Default>(dev: &Device, data: &[T]) -> Result<DeviceBuffer<T>, OomError> {
+pub fn upload_vec<T: Copy + Default>(
+    dev: &Device,
+    data: &[T],
+) -> Result<DeviceBuffer<T>, OomError> {
     let buf = dev.alloc::<T>(data.len())?;
     buf.fill_from_host(data);
     Ok(buf)
@@ -342,10 +353,12 @@ mod tests {
     fn clock_advances_and_resets() {
         let d = dev();
         assert_eq!(d.now(), 0.0);
-        d.launch("noop", LaunchConfig::grid_1d(1, 32), |_blk| {}).unwrap();
+        d.launch("noop", LaunchConfig::grid_1d(1, 32), |_blk| {})
+            .unwrap();
         let t1 = d.now();
         assert!(t1 >= d.launch_overhead_s());
-        d.launch("noop", LaunchConfig::grid_1d(1, 32), |_blk| {}).unwrap();
+        d.launch("noop", LaunchConfig::grid_1d(1, 32), |_blk| {})
+            .unwrap();
         assert!(d.now() > t1);
         assert_eq!(d.launch_count(), 2);
         d.reset_metrics();
@@ -373,11 +386,9 @@ mod tests {
     fn launch_rejected_without_side_effects() {
         let d = dev();
         let before = d.now();
-        let err = d.launch(
-            "bad",
-            LaunchConfig::grid_1d(1, 4096),
-            |_blk| panic!("must not run"),
-        );
+        let err = d.launch("bad", LaunchConfig::grid_1d(1, 4096), |_blk| {
+            panic!("must not run")
+        });
         assert!(err.is_err());
         assert_eq!(d.now(), before);
     }
@@ -438,7 +449,8 @@ mod tests {
     #[test]
     fn profiler_sees_kernel_names() {
         let d = dev();
-        d.launch("aux_compute_max", LaunchConfig::grid_1d(1, 32), |_b| {}).unwrap();
+        d.launch("aux_compute_max", LaunchConfig::grid_1d(1, 32), |_b| {})
+            .unwrap();
         d.launch("fused_step", LaunchConfig::grid_1d(2, 32), |blk| {
             blk.dp_flops(32, 1e5);
         })

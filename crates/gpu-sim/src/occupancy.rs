@@ -57,10 +57,16 @@ impl std::fmt::Display for OccupancyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OccupancyError::TooManyThreads { requested, limit } => {
-                write!(f, "block of {requested} threads exceeds device limit {limit}")
+                write!(
+                    f,
+                    "block of {requested} threads exceeds device limit {limit}"
+                )
             }
             OccupancyError::SharedMemExceeded { requested, limit } => {
-                write!(f, "shared memory request {requested} B exceeds per-block limit {limit} B")
+                write!(
+                    f,
+                    "shared memory request {requested} B exceeds per-block limit {limit} B"
+                )
             }
             OccupancyError::EmptyLaunch => write!(f, "grid and block extents must be nonzero"),
         }
@@ -93,11 +99,10 @@ pub fn occupancy(dev: &DeviceConfig, cfg: &LaunchConfig) -> Result<Occupancy, Oc
 
     let by_blocks = dev.max_blocks_per_sm;
     let by_threads = dev.max_threads_per_sm / threads;
-    let by_smem = if cfg.shared_mem_bytes == 0 {
-        u32::MAX
-    } else {
-        (dev.shared_mem_per_sm / cfg.shared_mem_bytes) as u32
-    };
+    let by_smem = dev
+        .shared_mem_per_sm
+        .checked_div(cfg.shared_mem_bytes)
+        .map_or(u32::MAX, |v| v as u32);
 
     let blocks = by_blocks.min(by_threads).min(by_smem).max(1);
     let (limit, limiter) = [

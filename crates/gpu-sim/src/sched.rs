@@ -126,7 +126,11 @@ mod tests {
     }
 
     fn occ_for(threads: u32, smem: usize) -> Occupancy {
-        occupancy(&dev(), &LaunchConfig::grid_1d(1, threads).with_shared_mem(smem)).unwrap()
+        occupancy(
+            &dev(),
+            &LaunchConfig::grid_1d(1, threads).with_shared_mem(smem),
+        )
+        .unwrap()
     }
 
     fn work_block(dp_flops: f64) -> BlockCost {
@@ -149,7 +153,10 @@ mod tests {
             resident_warps: 0,
             ..BlockCost::default()
         };
-        assert_eq!(block_service_cycles(&d, &occ, &dead), d.block_dispatch_cycles);
+        assert_eq!(
+            block_service_cycles(&d, &occ, &dead),
+            d.block_dispatch_cycles
+        );
         let live = work_block(1e6);
         assert!(block_service_cycles(&d, &occ, &live) > d.block_dispatch_cycles * 10.0);
     }

@@ -111,11 +111,18 @@ fn balanced_load_beats_imbalanced() {
     let occ = occupancy(&d, &LaunchConfig::grid_1d(1, 128)).unwrap();
     let total = 1.5e8;
     let n = 30usize;
-    let balanced: Vec<_> = (0..n).map(|_| (block(total / n as f64, 4), occ, 0.0)).collect();
+    let balanced: Vec<_> = (0..n)
+        .map(|_| (block(total / n as f64, 4), occ, 0.0))
+        .collect();
     let mut works = vec![total / (2.0 * (n - 1) as f64); n];
     works[0] = total / 2.0;
     let skewed: Vec<_> = works.iter().map(|&w| (block(w, 4), occ, 0.0)).collect();
     let tb = schedule_blocks(&d, &balanced, 0.0);
     let ts = schedule_blocks(&d, &skewed, 0.0);
-    assert!(tb.exec_s <= ts.exec_s * 1.001, "{} vs {}", tb.exec_s, ts.exec_s);
+    assert!(
+        tb.exec_s <= ts.exec_s * 1.001,
+        "{} vs {}",
+        tb.exec_s,
+        ts.exec_s
+    );
 }

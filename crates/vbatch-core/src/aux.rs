@@ -25,7 +25,11 @@ const AUX_THREADS: u32 = 256;
 ///
 /// # Errors
 /// [`VbatchError::Launch`] / [`VbatchError::Oom`] on device failures.
-pub fn compute_imax(dev: &Device, values: DevicePtr<i32>, count: usize) -> Result<i32, VbatchError> {
+pub fn compute_imax(
+    dev: &Device,
+    values: DevicePtr<i32>,
+    count: usize,
+) -> Result<i32, VbatchError> {
     if count == 0 {
         return Ok(0);
     }
@@ -191,7 +195,8 @@ mod tests {
         b.upload_matrix(0, &(0..16).map(|x| x as f64).collect::<Vec<_>>());
         b.upload_matrix(1, &(0..4).map(|x| x as f64).collect::<Vec<_>>());
         let st = StepState::<f64>::alloc(&d, 2).unwrap();
-        st.update(&d, b.d_ptrs(), b.d_cols(), b.d_ld(), 2, 2).unwrap();
+        st.update(&d, b.d_ptrs(), b.d_cols(), b.d_ld(), 2, 2)
+            .unwrap();
         let rem = st.d_rem.read_to_host();
         assert_eq!(rem, vec![2, 0]);
         let p0 = st.d_ptrs.ptr().get(0);
@@ -205,7 +210,8 @@ mod tests {
         let d = dev();
         let b = VBatch::<f64>::alloc_square(&d, &[3]).unwrap();
         let st = StepState::<f64>::alloc(&d, 1).unwrap();
-        st.update(&d, b.d_ptrs(), b.d_cols(), b.d_ld(), 1, 0).unwrap();
+        st.update(&d, b.d_ptrs(), b.d_cols(), b.d_ld(), 1, 0)
+            .unwrap();
         assert_eq!(st.d_rem.read_to_host(), vec![3]);
         assert_eq!(st.d_ptrs.ptr().get(0).raw(), b.d_ptrs().get(0).raw());
     }

@@ -199,7 +199,10 @@ pub fn resolve_strategy<T: Scalar>(
     match opts.strategy {
         Strategy::Fused | Strategy::Separated => opts.strategy,
         Strategy::Auto => {
-            let cap = opts.crossover.max_fused_n.unwrap_or_else(default_crossover::<T>);
+            let cap = opts
+                .crossover
+                .max_fused_n
+                .unwrap_or_else(default_crossover::<T>);
             if fused_feasible::<T>(dev, max_n, nb) && max_n <= cap {
                 Strategy::Fused
             } else {
@@ -233,7 +236,10 @@ fn run_fused<T: Scalar>(
         // they improve occupancy (measured by `ablation_window`).
         let target_groups = (batch.count() / 48).max(1);
         let min_window = max_n.div_ceil(target_groups);
-        build_windows(sizes, (nb * opts.fused.window_factor.max(1)).max(min_window))
+        build_windows(
+            sizes,
+            (nb * opts.fused.window_factor.max(1)).max(min_window),
+        )
     } else {
         single_window(sizes)
     };
@@ -342,7 +348,15 @@ fn run_separated<T: Scalar>(
                         .iter()
                         .map(|&n| n.saturating_sub(j).saturating_sub(nb_panel))
                         .collect();
-                    syrk_streamed(dev, uplo, view, st.d_rem.ptr(), batch.d_info(), &trails, nb_panel)?;
+                    syrk_streamed(
+                        dev,
+                        uplo,
+                        view,
+                        st.d_rem.ptr(),
+                        batch.d_info(),
+                        &trails,
+                        nb_panel,
+                    )?;
                 }
             }
         }
@@ -409,35 +423,62 @@ mod tests {
         let variants: Vec<PotrfOptions> = vec![
             PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm: EtmPolicy::Classic, sorting: false, ..Default::default() },
+                fused: FusedOpts {
+                    etm: EtmPolicy::Classic,
+                    sorting: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm: EtmPolicy::Aggressive, sorting: false, ..Default::default() },
+                fused: FusedOpts {
+                    etm: EtmPolicy::Aggressive,
+                    sorting: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm: EtmPolicy::Classic, sorting: true, ..Default::default() },
+                fused: FusedOpts {
+                    etm: EtmPolicy::Classic,
+                    sorting: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm: EtmPolicy::Aggressive, sorting: true, ..Default::default() },
+                fused: FusedOpts {
+                    etm: EtmPolicy::Aggressive,
+                    sorting: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             PotrfOptions {
                 strategy: Strategy::Separated,
-                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Batched },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    nb_inner: 8,
+                    syrk: SyrkMode::Batched,
+                },
                 ..Default::default()
             },
             PotrfOptions {
                 strategy: Strategy::Separated,
-                sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Streamed },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    nb_inner: 8,
+                    syrk: SyrkMode::Streamed,
+                },
                 ..Default::default()
             },
-            PotrfOptions { strategy: Strategy::Auto, ..Default::default() },
+            PotrfOptions {
+                strategy: Strategy::Auto,
+                ..Default::default()
+            },
         ];
         for (vi, opts) in variants.iter().enumerate() {
             let (mut batch, origs) = make_batch::<f64>(&d, &sizes, 100 + vi as u64);
@@ -455,7 +496,10 @@ mod tests {
             let (mut batch, origs) = make_batch::<f32>(&d, &sizes, 200);
             let opts = PotrfOptions {
                 strategy,
-                sep: SepOpts { nb_panel: 32, ..Default::default() },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
@@ -469,20 +513,22 @@ mod tests {
         let d = dev();
         let opts = PotrfOptions::default();
         let nb = 8;
-        assert_eq!(
-            resolve_strategy::<f64>(&d, &opts, 64, nb),
-            Strategy::Fused
-        );
+        assert_eq!(resolve_strategy::<f64>(&d, &opts, 64, nb), Strategy::Fused);
         assert_eq!(
             resolve_strategy::<f64>(&d, &opts, 2000, nb),
             Strategy::Separated
         );
         // Explicit crossover override.
         let opts = PotrfOptions {
-            crossover: CrossoverConfig { max_fused_n: Some(100) },
+            crossover: CrossoverConfig {
+                max_fused_n: Some(100),
+            },
             ..Default::default()
         };
-        assert_eq!(resolve_strategy::<f64>(&d, &opts, 101, nb), Strategy::Separated);
+        assert_eq!(
+            resolve_strategy::<f64>(&d, &opts, 101, nb),
+            Strategy::Separated
+        );
         assert_eq!(resolve_strategy::<f64>(&d, &opts, 100, nb), Strategy::Fused);
     }
 
@@ -498,7 +544,10 @@ mod tests {
             batch.upload_matrix(1, &bad);
             let opts = PotrfOptions {
                 strategy,
-                sep: SepOpts { nb_panel: 8, ..Default::default() },
+                sep: SepOpts {
+                    nb_panel: 8,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
@@ -527,7 +576,10 @@ mod tests {
             let opts = PotrfOptions {
                 uplo: Uplo::Upper,
                 strategy,
-                sep: SepOpts { nb_panel: 32, ..Default::default() },
+                sep: SepOpts {
+                    nb_panel: 32,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
@@ -539,7 +591,10 @@ mod tests {
                     MatRef::from_slice(&f, n, n, n),
                     MatRef::from_slice(&origs[i], n, n, n),
                 );
-                assert!(r < residual_tol::<f64>(n), "{strategy:?} matrix {i}: residual {r}");
+                assert!(
+                    r < residual_tol::<f64>(n),
+                    "{strategy:?} matrix {i}: residual {r}"
+                );
             }
         }
     }

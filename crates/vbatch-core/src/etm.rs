@@ -87,10 +87,7 @@ mod tests {
         let aggressive = run(EtmPolicy::Aggressive, 24, 64);
         assert!(aggressive.time_s < classic.time_s);
         // Same useful work either way.
-        assert_eq!(
-            classic.timing.flops_useful,
-            aggressive.timing.flops_useful
-        );
+        assert_eq!(classic.timing.flops_useful, aggressive.timing.flops_useful);
     }
 
     #[test]

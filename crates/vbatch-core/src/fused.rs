@@ -160,11 +160,7 @@ pub(crate) fn fused_step_math<T: Scalar>(
         };
         return Err(j + col);
     }
-    charge_flops::<T>(
-        ctx,
-        ib,
-        vbatch_dense::flops::potrf(ib),
-    );
+    charge_flops::<T>(ctx, ib, vbatch_dense::flops::potrf(ib));
     // potf2 synchronizes once per column.
     for _ in 0..ib {
         ctx.sync();
@@ -201,11 +197,7 @@ pub(crate) fn fused_step_math<T: Scalar>(
                 );
             }
         }
-        charge_flops::<T>(
-            ctx,
-            rem - ib,
-            (rem - ib) as f64 * ib as f64 * ib as f64,
-        );
+        charge_flops::<T>(ctx, rem - ib, (rem - ib) as f64 * ib as f64 * ib as f64);
         ctx.sync();
     }
 
@@ -254,20 +246,24 @@ pub fn potrf_fused_fixed<T: Scalar>(
     let ptrs = batch.d_ptrs();
     let lds = batch.d_ld();
     let infos = batch.d_info();
-    let stats = dev.launch(&format!("{}potrf_fused_fixed", T::PREFIX), cfg, move |ctx| {
-        let i = ctx.linear_block_id();
-        let ld = lds.get(i) as usize;
-        let mut j = 0;
-        while j < n {
-            // Re-derive the view each step (the math consumes it).
-            let a_step = mat_mut(ptrs.get(i), n, n, ld);
-            if let Err(col) = fused_step_math::<T>(ctx, uplo, a_step, n, j, nb) {
-                infos.set(i, (col + 1) as i32);
-                return;
+    let stats = dev.launch(
+        &format!("{}potrf_fused_fixed", T::PREFIX),
+        cfg,
+        move |ctx| {
+            let i = ctx.linear_block_id();
+            let ld = lds.get(i) as usize;
+            let mut j = 0;
+            while j < n {
+                // Re-derive the view each step (the math consumes it).
+                let a_step = mat_mut(ptrs.get(i), n, n, ld);
+                if let Err(col) = fused_step_math::<T>(ctx, uplo, a_step, n, j, nb) {
+                    infos.set(i, (col + 1) as i32);
+                    return;
+                }
+                j += nb;
             }
-            j += nb;
-        }
-    })?;
+        },
+    )?;
     Ok(stats)
 }
 
@@ -360,8 +356,8 @@ mod tests {
             .collect();
         let stats = potrf_fused_fixed(&d, &mut batch, Uplo::Lower, n, 8).unwrap();
         assert_eq!(stats.config.grid.x, 8);
-        for i in 0..8 {
-            check_factor(&batch.download_matrix(i), &origs[i], n);
+        for (i, orig) in origs.iter().enumerate() {
+            check_factor(&batch.download_matrix(i), orig, n);
         }
         assert_eq!(batch.read_info(), vec![0; 8]);
     }
@@ -396,12 +392,12 @@ mod tests {
             })
             .collect();
         potrf_fused_fixed(&d, &mut batch, Uplo::Upper, n, 8).unwrap();
-        for i in 0..4 {
+        for (i, orig) in origs.iter().enumerate() {
             let f = batch.download_matrix(i);
             let r = chol_residual(
                 Uplo::Upper,
                 MatRef::from_slice(&f, n, n, n),
-                MatRef::from_slice(&origs[i], n, n, n),
+                MatRef::from_slice(orig, n, n, n),
             );
             assert!(r < residual_tol::<f64>(n), "matrix {i}: residual {r}");
         }
@@ -504,7 +500,18 @@ mod tests {
         let max = 9;
         let mut j = 0;
         while j < max {
-            potrf_fused_step(&d, &batch, Uplo::Lower, idx.ptr(), 2, max, j, nb, EtmPolicy::Aggressive).unwrap();
+            potrf_fused_step(
+                &d,
+                &batch,
+                Uplo::Lower,
+                idx.ptr(),
+                2,
+                max,
+                j,
+                nb,
+                EtmPolicy::Aggressive,
+            )
+            .unwrap();
             j += nb;
         }
         check_factor(&batch.download_matrix(0), &origs[0], sizes[0]);
@@ -529,8 +536,18 @@ mod tests {
             let nb = 8;
             let mut j = 0;
             while j < 256 {
-                potrf_fused_step(&d, &batch, Uplo::Lower, DevicePtr::null(), sizes.len(), 256, j, nb, etm)
-                    .unwrap();
+                potrf_fused_step(
+                    &d,
+                    &batch,
+                    Uplo::Lower,
+                    DevicePtr::null(),
+                    sizes.len(),
+                    256,
+                    j,
+                    nb,
+                    etm,
+                )
+                .unwrap();
                 j += nb;
             }
             times.push(d.now());

@@ -38,7 +38,11 @@ pub fn charge_flops<T: Scalar>(ctx: &mut BlockCtx, active_threads: usize, total_
     if active_threads == 0 || total_flops <= 0.0 {
         return;
     }
-    ctx.flops(T::IS_DOUBLE, active_threads, total_flops / active_threads as f64);
+    ctx.flops(
+        T::IS_DOUBLE,
+        active_threads,
+        total_flops / active_threads as f64,
+    );
 }
 
 /// Charges a global-memory read of `elems` elements of `T`.

@@ -235,7 +235,11 @@ pub fn getrf_vbatched<T: Scalar>(
             .zip(batch.cols())
             .map(|(&m, &n)| {
                 let jb = m.min(n).saturating_sub(j).min(nb);
-                if jb == 0 { 0 } else { m - j - jb }
+                if jb == 0 {
+                    0
+                } else {
+                    m - j - jb
+                }
             })
             .max()
             .unwrap_or(0);
@@ -245,7 +249,11 @@ pub fn getrf_vbatched<T: Scalar>(
             .zip(batch.cols())
             .map(|(&m, &n)| {
                 let jb = m.min(n).saturating_sub(j).min(nb);
-                if jb == 0 { 0 } else { n - j - jb }
+                if jb == 0 {
+                    0
+                } else {
+                    n - j - jb
+                }
             })
             .max()
             .unwrap_or(0);
@@ -309,8 +317,8 @@ fn getf2_panel<T: Scalar>(
     let d_ld = batch.d_ld();
     let d_info = batch.d_info();
     let piv = pivots.d_ptrs();
-    let threads = round_to_warp(nb * 4, dev.config().warp_size)
-        .min(dev.config().max_threads_per_block);
+    let threads =
+        round_to_warp(nb * 4, dev.config().warp_size).min(dev.config().max_threads_per_block);
     let cfg = LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(nb * nb * T::BYTES);
     dev.launch(&format!("{}getf2_vbatched", T::PREFIX), cfg, move |ctx| {
         let i = ctx.linear_block_id();
@@ -404,7 +412,14 @@ mod tests {
     #[test]
     fn variable_size_lu_residuals() {
         let dev = Device::new(DeviceConfig::k40c());
-        let dims = [(40usize, 40usize), (7, 7), (90, 60), (33, 70), (1, 1), (0, 5)];
+        let dims = [
+            (40usize, 40usize),
+            (7, 7),
+            (90, 60),
+            (33, 70),
+            (1, 1),
+            (0, 5),
+        ];
         let mut rng = seeded_rng(81);
         let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
         let origs: Vec<Vec<f64>> = dims

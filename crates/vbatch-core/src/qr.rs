@@ -14,7 +14,9 @@ use vbatch_dense::Scalar;
 use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, Dim3, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_flops, charge_read, charge_smem, charge_write, mat_mut, mat_ref, round_to_warp};
+use crate::kernels::{
+    charge_flops, charge_read, charge_smem, charge_write, mat_mut, mat_ref, round_to_warp,
+};
 use crate::report::{BatchReport, VbatchError};
 use crate::VBatch;
 
@@ -139,8 +141,8 @@ fn geqr2_larft_panel<T: Scalar>(
     let d_n = batch.d_cols();
     let d_ld = batch.d_ld();
     let tau_ptrs = tau.d_ptrs();
-    let threads = round_to_warp(nb * 4, dev.config().warp_size)
-        .min(dev.config().max_threads_per_block);
+    let threads =
+        round_to_warp(nb * 4, dev.config().warp_size).min(dev.config().max_threads_per_block);
     let cfg = LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(2 * nb * nb * T::BYTES);
     dev.launch(&format!("{}geqr2_vbatched", T::PREFIX), cfg, move |ctx| {
         let i = ctx.linear_block_id();
@@ -225,12 +227,7 @@ fn larfb_cols<T: Scalar>(
         let v = mat_ref(base.get(i).offset(j * ld + j), rows, jb, ld);
         let t_dev = t_ptrs.get(i);
         let t_host: Vec<T> = (0..jb * jb).map(|idx| t_dev.get(idx)).collect();
-        let c_view = mat_mut(
-            base.get(i).offset((j + jb + c0) * ld + j),
-            rows,
-            tcw,
-            ld,
-        );
+        let c_view = mat_mut(base.get(i).offset((j + jb + c0) * ld + j), rows, tcw, ld);
         vbatch_dense::larfb_left_t(v, &t_host, c_view);
         let active = 128.min(tcw * 4).max(32);
         charge_read::<T>(ctx, rows * jb + jb * jb + rows * tcw);
@@ -293,12 +290,7 @@ pub fn ormqr_left_trans_vbatched<T: Scalar>(
             if tau_r == T::ZERO {
                 continue;
             }
-            let v_tail = crate::kernels::mat_ref(
-                a_ptrs.get(i).offset(r * lda + r),
-                m - r,
-                1,
-                lda,
-            );
+            let v_tail = crate::kernels::mat_ref(a_ptrs.get(i).offset(r * lda + r), m - r, 1, lda);
             let v_tail = v_tail.sub(1, 0, m - r - 1, 1);
             let c = crate::kernels::mat_mut(b_ptrs.get(i).offset(r), m - r, nrhs, ldb);
             vbatch_dense::larf_left(v_tail, tau_r, c);
@@ -332,12 +324,7 @@ pub fn gels_vbatched<T: Scalar>(
     rhs: &VBatch<T>,
     opts: &GeqrfOptions,
 ) -> Result<BatchReport, VbatchError> {
-    if batch
-        .rows()
-        .iter()
-        .zip(batch.cols())
-        .any(|(&m, &n)| m < n)
-    {
+    if batch.rows().iter().zip(batch.cols()).any(|(&m, &n)| m < n) {
         return Err(VbatchError::InvalidArgument(
             "gels_vbatched: every matrix must have m >= n",
         ));
@@ -371,7 +358,14 @@ mod tests {
     #[test]
     fn variable_size_qr_residuals() {
         let dev = Device::new(DeviceConfig::k40c());
-        let dims = [(30usize, 30usize), (50, 20), (20, 50), (7, 7), (1, 3), (0, 4)];
+        let dims = [
+            (30usize, 30usize),
+            (50, 20),
+            (20, 50),
+            (7, 7),
+            (1, 3),
+            (0, 4),
+        ];
         let mut rng = seeded_rng(91);
         let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
         let origs: Vec<Vec<f64>> = dims
@@ -385,8 +379,15 @@ mod tests {
                 a
             })
             .collect();
-        let (report, tau) =
-            geqrf_vbatched(&dev, &mut batch, &GeqrfOptions { nb_panel: 8, tile_cols: 16 }).unwrap();
+        let (report, tau) = geqrf_vbatched(
+            &dev,
+            &mut batch,
+            &GeqrfOptions {
+                nb_panel: 8,
+                tile_cols: 16,
+            },
+        )
+        .unwrap();
         assert!(report.all_ok());
         for (i, &(m, n)) in dims.iter().enumerate() {
             let k = m.min(n);
@@ -401,7 +402,10 @@ mod tests {
                 MatRef::from_slice(&origs[i], m, n, m),
             );
             assert!(r < residual_tol::<f64>(m.max(n)), "matrix {i} residual {r}");
-            assert!(o < residual_tol::<f64>(m.max(n)), "matrix {i} orthogonality {o}");
+            assert!(
+                o < residual_tol::<f64>(m.max(n)),
+                "matrix {i} orthogonality {o}"
+            );
         }
     }
 
@@ -413,8 +417,15 @@ mod tests {
         let a = rand_mat::<f64>(&mut rng, m * n);
         let mut batch = VBatch::<f64>::alloc(&dev, &[(m, n)]).unwrap();
         batch.upload_matrix(0, &a);
-        let (_, tau) =
-            geqrf_vbatched(&dev, &mut batch, &GeqrfOptions { nb_panel: 4, tile_cols: 8 }).unwrap();
+        let (_, tau) = geqrf_vbatched(
+            &dev,
+            &mut batch,
+            &GeqrfOptions {
+                nb_panel: 4,
+                tile_cols: 8,
+            },
+        )
+        .unwrap();
         let mut want = a.clone();
         let mut tau_want = vec![0.0f64; n];
         vbatch_dense::geqrf(
@@ -465,9 +476,16 @@ mod tests {
             rhs.upload_matrix(i, &b);
             xs.push(x);
         }
-        let report =
-            gels_vbatched(&dev, &mut batch, &rhs, &GeqrfOptions { nb_panel: 4, tile_cols: 8 })
-                .unwrap();
+        let report = gels_vbatched(
+            &dev,
+            &mut batch,
+            &rhs,
+            &GeqrfOptions {
+                nb_panel: 4,
+                tile_cols: 8,
+            },
+        )
+        .unwrap();
         assert!(report.all_ok());
         for (i, &(_, n)) in dims.iter().enumerate() {
             let sol = rhs.download_matrix(i);

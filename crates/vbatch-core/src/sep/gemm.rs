@@ -109,8 +109,13 @@ pub fn gemm_vbatched<T: Scalar>(
         let c_view = mat_mut(c.ptrs.get(i), m, n, ldc).sub(r0, c0, mt, nt);
         vbatch_dense::gemm(transa, transb, alpha, a_view, b_view, beta, c_view);
 
-        let active = ((THREADS as usize) * mt * nt).div_ceil(TILE_M * TILE_N).max(1);
-        charge_read::<T>(ctx, mt * k + k * nt + if beta == T::ZERO { 0 } else { mt * nt });
+        let active = ((THREADS as usize) * mt * nt)
+            .div_ceil(TILE_M * TILE_N)
+            .max(1);
+        charge_read::<T>(
+            ctx,
+            mt * k + k * nt + if beta == T::ZERO { 0 } else { mt * nt },
+        );
         charge_write::<T>(ctx, mt * nt);
         charge_smem::<T>(ctx, (mt + nt) * k);
         charge_flops::<T>(ctx, active, 2.0 * mt as f64 * nt as f64 * k as f64);
@@ -164,8 +169,13 @@ mod tests {
     fn matches_reference_all_trans_variable_dims() {
         let d = dev();
         let mut rng = seeded_rng(51);
-        let problems: Vec<(usize, usize, usize)> =
-            vec![(70, 40, 9), (5, 5, 5), (130, 33, 16), (1, 64, 3), (64, 1, 1)];
+        let problems: Vec<(usize, usize, usize)> = vec![
+            (70, 40, 9),
+            (5, 5, 5),
+            (130, 33, 16),
+            (1, 64, 3),
+            (64, 1, 1),
+        ];
         for &(ta, tb) in &[
             (Trans::NoTrans, Trans::NoTrans),
             (Trans::NoTrans, Trans::Trans),
@@ -220,8 +230,19 @@ mod tests {
             for (i, &(m, n, k)) in problems.iter().enumerate() {
                 let (av, bv, cv) = &hosts[i];
                 let want = naive::gemm_ref(
-                    ta, tb, 1.5, av, a_dims[i].0, a_dims[i].1, bv, b_dims[i].0, b_dims[i].1,
-                    -0.5, cv, m, n,
+                    ta,
+                    tb,
+                    1.5,
+                    av,
+                    a_dims[i].0,
+                    a_dims[i].1,
+                    bv,
+                    b_dims[i].0,
+                    b_dims[i].1,
+                    -0.5,
+                    cv,
+                    m,
+                    n,
                 );
                 let got = cb.download_matrix(i);
                 assert!(
@@ -242,8 +263,7 @@ mod tests {
         let mut ab = VBatch::<f64>::alloc(&d, &dims_host).unwrap();
         let mut bb = VBatch::<f64>::alloc(&d, &dims_host).unwrap();
         let mut cb = VBatch::<f64>::alloc(&d, &dims_host).unwrap();
-        for i in 0..2 {
-            let (m, n) = dims_host[i];
+        for (i, &(m, n)) in dims_host.iter().enumerate() {
             ab.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
             bb.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
             cb.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
@@ -275,7 +295,20 @@ mod tests {
         let (dims, _k) = upload_dims(&d, &[1], &[1], &[1]).unwrap();
         let v = VView::<f64>::new(DevicePtr::null(), DevicePtr::null());
         assert!(matches!(
-            gemm_vbatched(&d, 0, Trans::NoTrans, Trans::NoTrans, 1.0, v, v, 0.0, v, dims, 1, 1),
+            gemm_vbatched(
+                &d,
+                0,
+                Trans::NoTrans,
+                Trans::NoTrans,
+                1.0,
+                v,
+                v,
+                0.0,
+                v,
+                dims,
+                1,
+                1
+            ),
             Err(VbatchError::InvalidArgument(_))
         ));
     }

@@ -78,7 +78,10 @@ pub fn gemv_vbatched<T: Scalar>(
             };
             yv.set(r, base + alpha * acc);
         }
-        charge_read::<T>(ctx, rows * in_len + in_len + if beta == T::ZERO { 0 } else { rows });
+        charge_read::<T>(
+            ctx,
+            rows * in_len + in_len + if beta == T::ZERO { 0 } else { rows },
+        );
         charge_write::<T>(ctx, rows);
         charge_flops::<T>(ctx, 256.min(rows), 2.0 * rows as f64 * in_len as f64);
         ctx.sync();

@@ -42,31 +42,28 @@ pub fn potf2_panel_vbatched<T: Scalar>(
     let threads = round_to_warp(nb_panel, warp).min(dev.config().max_threads_per_block);
     let cfg = LaunchConfig::grid_1d(count as u32, threads)
         .with_shared_mem(panel_smem_bytes::<T>(nb_panel, nb_inner));
-    let stats = dev.launch(
-        &format!("{}potf2_vbatched", T::PREFIX),
-        cfg,
-        move |ctx| {
-            let i = ctx.linear_block_id();
-            let rem = d_rem.get(i).max(0) as usize;
-            let live = rem > 0 && d_info.get(i) == 0;
-            if !EtmPolicy::Classic.apply(ctx, if live { rem.min(nb_panel) } else { 0 }) {
+    let stats = dev.launch(&format!("{}potf2_vbatched", T::PREFIX), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let rem = d_rem.get(i).max(0) as usize;
+        let live = rem > 0 && d_info.get(i) == 0;
+        if !EtmPolicy::Classic.apply(ctx, if live { rem.min(nb_panel) } else { 0 }) {
+            return;
+        }
+        let jb = rem.min(nb_panel);
+        let ld = a.lds.get(i) as usize;
+        // Internally blocked left-looking factorization of the tile,
+        // reusing the fused step logic.
+        let mut jj = 0;
+        while jj < jb {
+            let tile = mat_mut(a.ptrs.get(i), jb, jb, ld);
+            if let Err(col) = crate::fused::fused_step_math::<T>(ctx, uplo, tile, jb, jj, nb_inner)
+            {
+                d_info.set(i, (j + col + 1) as i32);
                 return;
             }
-            let jb = rem.min(nb_panel);
-            let ld = a.lds.get(i) as usize;
-            // Internally blocked left-looking factorization of the tile,
-            // reusing the fused step logic.
-            let mut jj = 0;
-            while jj < jb {
-                let tile = mat_mut(a.ptrs.get(i), jb, jb, ld);
-                if let Err(col) = crate::fused::fused_step_math::<T>(ctx, uplo, tile, jb, jj, nb_inner) {
-                    d_info.set(i, (j + col + 1) as i32);
-                    return;
-                }
-                jj += nb_inner;
-            }
-        },
-    )?;
+            jj += nb_inner;
+        }
+    })?;
     Ok(stats)
 }
 
@@ -98,8 +95,15 @@ mod tests {
             })
             .collect();
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
-        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
-            .unwrap();
+        st.update(
+            &dev,
+            batch.d_ptrs(),
+            batch.d_cols(),
+            batch.d_ld(),
+            sizes.len(),
+            0,
+        )
+        .unwrap();
         let nb_panel = 16;
         potf2_panel_vbatched(
             &dev,
@@ -127,7 +131,9 @@ mod tests {
             let m = MatRef::from_slice(&origs[1], 40, 40, 40);
             m.sub(0, 0, 16, 16).to_vec()
         };
-        let lead_fact: Vec<f64> = MatRef::from_slice(&f1, 40, 40, 40).sub(0, 0, 16, 16).to_vec();
+        let lead_fact: Vec<f64> = MatRef::from_slice(&f1, 40, 40, 40)
+            .sub(0, 0, 16, 16)
+            .to_vec();
         let r = chol_residual(
             Uplo::Lower,
             MatRef::from_slice(&lead_fact, 16, 16, 16),
@@ -148,7 +154,8 @@ mod tests {
         bad[2 + 2 * n] = -50.0;
         batch.upload_matrix(0, &bad);
         let st = StepState::<f64>::alloc(&dev, 1).unwrap();
-        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0).unwrap();
+        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0)
+            .unwrap();
         potf2_panel_vbatched(
             &dev,
             1,

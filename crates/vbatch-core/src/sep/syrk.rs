@@ -67,13 +67,15 @@ fn syrk_tile_math<T: Scalar>(
         vbatch_dense::gemm(op.0, op.1, -T::ONE, a_bi, a_bj, T::ZERO, tmp_view);
         let mut c_tile = c_tile;
         for jj in 0..nt {
-            let rows: Box<dyn Iterator<Item = usize>> = match uplo {
-                Uplo::Lower => Box::new(jj..mt),
-                Uplo::Upper => Box::new(0..(jj + 1).min(mt)),
+            // Contiguous triangle segment of this column (slice tier:
+            // one vectorizable add per column, no boxed iterator).
+            let (lo, hi) = match uplo {
+                Uplo::Lower => (jj, mt),
+                Uplo::Upper => (0, (jj + 1).min(mt)),
             };
-            for ii in rows {
-                let v = c_tile.get(ii, jj) + tmp[ii + jj * mt];
-                c_tile.set(ii, jj, v);
+            let col = &mut c_tile.col_as_mut_slice(jj)[lo..hi];
+            for (ci, ti) in col.iter_mut().zip(&tmp[jj * mt + lo..jj * mt + hi]) {
+                *ci += *ti;
             }
         }
     } else {
@@ -106,7 +108,9 @@ pub fn syrk_vbatched<T: Scalar>(
     max_trail: usize,
 ) -> Result<KernelStats, VbatchError> {
     if max_trail == 0 || count == 0 {
-        return Err(VbatchError::InvalidArgument("syrk_vbatched: no trailing rows"));
+        return Err(VbatchError::InvalidArgument(
+            "syrk_vbatched: no trailing rows",
+        ));
     }
     let tiles = max_trail.div_ceil(SYRK_TILE) as u32;
     let grid = Dim3::xyz(tiles, tiles, count as u32);
@@ -222,13 +226,19 @@ pub fn syrk_general_vbatched<T: Scalar>(
                 );
                 let mut c_tile = c_tile;
                 for jj in 0..nt {
-                    let rows: Box<dyn Iterator<Item = usize>> = match uplo {
-                        Uplo::Lower => Box::new(jj..mt),
-                        Uplo::Upper => Box::new(0..(jj + 1).min(mt)),
+                    let (lo, hi) = match uplo {
+                        Uplo::Lower => (jj, mt),
+                        Uplo::Upper => (0, (jj + 1).min(mt)),
                     };
-                    for ii in rows {
-                        let v = beta * c_tile.get(ii, jj) + tmp[ii + jj * mt];
-                        c_tile.set(ii, jj, v);
+                    let col = &mut c_tile.col_as_mut_slice(jj)[lo..hi];
+                    let t = &tmp[jj * mt + lo..jj * mt + hi];
+                    if beta == T::ZERO {
+                        // BLAS semantics: β = 0 overwrites, never reads.
+                        col.copy_from_slice(t);
+                    } else {
+                        for (ci, ti) in col.iter_mut().zip(t) {
+                            *ci = beta.mul_add(*ci, *ti);
+                        }
                     }
                 }
             } else {
@@ -286,11 +296,8 @@ pub fn syrk_streamed<T: Scalar>(
                 Uplo::Lower => bi >= bj,
                 Uplo::Upper => bi <= bj,
             };
-            let live = t > 0
-                && in_tri
-                && bi * SYRK_TILE < t
-                && bj * SYRK_TILE < t
-                && d_info.get(i) == 0;
+            let live =
+                t > 0 && in_tri && bi * SYRK_TILE < t && bj * SYRK_TILE < t && d_info.get(i) == 0;
             if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
                 return;
             }
@@ -338,15 +345,40 @@ mod tests {
             hosts.push(m);
         }
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
-        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
-            .unwrap();
+        st.update(
+            &dev,
+            batch.d_ptrs(),
+            batch.d_cols(),
+            batch.d_ld(),
+            sizes.len(),
+            0,
+        )
+        .unwrap();
         let view = VView::new(st.d_ptrs.ptr(), batch.d_ld());
         if streamed {
             let trails: Vec<usize> = sizes.iter().map(|&n| n.saturating_sub(nb)).collect();
-            syrk_streamed(&dev, Uplo::Lower, view, st.d_rem.ptr(), batch.d_info(), &trails, nb).unwrap();
+            syrk_streamed(
+                &dev,
+                Uplo::Lower,
+                view,
+                st.d_rem.ptr(),
+                batch.d_info(),
+                &trails,
+                nb,
+            )
+            .unwrap();
         } else {
-            syrk_vbatched(&dev, sizes.len(), Uplo::Lower, view, st.d_rem.ptr(), batch.d_info(), nb, 130 - nb)
-                .unwrap();
+            syrk_vbatched(
+                &dev,
+                sizes.len(),
+                Uplo::Lower,
+                view,
+                st.d_rem.ptr(),
+                batch.d_info(),
+                nb,
+                130 - nb,
+            )
+            .unwrap();
         }
         for (i, &n) in sizes.iter().enumerate() {
             let mut want = hosts[i].clone();
@@ -391,7 +423,13 @@ mod tests {
             for &uplo in &[Uplo::Lower, Uplo::Upper] {
                 let a_dims: Vec<(usize, usize)> = dims_nk
                     .iter()
-                    .map(|&(n, k)| if trans == Trans::NoTrans { (n, k) } else { (k, n) })
+                    .map(|&(n, k)| {
+                        if trans == Trans::NoTrans {
+                            (n, k)
+                        } else {
+                            (k, n)
+                        }
+                    })
                     .collect();
                 let c_dims: Vec<(usize, usize)> = dims_nk.iter().map(|&(n, _)| (n, n)).collect();
                 let mut ab = VBatch::<f64>::alloc(&dev, &a_dims).unwrap();
@@ -469,7 +507,8 @@ mod tests {
         let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
         batch.upload_matrix(0, &spd_vec::<f64>(&mut rng, n));
         let st = StepState::<f64>::alloc(&dev, 1).unwrap();
-        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0).unwrap();
+        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0)
+            .unwrap();
         let stats = syrk_vbatched(
             &dev,
             1,

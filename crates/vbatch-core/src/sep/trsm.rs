@@ -128,8 +128,7 @@ pub fn trsm_left_upper_trans_vbatched<T: Scalar>(
         let nt = GEMM_TILE_M.min(trail - c0);
         let ld = a.lds.get(i) as usize;
         // A12 column tile: columns nb_panel + c0 .. of the displaced frame.
-        let tile =
-            mat_mut(a.ptrs.get(i), nb_panel, rem, ld).sub(0, nb_panel + c0, nb_panel, nt);
+        let tile = mat_mut(a.ptrs.get(i), nb_panel, rem, ld).sub(0, nb_panel + c0, nb_panel, nt);
         let w = mat_ref(w_ptrs.get(i), nb_panel, nb_panel, w_nb);
         // A12 ← (U11⁻¹)ᵀ · A12; W is upper triangular, so this is a trmm.
         vbatch_dense::trmm(
@@ -176,7 +175,9 @@ pub fn trsm_left_vbatched<T: Scalar>(
     d_info: DevicePtr<i32>,
 ) -> Result<KernelStats, VbatchError> {
     if count == 0 {
-        return Err(VbatchError::InvalidArgument("trsm_left_vbatched: empty batch"));
+        return Err(VbatchError::InvalidArgument(
+            "trsm_left_vbatched: empty batch",
+        ));
     }
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
     let stats = dev.launch(
@@ -240,12 +241,29 @@ mod tests {
             hosts.push(m);
         }
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
-        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
-            .unwrap();
+        st.update(
+            &dev,
+            batch.d_ptrs(),
+            batch.d_cols(),
+            batch.d_ld(),
+            sizes.len(),
+            0,
+        )
+        .unwrap();
         let view = VView::new(st.d_ptrs.ptr(), batch.d_ld());
         let work = TileWorkspace::<f64>::alloc(&dev, sizes.len(), nb).unwrap();
-        trtri_diag_vbatched(&dev, sizes.len(), Uplo::Lower, view, st.d_rem.ptr(), batch.d_info(), &work, nb, true)
-            .unwrap();
+        trtri_diag_vbatched(
+            &dev,
+            sizes.len(),
+            Uplo::Lower,
+            view,
+            st.d_rem.ptr(),
+            batch.d_info(),
+            &work,
+            nb,
+            true,
+        )
+        .unwrap();
         trsm_right_lower_trans_vbatched(
             &dev,
             sizes.len(),
@@ -342,12 +360,9 @@ mod tests {
             ab.d_info(),
         )
         .unwrap();
-        for i in 0..3 {
+        for (i, exp) in expected.iter().enumerate() {
             let got = bb.download_matrix(i);
-            assert!(
-                max_abs_diff_slices(&got, &expected[i]) < 1e-9,
-                "solve {i} mismatch"
-            );
+            assert!(max_abs_diff_slices(&got, exp) < 1e-9, "solve {i} mismatch");
         }
     }
 }

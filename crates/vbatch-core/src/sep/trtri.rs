@@ -81,8 +81,8 @@ pub fn trtri_diag_vbatched<T: Scalar>(
     // memory (as MAGMA's trtri does); the full inverse lives in the
     // global workspace, so the request does not grow with `nb`.
     let stage = nb.min(32);
-    let cfg = LaunchConfig::grid_1d(count as u32, threads)
-        .with_shared_mem(2 * stage * stage * T::BYTES);
+    let cfg =
+        LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(2 * stage * stage * T::BYTES);
     let w_ptrs = work.d_ptrs();
     let stats = dev.launch(&format!("{}trtri_vbatched", T::PREFIX), cfg, move |ctx| {
         let i = ctx.linear_block_id();
@@ -95,16 +95,19 @@ pub fn trtri_diag_vbatched<T: Scalar>(
         let ld = a.lds.get(i) as usize;
         let t11 = mat_ref(a.ptrs.get(i), jb, jb, ld);
         let mut w = mat_mut(w_ptrs.get(i), jb, jb, nb);
-        // Copy the tile then invert in place (the factor must survive).
+        // Copy the tile then invert in place (the factor must survive):
+        // per column, the stored triangle segment is one contiguous
+        // memcpy and the rest a fill.
         for c in 0..jb {
-            for r in 0..jb {
-                let in_tri = match uplo {
-                    Uplo::Lower => r >= c,
-                    Uplo::Upper => r <= c,
-                };
-                let v = if in_tri { t11.get(r, c) } else { T::ZERO };
-                w.set(r, c, v);
-            }
+            let (lo, hi) = match uplo {
+                Uplo::Lower => (c, jb),
+                Uplo::Upper => (0, c + 1),
+            };
+            let src = t11.col_as_slice(c);
+            let dst = w.col_as_mut_slice(c);
+            dst[..lo].fill(T::ZERO);
+            dst[lo..hi].copy_from_slice(&src[lo..hi]);
+            dst[hi..].fill(T::ZERO);
         }
         // The tile is SPD-derived: diagonal entries are positive, so
         // inversion cannot fail; a zero diagonal would have been caught
@@ -145,14 +148,24 @@ mod tests {
         for (i, &n) in sizes.iter().enumerate() {
             let mut m = spd_vec::<f64>(&mut rng, n);
             let jb = n.min(nb);
-            dense_potf2(Uplo::Lower, MatMut::from_slice(&mut m, n, n, n).sub(0, 0, jb, jb))
-                .unwrap();
+            dense_potf2(
+                Uplo::Lower,
+                MatMut::from_slice(&mut m, n, n, n).sub(0, 0, jb, jb),
+            )
+            .unwrap();
             batch.upload_matrix(i, &m);
             tiles.push(m);
         }
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
-        st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), sizes.len(), 0)
-            .unwrap();
+        st.update(
+            &dev,
+            batch.d_ptrs(),
+            batch.d_cols(),
+            batch.d_ld(),
+            sizes.len(),
+            0,
+        )
+        .unwrap();
         let work = TileWorkspace::<f64>::alloc(&dev, sizes.len(), nb).unwrap();
         trtri_diag_vbatched(
             &dev,
@@ -176,7 +189,11 @@ mod tests {
                 let mut acc = 0.0;
                 for l in 0..nb {
                     let wv = if r >= l { w[r + l * nb] } else { 0.0 };
-                    let lv = if l >= c { tiles[0][l + c * sizes[0]] } else { 0.0 };
+                    let lv = if l >= c {
+                        tiles[0][l + c * sizes[0]]
+                    } else {
+                        0.0
+                    };
                     acc += wv * lv;
                 }
                 let want = if r == c { 1.0 } else { 0.0 };

@@ -215,31 +215,35 @@ fn laswp_rhs<T: Scalar>(
     let b_ld = rhs.d_ld();
     let piv: DevicePtr<DevicePtr<i32>> = pivots.d_ptrs();
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
-    dev.launch(&format!("{}laswp_rhs_vbatched", T::PREFIX), cfg, move |ctx| {
-        let i = ctx.linear_block_id();
-        let n = d_n.get(i).max(0) as usize;
-        let nrhs = d_nrhs.get(i).max(0) as usize;
-        let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
-        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
-            return;
-        }
-        let ld = b_ld.get(i).max(1) as usize;
-        let mut b = mat_mut(b_ptrs.get(i), n, nrhs, ld);
-        let p = piv.get(i);
-        for t in 0..n {
-            let pr = p.get(t) as usize;
-            if pr != t {
-                for c in 0..nrhs {
-                    let x = b.get(t, c);
-                    b.set(t, c, b.get(pr, c));
-                    b.set(pr, c, x);
+    dev.launch(
+        &format!("{}laswp_rhs_vbatched", T::PREFIX),
+        cfg,
+        move |ctx| {
+            let i = ctx.linear_block_id();
+            let n = d_n.get(i).max(0) as usize;
+            let nrhs = d_nrhs.get(i).max(0) as usize;
+            let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
+            if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+                return;
+            }
+            let ld = b_ld.get(i).max(1) as usize;
+            let mut b = mat_mut(b_ptrs.get(i), n, nrhs, ld);
+            let p = piv.get(i);
+            for t in 0..n {
+                let pr = p.get(t) as usize;
+                if pr != t {
+                    for c in 0..nrhs {
+                        let x = b.get(t, c);
+                        b.set(t, c, b.get(pr, c));
+                        b.set(pr, c, x);
+                    }
                 }
             }
-        }
-        charge_read::<T>(ctx, n * nrhs);
-        charge_write::<T>(ctx, n * nrhs);
-        ctx.sync();
-    })?;
+            charge_read::<T>(ctx, n * nrhs);
+            charge_write::<T>(ctx, n * nrhs);
+            ctx.sync();
+        },
+    )?;
     Ok(())
 }
 
@@ -291,12 +295,9 @@ mod tests {
         let report = potrf_vbatched(&dev, &mut factors, &PotrfOptions::default()).unwrap();
         assert!(report.all_ok());
         potrs_vbatched(&dev, &factors, &rhs).unwrap();
-        for i in 0..sizes.len() {
+        for (i, x) in xs.iter().enumerate() {
             let got = rhs.download_matrix(i);
-            assert!(
-                max_abs_diff_slices(&got, &xs[i]) < 1e-8,
-                "solve {i} mismatch"
-            );
+            assert!(max_abs_diff_slices(&got, x) < 1e-8, "solve {i} mismatch");
         }
     }
 
@@ -336,12 +337,9 @@ mod tests {
             getrf_vbatched(&dev, &mut factors, &GetrfOptions { nb_panel: 8 }).unwrap();
         assert!(report.all_ok());
         getrs_vbatched(&dev, &factors, &pivots, &rhs).unwrap();
-        for i in 0..sizes.len() {
+        for (i, x) in xs.iter().enumerate() {
             let got = rhs.download_matrix(i);
-            assert!(
-                max_abs_diff_slices(&got, &xs[i]) < 1e-8,
-                "solve {i} mismatch"
-            );
+            assert!(max_abs_diff_slices(&got, x) < 1e-8, "solve {i} mismatch");
         }
     }
 
@@ -419,7 +417,10 @@ mod tests {
         let report = posv_vbatched(&dev, &mut batch, &rhs, &PotrfOptions::default()).unwrap();
         assert!(report.all_ok());
         for (i, x) in xs.iter().enumerate() {
-            assert!(max_abs_diff_slices(&rhs.download_matrix(i), x) < 1e-8, "posv {i}");
+            assert!(
+                max_abs_diff_slices(&rhs.download_matrix(i), x) < 1e-8,
+                "posv {i}"
+            );
         }
     }
 

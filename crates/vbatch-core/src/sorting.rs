@@ -110,7 +110,12 @@ mod tests {
         for w in &wins {
             for &i in &w.indices {
                 assert!(sizes[i] <= w.max_size);
-                assert!(sizes[i] + 32 > w.max_size, "size {} vs window max {}", sizes[i], w.max_size);
+                assert!(
+                    sizes[i] + 32 > w.max_size,
+                    "size {} vs window max {}",
+                    sizes[i],
+                    w.max_size
+                );
             }
         }
     }

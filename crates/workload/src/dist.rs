@@ -136,7 +136,11 @@ mod tests {
         assert!(sizes.iter().all(|&n| (1..=512).contains(&n)));
         // Paper Fig. 3a: "most sizes appear at least once".
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
-        assert!(distinct.len() > 450, "only {} distinct sizes", distinct.len());
+        assert!(
+            distinct.len() > 450,
+            "only {} distinct sizes",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -146,10 +150,7 @@ mod tests {
         let sizes = d.sample_batch(&mut rng, 2000);
         assert!(sizes.iter().all(|&n| (1..=512).contains(&n)));
         let near_mean = sizes.iter().filter(|&&n| (192..=320).contains(&n)).count();
-        let near_edges = sizes
-            .iter()
-            .filter(|&&n| n <= 64 || n >= 448)
-            .count();
+        let near_edges = sizes.iter().filter(|&&n| n <= 64 || n >= 448).count();
         assert!(
             near_mean > 10 * near_edges.max(1),
             "mean {near_mean} vs edges {near_edges}"
@@ -197,7 +198,10 @@ mod tests {
     #[test]
     fn clustered_population_grows_toward_leaves() {
         let mut rng = seeded_rng(6);
-        let d = SizeDist::Clustered { max: 512, levels: 4 };
+        let d = SizeDist::Clustered {
+            max: 512,
+            levels: 4,
+        };
         let sizes = d.sample_batch(&mut rng, 3000);
         // Sizes restricted to {512, 256, 128, 64}.
         for &n in &sizes {

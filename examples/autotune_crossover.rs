@@ -30,7 +30,13 @@ fn main() {
     println!("autotuning the fused kernel on {}\n", dev.config().name);
 
     // Phase 1: nb template selection per maximum size.
-    println!("{:>6}  {}", "Nmax", NB_CANDIDATES.map(|nb| format!("nb={nb:>2} (Gflop/s)")).join("  "));
+    println!(
+        "{:>6}  {}",
+        "Nmax",
+        NB_CANDIDATES
+            .map(|nb| format!("nb={nb:>2} (Gflop/s)"))
+            .join("  ")
+    );
     let mut best_nb = Vec::new();
     for &max in &[32usize, 64, 128, 256, 512] {
         let sizes = SizeDist::Uniform { max }.sample_batch(&mut seeded_rng(5), 96);
@@ -43,7 +49,10 @@ fn main() {
             }
             let opts = PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { nb: Some(nb), ..Default::default() },
+                fused: FusedOpts {
+                    nb: Some(nb),
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let g = run(&dev, &sizes, &opts);
@@ -78,15 +87,19 @@ fn main() {
             0.0
         };
         let gs = run(&dev, &sizes, &sep);
-        println!("  Nmax {max:>4}: fused {gf:>7.1}  separated {gs:>7.1}  -> {}",
-            if gf >= gs { "fused" } else { "separated" });
+        println!(
+            "  Nmax {max:>4}: fused {gf:>7.1}  separated {gs:>7.1}  -> {}",
+            if gf >= gs { "fused" } else { "separated" }
+        );
         if crossover.is_none() && gs > gf {
             crossover = Some(max);
         }
     }
     match crossover {
-        Some(x) => println!("\nmeasured crossover at Nmax ≈ {x} (library default: {})",
-            vbatch_core::driver::default_crossover::<f64>()),
+        Some(x) => println!(
+            "\nmeasured crossover at Nmax ≈ {x} (library default: {})",
+            vbatch_core::driver::default_crossover::<f64>()
+        ),
         None => println!("\nno crossover in the tested range"),
     }
 }

@@ -48,7 +48,10 @@ fn main() {
         assert!(r < residual_tol::<f64>(n));
         worst = worst.max(r);
     }
-    println!("factorized {} matrices, worst scaled residual {worst:.2e}", sizes.len());
+    println!(
+        "factorized {} matrices, worst scaled residual {worst:.2e}",
+        sizes.len()
+    );
 
     // Performance accounting, paper-style: useful flops over simulated time.
     let total_flops = vbatch_dense::flops::potrf_batch(&sizes);

@@ -84,7 +84,10 @@ fn main() {
         assert!(total_mass.is_finite() && total_mass > 0.0);
     }
 
-    let lu_flops: f64 = sizes.iter().map(|&n| vbatch_dense::flops::getrf(n, n)).sum();
+    let lu_flops: f64 = sizes
+        .iter()
+        .map(|&n| vbatch_dense::flops::getrf(n, n))
+        .sum();
     println!(
         "\n{count} networks ({}..{} species), factorization {:.3} ms ({:.1} Gflop/s), total {:.3} ms",
         sizes.iter().min().unwrap(),

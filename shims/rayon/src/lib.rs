@@ -1,0 +1,393 @@
+//! Offline shim for the subset of `rayon` used by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the few parallel-iterator shapes it relies on:
+//!
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `slice.par_iter()` / `slice.par_iter_mut()`, `zip`, `map`,
+//!   `collect`, `for_each`
+//!
+//! Parallelism is real fork-join over contiguous index chunks using
+//! `std::thread::scope` (one chunk per available core, sequential
+//! fallback for small inputs or single-core hosts). Work stealing is
+//! not reproduced; the consumers here split into uniform chunks, which
+//! matches rayon's plain `par_iter` behaviour closely enough for both
+//! numerics (identical) and scheduling semantics (dynamic enough for
+//! the one-task-per-matrix CPU baseline).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim fans out to.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A finite, splittable, ordered source of items — the shim's stand-in
+/// for rayon's producer machinery. Implementations must yield items in
+/// index order and split without overlap.
+pub trait ParSource: Send + Sized {
+    /// Item type produced.
+    type Item: Send;
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Drains this source sequentially into `out`.
+    fn drain(self, out: &mut dyn FnMut(Self::Item));
+}
+
+/// Range source over `0..n`-style index ranges.
+pub struct RangeSource<I> {
+    start: I,
+    end: I,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                (self.end - self.start) as usize
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let m = self.start + mid as $t;
+                (
+                    RangeSource { start: self.start, end: m },
+                    RangeSource { start: m, end: self.end },
+                )
+            }
+            fn drain(self, out: &mut dyn FnMut($t)) {
+                for i in self.start..self.end {
+                    out(i);
+                }
+            }
+        }
+    )*};
+}
+impl_range_source!(usize, u64, u32);
+
+/// Shared-slice source.
+pub struct SliceSource<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (SliceSource { slice: l }, SliceSource { slice: r })
+    }
+    fn drain(self, out: &mut dyn FnMut(&'a T)) {
+        for item in self.slice {
+            out(item);
+        }
+    }
+}
+
+/// Exclusive-slice source.
+pub struct SliceMutSource<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (SliceMutSource { slice: l }, SliceMutSource { slice: r })
+    }
+    fn drain(self, out: &mut dyn FnMut(&'a mut T)) {
+        for item in self.slice {
+            out(item);
+        }
+    }
+}
+
+/// Pairwise zip of two sources (truncates to the shorter).
+pub struct ZipSource<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParSource, B: ParSource> ParSource for ZipSource<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (ZipSource { a: al, b: bl }, ZipSource { a: ar, b: br })
+    }
+    fn drain(self, out: &mut dyn FnMut(Self::Item)) {
+        let n = self.len();
+        let mut items_a = Vec::with_capacity(n);
+        self.a.drain(&mut |x| items_a.push(x));
+        let mut iter_a = items_a.into_iter();
+        let mut count = 0usize;
+        self.b.drain(&mut |y| {
+            if count < n {
+                if let Some(x) = iter_a.next() {
+                    out((x, y));
+                }
+            }
+            count += 1;
+        });
+    }
+}
+
+/// Lazy map over a source.
+pub struct MapSource<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, R> ParSource for MapSource<S, F>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.src.split_at(mid);
+        (
+            MapSource {
+                src: l,
+                f: self.f.clone(),
+            },
+            MapSource { src: r, f: self.f },
+        )
+    }
+    fn drain(self, out: &mut dyn FnMut(R)) {
+        let f = self.f;
+        self.src.drain(&mut |x| out(f(x)));
+    }
+}
+
+/// The parallel-iterator adapter surface (subset of
+/// `rayon::iter::ParallelIterator`).
+pub trait ParallelIterator: ParSource {
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> MapSource<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        MapSource { src: self, f }
+    }
+
+    /// Zips with another parallel source.
+    fn zip<B: ParSource>(self, other: B) -> ZipSource<Self, B> {
+        ZipSource { a: self, b: other }
+    }
+
+    /// Executes `f` on every item, fork-join across cores.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send + Clone,
+    {
+        run_chunks(self, &|item, _idx| f(item));
+    }
+
+    /// Collects into an ordered container (only `Vec<T>` supported).
+    fn collect<C: FromParSource<Self::Item>>(self) -> C {
+        C::from_par_source(self)
+    }
+}
+
+impl<S: ParSource> ParallelIterator for S {}
+
+/// Containers collectable from a parallel source.
+pub trait FromParSource<T> {
+    /// Builds the container, preserving item order.
+    fn from_par_source<S: ParSource<Item = T>>(src: S) -> Self;
+}
+
+impl<T: Send> FromParSource<T> for Vec<T> {
+    fn from_par_source<S: ParSource<Item = T>>(src: S) -> Self {
+        let n = src.len();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let slots = SliceMutSource { slice: &mut out };
+            let zipped = ZipSource { a: src, b: slots };
+            run_chunks(zipped, &|(item, slot), _| *slot = Some(item));
+        }
+        out.into_iter().map(|x| x.expect("slot filled")).collect()
+    }
+}
+
+/// Splits `src` into one contiguous chunk per worker and runs them on
+/// scoped threads; small inputs run inline.
+fn run_chunks<S, F>(src: S, f: &F)
+where
+    S: ParSource,
+    F: Fn(S::Item, usize) + Sync,
+{
+    let n = src.len();
+    let workers = threads().min(n.max(1));
+    if workers <= 1 || n < 2 {
+        let mut idx = 0usize;
+        src.drain(&mut |item| {
+            f(item, idx);
+            idx += 1;
+        });
+        return;
+    }
+    // Carve into `workers` chunks of near-equal size.
+    let mut chunks = Vec::with_capacity(workers);
+    let mut rest = src;
+    let mut remaining = n;
+    for w in 0..workers {
+        let take = remaining / (workers - w);
+        let (head, tail) = rest.split_at(take);
+        chunks.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || {
+                let mut idx = 0usize;
+                chunk.drain(&mut |item| {
+                    f(item, idx);
+                    idx += 1;
+                });
+            });
+        }
+    });
+}
+
+/// Entry points mirroring `rayon::prelude`.
+pub mod prelude {
+    use super::{ParSource, RangeSource, SliceMutSource, SliceSource};
+
+    pub use super::{FromParSource, ParallelIterator};
+
+    /// `into_par_iter()` on owned index ranges.
+    pub trait IntoParallelIterator {
+        /// The parallel source type.
+        type Iter: ParSource;
+        /// Converts into a parallel source.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    macro_rules! impl_into_par_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for core::ops::Range<$t> {
+                type Iter = RangeSource<$t>;
+                fn into_par_iter(self) -> RangeSource<$t> {
+                    RangeSource { start: self.start, end: self.end }
+                }
+            }
+        )*};
+    }
+    impl_into_par_range!(usize, u64, u32);
+
+    /// `par_iter()` on shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The parallel source type.
+        type Iter: ParSource;
+        /// Shared parallel view of the collection.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = SliceSource<'a, T>;
+        fn par_iter(&'a self) -> SliceSource<'a, T> {
+            SliceSource { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = SliceSource<'a, T>;
+        fn par_iter(&'a self) -> SliceSource<'a, T> {
+            SliceSource { slice: self }
+        }
+    }
+
+    /// `par_iter_mut()` on exclusive slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The parallel source type.
+        type Iter: ParSource;
+        /// Exclusive parallel view of the collection.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = SliceMutSource<'a, T>;
+        fn par_iter_mut(&'a mut self) -> SliceMutSource<'a, T> {
+            SliceMutSource { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = SliceMutSource<'a, T>;
+        fn par_iter_mut(&'a mut self) -> SliceMutSource<'a, T> {
+            SliceMutSource { slice: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_zip_map_collect() {
+        let mut data = vec![1i32; 100];
+        let sizes: Vec<i32> = (0..100).collect();
+        let out: Vec<i32> = data
+            .par_iter_mut()
+            .zip(sizes.par_iter())
+            .map(|(d, &s)| {
+                *d += s;
+                *d
+            })
+            .collect();
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, 1 + i as i32);
+            assert_eq!(data[i], 1 + i as i32);
+        }
+    }
+
+    #[test]
+    fn for_each_touches_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 257 * 256 / 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

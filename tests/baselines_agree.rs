@@ -63,7 +63,9 @@ fn all_paths_produce_the_same_factor() {
             "hybrid differs on matrix {i}"
         );
         let p_full = pad.download_matrix(i);
-        let p_corner: Vec<f64> = MatRef::from_slice(&p_full, 80, 80, 80).sub(0, 0, n, n).to_vec();
+        let p_corner: Vec<f64> = MatRef::from_slice(&p_full, 80, 80, 80)
+            .sub(0, 0, n, n)
+            .to_vec();
         let r_corner: Vec<f64> = MatRef::from_slice(&r, n, n, n).to_vec();
         assert!(
             lower_triangles_close(&p_corner, &r_corner, n, 1e-9),
@@ -117,10 +119,17 @@ fn paper_ordering_holds_on_a_representative_batch() {
     assert!(g_dy >= g_st, "dynamic {g_dy} >= static {g_st}");
     assert!(g_vb > g_pad, "vbatched {g_vb} must beat padding {g_pad}");
     assert!(g_pad > g_hy, "padding {g_pad} must beat hybrid {g_hy}");
-    assert!(g_dy > g_mt, "one-core dynamic {g_dy} must beat multithreaded {g_mt}");
+    assert!(
+        g_dy > g_mt,
+        "one-core dynamic {g_dy} must beat multithreaded {g_mt}"
+    );
     // Paper's headline: up to ~2.5× over the best competitor at larger
     // sizes; at this size modest but strictly ahead.
-    assert!(g_vb / g_dy < 4.0, "speedup {:.2} implausibly large", g_vb / g_dy);
+    assert!(
+        g_vb / g_dy < 4.0,
+        "speedup {:.2} implausibly large",
+        g_vb / g_dy
+    );
 }
 
 #[test]
@@ -144,5 +153,9 @@ fn energy_favors_gpu() {
         cpu_e > gpu_e,
         "GPU must be more energy efficient: cpu {cpu_e} J vs gpu {gpu_e} J"
     );
-    assert!(cpu_e / gpu_e < 5.0, "ratio {:.2} outside plausible band", cpu_e / gpu_e);
+    assert!(
+        cpu_e / gpu_e < 5.0,
+        "ratio {:.2} outside plausible band",
+        cpu_e / gpu_e
+    );
 }

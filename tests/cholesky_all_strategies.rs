@@ -19,7 +19,11 @@ fn all_options() -> Vec<PotrfOptions> {
         for sorting in [false, true] {
             v.push(PotrfOptions {
                 strategy: Strategy::Fused,
-                fused: FusedOpts { etm, sorting, ..Default::default() },
+                fused: FusedOpts {
+                    etm,
+                    sorting,
+                    ..Default::default()
+                },
                 ..Default::default()
             });
         }
@@ -28,7 +32,11 @@ fn all_options() -> Vec<PotrfOptions> {
         for nb_panel in [16usize, 48, 128] {
             v.push(PotrfOptions {
                 strategy: Strategy::Separated,
-                sep: SepOpts { nb_panel, nb_inner: 8, syrk },
+                sep: SepOpts {
+                    nb_panel,
+                    nb_inner: 8,
+                    syrk,
+                },
                 ..Default::default()
             });
         }
@@ -86,11 +94,17 @@ fn upper_triangle_mirrors_lower() {
         }
         let base = PotrfOptions {
             strategy,
-            sep: SepOpts { nb_panel: 32, ..Default::default() },
+            sep: SepOpts {
+                nb_panel: 32,
+                ..Default::default()
+            },
             ..Default::default()
         };
         potrf_vbatched(&dev, &mut lower, &base).unwrap();
-        let up_opts = PotrfOptions { uplo: Uplo::Upper, ..base };
+        let up_opts = PotrfOptions {
+            uplo: Uplo::Upper,
+            ..base
+        };
         let rep = potrf_vbatched(&dev, &mut upper, &up_opts).unwrap();
         assert!(rep.all_ok());
         for (i, &n) in sizes.iter().enumerate() {
@@ -109,7 +123,10 @@ fn upper_triangle_mirrors_lower() {
 #[test]
 fn uniform_and_gaussian_workloads() {
     let dev = Device::new(DeviceConfig::k40c());
-    for dist in [SizeDist::Uniform { max: 150 }, SizeDist::Gaussian { max: 150 }] {
+    for dist in [
+        SizeDist::Uniform { max: 150 },
+        SizeDist::Gaussian { max: 150 },
+    ] {
         let sizes = dist.sample_batch(&mut seeded_rng(3), 60);
         check_batch::<f64>(&dev, &sizes, &PotrfOptions::default(), 30);
     }
@@ -178,7 +195,9 @@ fn deterministic_across_runs() {
         let mut b = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
         fill_spd_batch(&mut b, &sizes, &mut rng);
         potrf_vbatched(&dev, &mut b, &PotrfOptions::default()).unwrap();
-        (0..sizes.len()).map(|i| b.download_matrix(i)).collect::<Vec<_>>()
+        (0..sizes.len())
+            .map(|i| b.download_matrix(i))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }
@@ -195,7 +214,11 @@ fn all_matrices_same_size_matches_fixed_kernel() {
     let origs = fill_spd_batch(&mut b1, &sizes, &mut rng);
     let opts = PotrfOptions {
         strategy: Strategy::Fused,
-        fused: FusedOpts { nb: Some(8), sorting: false, ..Default::default() },
+        fused: FusedOpts {
+            nb: Some(8),
+            sorting: false,
+            ..Default::default()
+        },
         ..Default::default()
     };
     potrf_vbatched_max(&dev, &mut b1, n, &opts).unwrap();

@@ -4,9 +4,7 @@
 
 use vbatch_core::lu::{getrf_vbatched, GetrfOptions};
 use vbatch_core::report::VbatchError;
-use vbatch_core::{
-    potrf_vbatched, EtmPolicy, FusedOpts, PotrfOptions, SepOpts, Strategy, VBatch,
-};
+use vbatch_core::{potrf_vbatched, EtmPolicy, FusedOpts, PotrfOptions, SepOpts, Strategy, VBatch};
 use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
 use vbatch_dense::verify::{chol_residual, residual_tol};
 use vbatch_dense::{MatRef, Uplo};
@@ -48,7 +46,10 @@ fn info_codes_match_single_matrix_lapack() {
         batch.upload_matrix(2, &bad_b);
         let opts = PotrfOptions {
             strategy,
-            sep: SepOpts { nb_panel: 8, ..Default::default() },
+            sep: SepOpts {
+                nb_panel: 8,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let report = potrf_vbatched(&dev, &mut batch, &opts).unwrap();
@@ -61,7 +62,10 @@ fn info_codes_match_single_matrix_lapack() {
             MatRef::from_slice(&f, n, n, n),
             MatRef::from_slice(&good, n, n, n),
         );
-        assert!(r < residual_tol::<f64>(n), "{strategy:?}: healthy residual {r}");
+        assert!(
+            r < residual_tol::<f64>(n),
+            "{strategy:?}: healthy residual {r}"
+        );
     }
 }
 
@@ -131,7 +135,11 @@ fn lu_singularity_reported_with_global_column() {
 fn error_display_messages() {
     let e = VbatchError::InvalidArgument("nope");
     assert!(e.to_string().contains("nope"));
-    let oom = vbatch_gpu_sim::OomError { requested: 10, in_use: 5, capacity: 12 };
+    let oom = vbatch_gpu_sim::OomError {
+        requested: 10,
+        in_use: 5,
+        capacity: 12,
+    };
     let e: VbatchError = oom.into();
     assert!(e.to_string().contains("out of memory"));
 }

@@ -152,12 +152,34 @@ fn gels_minimizes_residual_on_inconsistent_systems() {
         rhs.upload_matrix(i, &b);
         // Host normal equations: (AᵀA) x = Aᵀ b.
         let ata = naive::gemm_ref(
-            Trans::Trans, Trans::NoTrans, 1.0, &a, m, n, &a, m, n, 0.0,
-            &vec![0.0; n * n], n, n,
+            Trans::Trans,
+            Trans::NoTrans,
+            1.0,
+            &a,
+            m,
+            n,
+            &a,
+            m,
+            n,
+            0.0,
+            &vec![0.0; n * n],
+            n,
+            n,
         );
         let atb = naive::gemm_ref(
-            Trans::Trans, Trans::NoTrans, 1.0, &a, m, n, &b, m, 1, 0.0,
-            &vec![0.0; n], n, 1,
+            Trans::Trans,
+            Trans::NoTrans,
+            1.0,
+            &a,
+            m,
+            n,
+            &b,
+            m,
+            1,
+            0.0,
+            &vec![0.0; n],
+            n,
+            1,
         );
         let mut f = ata.clone();
         vbatch_dense::potf2(
@@ -177,7 +199,10 @@ fn gels_minimizes_residual_on_inconsistent_systems() {
         &dev,
         &mut batch,
         &rhs,
-        &vbatch_core::qr::GeqrfOptions { nb_panel: 4, tile_cols: 8 },
+        &vbatch_core::qr::GeqrfOptions {
+            nb_panel: 4,
+            tile_cols: 8,
+        },
     )
     .unwrap();
     assert!(report.all_ok());

@@ -4,9 +4,7 @@
 //! claim.
 
 use proptest::prelude::*;
-use vbatch_core::{
-    potrf_vbatched_max, EtmPolicy, FusedOpts, PotrfOptions, Strategy, VBatch,
-};
+use vbatch_core::{potrf_vbatched_max, EtmPolicy, FusedOpts, PotrfOptions, Strategy, VBatch};
 use vbatch_dense::gen::seeded_rng;
 use vbatch_gpu_sim::{Device, DeviceConfig, LaunchConfig};
 use vbatch_workload::{fill_spd_batch, SizeDist};
@@ -34,7 +32,10 @@ fn clock_monotone_and_energy_bounded() {
         assert!(now > last, "clock must advance");
         last = now;
         let e = dev.energy_j();
-        assert!(e >= dev.config().idle_power_w * now * 0.999, "iteration {i}");
+        assert!(
+            e >= dev.config().idle_power_w * now * 0.999,
+            "iteration {i}"
+        );
         assert!(e <= dev.config().max_power_w * now * 1.001, "iteration {i}");
     }
 }
@@ -45,7 +46,10 @@ fn more_matrices_take_more_time() {
     let opts = PotrfOptions::default();
     let t1 = sim_time(&dev, &vec![48; 32], &opts, 1);
     let t2 = sim_time(&dev, &vec![48; 256], &opts, 1);
-    assert!(t2 > t1 * 2.0, "8x matrices should take >2x time ({t1} vs {t2})");
+    assert!(
+        t2 > t1 * 2.0,
+        "8x matrices should take >2x time ({t1} vs {t2})"
+    );
 }
 
 #[test]
@@ -58,7 +62,11 @@ fn etm_ordering_on_imbalanced_batches() {
         .collect();
     let mk = |etm| PotrfOptions {
         strategy: Strategy::Fused,
-        fused: FusedOpts { etm, sorting: false, ..Default::default() },
+        fused: FusedOpts {
+            etm,
+            sorting: false,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let tc = sim_time(&dev, &sizes, &mk(EtmPolicy::Classic), 2);
@@ -130,14 +138,22 @@ fn streamed_launch_count_scales_with_batch() {
     let sizes = vec![96usize; 24];
     let opts = PotrfOptions {
         strategy: Strategy::Separated,
-        sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Streamed },
+        sep: SepOpts {
+            nb_panel: 32,
+            nb_inner: 8,
+            syrk: SyrkMode::Streamed,
+        },
         ..Default::default()
     };
     sim_time(&dev, &sizes, &opts, 6);
     let streamed_launches = dev.launch_count();
     let opts_b = PotrfOptions {
         strategy: Strategy::Separated,
-        sep: SepOpts { nb_panel: 32, nb_inner: 8, syrk: SyrkMode::Batched },
+        sep: SepOpts {
+            nb_panel: 32,
+            nb_inner: 8,
+            syrk: SyrkMode::Batched,
+        },
         ..Default::default()
     };
     sim_time(&dev, &sizes, &opts_b, 6);
