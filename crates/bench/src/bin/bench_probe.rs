@@ -16,11 +16,14 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use vbatch_core::{FusedOpts, PotrfOptions, Strategy};
+use vbatch_core::{
+    potrf_vbatched_max, potrf_vbatched_max_ws, DriverWorkspace, FusedOpts, PotrfOptions, Strategy,
+    VBatch,
+};
 use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
 use vbatch_dense::level3::{tier, uses_blocked};
 use vbatch_dense::{flops, gemm, potrf_blocked, MatMut, MatRef, Scalar, Trans, Uplo};
-use vbatch_workload::SizeDist;
+use vbatch_workload::{fill_spd_batch, SizeDist};
 
 /// Sizes probed for both kernels.
 const SIZES: [usize; 5] = [32, 64, 128, 256, 512];
@@ -214,6 +217,47 @@ fn main() {
         sizes.len()
     );
 
+    // Driver steady-state probe (the PR-2 launch-fast-path point):
+    // fused dpotrf, batch 3000, uniform sizes <= 128. `cold` pays a
+    // fresh DriverWorkspace per call; `warm` reuses one across calls —
+    // the simulated Gflop/s must be identical (host-only optimization).
+    eprintln!("probing driver steady state ...");
+    let dsizes = SizeDist::Uniform { max: 128 }.sample_batch(&mut seeded_rng(90), 3000);
+    let ddev = vbatch_bench::fresh_device();
+    let mut dbatch = VBatch::<f64>::alloc_square(&ddev, &dsizes).unwrap();
+    fill_spd_batch(&mut dbatch, &dsizes, &mut seeded_rng(91));
+    let dopts = PotrfOptions {
+        strategy: Strategy::Fused,
+        fused: FusedOpts::default(),
+        ..Default::default()
+    };
+    // Refill between iterations (outside the timed region): repeatedly
+    // factorizing the previous output would eventually hit breakdowns
+    // and perturb the size-only simulated schedule.
+    let mut driver_cold = f64::INFINITY;
+    for _ in 0..4 {
+        fill_spd_batch(&mut dbatch, &dsizes, &mut seeded_rng(91));
+        ddev.reset_metrics();
+        let t = Instant::now();
+        let r = potrf_vbatched_max(&ddev, &mut dbatch, 128, &dopts).unwrap();
+        driver_cold = driver_cold.min(t.elapsed().as_secs_f64());
+        assert!(r.all_ok());
+    }
+    let mut dws = DriverWorkspace::<f64>::new();
+    let mut driver_warm = f64::INFINITY;
+    for _ in 0..4 {
+        fill_spd_batch(&mut dbatch, &dsizes, &mut seeded_rng(91));
+        ddev.reset_metrics();
+        let t = Instant::now();
+        let r = potrf_vbatched_max_ws(&ddev, &mut dbatch, 128, &dopts, &mut dws).unwrap();
+        driver_warm = driver_warm.min(t.elapsed().as_secs_f64());
+        assert!(r.all_ok());
+    }
+    let driver_sim_gflops = flops::potrf_batch(&dsizes) / ddev.now() / 1e9;
+    eprintln!(
+        "  fused dpotrf b=3000 Nmax=128: cold {driver_cold:.4}s | warm {driver_warm:.4}s host, {driver_sim_gflops:.3} simulated Gflop/s"
+    );
+
     let mut j = String::new();
     j.push_str("{\n  \"schema\": 1,\n");
     j.push_str(
@@ -258,10 +302,14 @@ fn main() {
     j.push_str("  ],\n");
     let _ = writeln!(
         j,
-        "  \"simulated_headline\": {{\"workload\": \"fused dpotrf, {} matrices, uniform max 512\", \"sim_gflops\": {:.3}, \"host_seconds\": {:.3}}}",
+        "  \"simulated_headline\": {{\"workload\": \"fused dpotrf, {} matrices, uniform max 512\", \"sim_gflops\": {:.3}, \"host_seconds\": {:.3}}},",
         sizes.len(),
         sim_gflops,
         headline_host_s
+    );
+    let _ = writeln!(
+        j,
+        "  \"driver\": {{\"workload\": \"fused dpotrf, batch 3000, uniform max 128\", \"sim_gflops\": {driver_sim_gflops:.3}, \"host_seconds_cold\": {driver_cold:.4}, \"host_seconds_warm\": {driver_warm:.4}, \"note\": \"cold = fresh DriverWorkspace per call, warm = reused workspace; compare host seconds across PRs only via interleaved A/B runs of both builds on one machine (sequential runs on this host drift up to ~20%)\"}}"
     );
     j.push_str("}\n");
     std::fs::write("BENCH_kernels.json", &j).expect("write BENCH_kernels.json");

@@ -21,6 +21,9 @@ use crate::scalar::Scalar;
 pub fn potf2<T: Scalar>(uplo: Uplo, mut a: MatMut<'_, T>) -> Result<()> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "potf2: matrix must be square");
+    if uplo == Uplo::Lower && n <= POTF2_TILE_MAX && n > 1 && a.ld() > n {
+        return potf2_tile_lower(a, n);
+    }
     match uplo {
         Uplo::Lower => {
             // Left-looking by column: the trailing update of column j is
@@ -72,6 +75,58 @@ pub fn potf2<T: Scalar>(uplo: Uplo, mut a: MatMut<'_, T>) -> Result<()> {
             }
         }
     }
+    Ok(())
+}
+
+/// Tiles at or below this order take the stack-buffer fast path in
+/// [`potf2`] (Lower only): the triangle is copied into a dense local
+/// tile so the whole factorization runs on one compact buffer instead
+/// of strided columns of a much larger matrix.
+const POTF2_TILE_MAX: usize = 32;
+
+/// Lower `potf2` on a compact stack copy of the tile. The operation
+/// order is identical to the in-place path, so the results are
+/// bit-identical, including partial factorization up to a breakdown
+/// column.
+fn potf2_tile_lower<T: Scalar>(mut a: MatMut<'_, T>, n: usize) -> Result<()> {
+    let mut buf = [T::ZERO; POTF2_TILE_MAX * POTF2_TILE_MAX];
+    let tile = &mut buf[..n * n];
+    for j in 0..n {
+        tile[j * n + j..j * n + n].copy_from_slice(&a.col_as_mut_slice(j)[j..n]);
+    }
+    let store = |a: &mut MatMut<'_, T>, tile: &[T]| {
+        for j in 0..n {
+            a.col_as_mut_slice(j)[j..n].copy_from_slice(&tile[j * n + j..j * n + n]);
+        }
+    };
+    for j in 0..n {
+        let mut ajj = tile[j * n + j];
+        for l in 0..j {
+            let v = tile[l * n + j];
+            ajj -= v * v;
+        }
+        if ajj <= T::ZERO || !ajj.is_finite() {
+            store(&mut a, tile);
+            return Err(Error::NotPositiveDefinite { column: j });
+        }
+        let ajj = ajj.sqrt();
+        tile[j * n + j] = ajj;
+        if j + 1 == n {
+            continue;
+        }
+        for l in 0..j {
+            let w = tile[l * n + j];
+            if w != T::ZERO {
+                let (head, rest) = tile.split_at_mut(j * n);
+                let src = &head[l * n + j + 1..l * n + n];
+                axpy(&mut rest[j + 1..n], src, -w);
+            }
+        }
+        for v in &mut tile[j * n + j + 1..j * n + n] {
+            *v /= ajj;
+        }
+    }
+    store(&mut a, tile);
     Ok(())
 }
 

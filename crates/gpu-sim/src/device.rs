@@ -10,7 +10,7 @@ use crate::energy::{EnergyMeter, PowerModel};
 use crate::grid::LaunchConfig;
 use crate::mem::{DeviceBuffer, DevicePtr, MemoryTracker, OomError};
 use crate::occupancy::{occupancy, Occupancy, OccupancyError};
-use crate::sched::{schedule_blocks, KernelTiming};
+use crate::sched::{schedule_blocks, schedule_blocks_uniform, KernelTiming};
 use crate::stats::{KernelStats, Profiler};
 use std::sync::Arc;
 
@@ -44,6 +44,16 @@ struct Inner {
     launches: u64,
 }
 
+/// Pooled per-launch scratch: the block-cost vector the kernel fills and
+/// the SM-availability vector the scheduler sweeps. Both grow to the
+/// largest grid seen and are then reused, so the steady-state launch
+/// path performs no heap allocation.
+#[derive(Default)]
+struct LaunchScratch {
+    costs: Vec<BlockCost>,
+    sm_free: Vec<f64>,
+}
+
 /// A simulated accelerator.
 ///
 /// Kernels launched on the device execute *for real* on host threads
@@ -56,6 +66,7 @@ pub struct Device {
     cfg: DeviceConfig,
     mem: Arc<MemoryTracker>,
     inner: Mutex<Inner>,
+    scratch: Mutex<LaunchScratch>,
 }
 
 impl Device {
@@ -76,6 +87,7 @@ impl Device {
                 profiler: Profiler::default(),
                 launches: 0,
             }),
+            scratch: Mutex::new(LaunchScratch::default()),
         }
     }
 
@@ -106,6 +118,20 @@ impl Device {
         self.mem.peak()
     }
 
+    /// Cumulative device-buffer allocations (monotonic; survives
+    /// [`Device::reset_metrics`]). Diff across a driver call to verify a
+    /// warm-workspace steady state allocates nothing.
+    #[must_use]
+    pub fn alloc_count(&self) -> u64 {
+        self.mem.alloc_count()
+    }
+
+    /// Cumulative device-buffer frees (monotonic).
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        self.mem.free_count()
+    }
+
     /// Launch overhead in seconds (host-side issue cost per kernel).
     #[must_use]
     pub fn launch_overhead_s(&self) -> f64 {
@@ -115,12 +141,18 @@ impl Device {
     /// Launches `kernel` over `cfg`, executing every block (in parallel
     /// on host threads) and advancing the simulated clock.
     ///
+    /// `name` is `&'static str` by design: kernel names form a small
+    /// static vocabulary, and a static name keeps the per-launch
+    /// bookkeeping allocation-free (use [`crate::intern::prefixed`] for
+    /// names composed at runtime). Block costs and the scheduler's SM
+    /// sweep run in pooled scratch reused across launches.
+    ///
     /// # Errors
     /// [`LaunchError`] if the configuration violates device limits; no
     /// block runs in that case (as in CUDA).
     pub fn launch<F>(
         &self,
-        name: &str,
+        name: &'static str,
         cfg: LaunchConfig,
         kernel: F,
     ) -> Result<KernelStats, LaunchError>
@@ -128,14 +160,25 @@ impl Device {
         F: Fn(&mut BlockCtx) + Sync,
     {
         let occ = occupancy(&self.cfg, &cfg)?;
-        let costs = self.run_blocks(&cfg, &kernel);
         let launch_s = self.launch_overhead_s();
-        let per_block: Vec<(BlockCost, Occupancy, f64)> =
-            costs.into_iter().map(|c| (c, occ, 0.0)).collect();
-        let timing = schedule_blocks(&self.cfg, &per_block, launch_s);
+        let timing = match self.scratch.try_lock() {
+            Some(mut scratch) => {
+                let LaunchScratch { costs, sm_free } = &mut *scratch;
+                self.run_blocks_into(&cfg, &kernel, costs);
+                schedule_blocks_uniform(&self.cfg, costs, &occ, launch_s, sm_free)
+            }
+            // Another thread is mid-launch: fall back to fresh buffers
+            // rather than serializing block *execution* on the pool.
+            None => {
+                let mut costs = Vec::new();
+                let mut sm_free = Vec::new();
+                self.run_blocks_into(&cfg, &kernel, &mut costs);
+                schedule_blocks_uniform(&self.cfg, &costs, &occ, launch_s, &mut sm_free)
+            }
+        };
         self.commit(name, &timing, 1);
         Ok(KernelStats {
-            name: name.to_string(),
+            name,
             config: cfg,
             occupancy: occ,
             time_s: timing.total_s,
@@ -144,6 +187,15 @@ impl Device {
     }
 
     fn run_blocks<F>(&self, cfg: &LaunchConfig, kernel: &F) -> Vec<BlockCost>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let mut costs = Vec::new();
+        self.run_blocks_into(cfg, kernel, &mut costs);
+        costs
+    }
+
+    fn run_blocks_into<F>(&self, cfg: &LaunchConfig, kernel: &F, costs: &mut Vec<BlockCost>)
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
@@ -156,10 +208,10 @@ impl Device {
                 kernel(&mut ctx);
                 ctx.into_cost()
             })
-            .collect()
+            .collect_into_vec(costs);
     }
 
-    fn commit(&self, name: &str, timing: &KernelTiming, launches: u64) {
+    fn commit(&self, name: &'static str, timing: &KernelTiming, launches: u64) {
         let mut inner = self.inner.lock();
         inner.clock_s += timing.total_s;
         // Launch issue burns idle power; execution burns at the busy
@@ -177,10 +229,10 @@ impl Device {
     /// sequence) but execute concurrently on the device — the model of
     /// the paper's CUDA-streams `syrk` alternative.
     #[must_use]
-    pub fn stream_group<'d>(&'d self, name: &str) -> StreamGroup<'d> {
+    pub fn stream_group<'d>(&'d self, name: &'static str) -> StreamGroup<'d> {
         StreamGroup {
             dev: self,
-            name: name.to_string(),
+            name,
             pending: Vec::new(),
             launches: 0,
         }
@@ -254,7 +306,7 @@ impl Device {
 /// [`StreamGroup::sync`] to schedule the group and advance the clock.
 pub struct StreamGroup<'d> {
     dev: &'d Device,
-    name: String,
+    name: &'static str,
     pending: Vec<(BlockCost, Occupancy, f64)>,
     launches: u64,
 }
@@ -293,7 +345,7 @@ impl StreamGroup<'_> {
         // Launch overhead is encoded in the release times; the group
         // itself adds none on top.
         let timing = schedule_blocks(&self.dev.cfg, &self.pending, 0.0);
-        self.dev.commit(&self.name, &timing, self.launches);
+        self.dev.commit(self.name, &timing, self.launches);
         timing
     }
 }

@@ -1,0 +1,53 @@
+//! Kernel-name interning.
+//!
+//! [`crate::Device::launch`] takes `&'static str` so the steady-state
+//! driver path never builds a `String` per launch. Kernel names that are
+//! computed at runtime — the `{prefix}{base}` pattern of the vbatched
+//! kernels, where the precision prefix comes from a generic parameter —
+//! are interned here: the concatenation is allocated once per distinct
+//! `(prefix, base)` pair and leaked, and every later lookup is a single
+//! hash probe on `Copy` keys with no allocation.
+//!
+//! The table is global and append-only. The set of kernel names in a
+//! process is a small static vocabulary (two precisions × a few dozen
+//! kernels), so the leak is bounded and intentional.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+type Table = Mutex<HashMap<(&'static str, &'static str), &'static str>>;
+
+static TABLE: OnceLock<Table> = OnceLock::new();
+
+/// Returns the interned concatenation `{prefix}{base}`.
+///
+/// The first call for a given pair allocates (and leaks) the joined
+/// string; subsequent calls return the same `&'static str` without
+/// allocating.
+#[must_use]
+pub fn prefixed(prefix: &'static str, base: &'static str) -> &'static str {
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut t = table.lock().expect("intern table lock");
+    t.entry((prefix, base))
+        .or_insert_with(|| Box::leak(format!("{prefix}{base}").into_boxed_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pair_returns_same_pointer() {
+        let a = prefixed("d", "gemm_vbatched");
+        let b = prefixed("d", "gemm_vbatched");
+        assert_eq!(a, "dgemm_vbatched");
+        assert!(std::ptr::eq(a, b), "interned names must be deduplicated");
+    }
+
+    #[test]
+    fn distinct_pairs_are_distinct() {
+        assert_eq!(prefixed("s", "potf2"), "spotf2");
+        assert_eq!(prefixed("d", "potf2"), "dpotf2");
+        assert_ne!(prefixed("s", "potf2"), prefixed("d", "potf2"));
+    }
+}

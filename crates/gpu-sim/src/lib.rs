@@ -52,6 +52,7 @@ pub mod cost;
 pub mod device;
 pub mod energy;
 pub mod grid;
+pub mod intern;
 pub mod mem;
 pub mod occupancy;
 pub mod sched;

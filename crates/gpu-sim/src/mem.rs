@@ -10,7 +10,7 @@
 
 use std::marker::PhantomData;
 use std::mem::size_of;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Allocation failure: the device is out of global memory.
@@ -46,6 +46,8 @@ pub struct MemoryTracker {
     capacity: usize,
     in_use: AtomicUsize,
     peak: AtomicUsize,
+    allocs: AtomicU64,
+    frees: AtomicU64,
 }
 
 impl MemoryTracker {
@@ -56,6 +58,8 @@ impl MemoryTracker {
             capacity,
             in_use: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
         })
     }
 
@@ -111,6 +115,29 @@ impl MemoryTracker {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Number of buffer allocations performed so far (monotonic; not
+    /// reset by `Device::reset_metrics`). The difference across a driver
+    /// call is the allocation-regression metric: a warm-workspace call
+    /// must leave it unchanged.
+    #[must_use]
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffer frees performed so far (monotonic).
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        self.frees.load(Ordering::Relaxed)
+    }
+
+    fn note_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// An owning device allocation of `len` elements of `T`.
@@ -150,6 +177,7 @@ impl<T: Copy + Default> DeviceBuffer<T> {
     pub(crate) fn new(len: usize, tracker: Arc<MemoryTracker>) -> Result<Self, OomError> {
         let bytes = len * size_of::<T>();
         tracker.reserve(bytes)?;
+        tracker.note_alloc();
         let boxed = vec![T::default(); len].into_boxed_slice();
         let ptr = Box::into_raw(boxed).cast::<T>();
         Ok(Self {
@@ -202,12 +230,18 @@ impl<T: Copy + Default> DeviceBuffer<T> {
     }
 
     /// Host-side read of the whole buffer, bypassing the timing model.
+    /// Copies straight into uninitialized capacity — no redundant
+    /// zero-initialization pass before the copy (`T: Copy`, so there are
+    /// no drop obligations on the skipped default values).
     #[must_use]
     pub fn read_to_host(&self) -> Vec<T> {
-        let mut out = vec![T::default(); self.len()];
-        // SAFETY: buffer extent is valid for len elements.
+        let len = self.len();
+        let mut out = Vec::with_capacity(len);
+        // SAFETY: buffer extent is valid for `len` elements; the copy
+        // initializes exactly the `len` elements `set_len` then claims.
         unsafe {
-            std::ptr::copy_nonoverlapping(self.storage.ptr, out.as_mut_ptr(), self.len());
+            std::ptr::copy_nonoverlapping(self.storage.ptr, out.as_mut_ptr(), len);
+            out.set_len(len);
         }
         out
     }
@@ -216,6 +250,7 @@ impl<T: Copy + Default> DeviceBuffer<T> {
 impl<T> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
         self.tracker.release(self.storage.len * size_of::<T>());
+        self.tracker.note_free();
     }
 }
 
@@ -404,6 +439,21 @@ mod tests {
         let t = MemoryTracker::new(1024);
         let b: DeviceBuffer<f64> = DeviceBuffer::new(4, t).unwrap();
         let _ = b.ptr().get(4);
+    }
+
+    #[test]
+    fn alloc_free_counters_track_buffer_lifecycle() {
+        let t = MemoryTracker::new(1024);
+        assert_eq!((t.alloc_count(), t.free_count()), (0, 0));
+        {
+            let _a: DeviceBuffer<f64> = DeviceBuffer::new(8, Arc::clone(&t)).unwrap();
+            let _b: DeviceBuffer<i32> = DeviceBuffer::new(4, Arc::clone(&t)).unwrap();
+            assert_eq!((t.alloc_count(), t.free_count()), (2, 0));
+        }
+        assert_eq!((t.alloc_count(), t.free_count()), (2, 2));
+        // A failed reservation counts as neither.
+        assert!(DeviceBuffer::<f64>::new(1 << 20, Arc::clone(&t)).is_err());
+        assert_eq!(t.alloc_count(), 2);
     }
 
     #[test]

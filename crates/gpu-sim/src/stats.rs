@@ -14,8 +14,8 @@ use crate::sched::KernelTiming;
 /// The record a single kernel launch returns.
 #[derive(Clone, Debug)]
 pub struct KernelStats {
-    /// Kernel name as passed to `launch`.
-    pub name: String,
+    /// Kernel name as passed to `launch` (interned, so `Copy`).
+    pub name: &'static str,
     /// Launch configuration used.
     pub config: LaunchConfig,
     /// Occupancy achieved.
@@ -54,16 +54,18 @@ pub struct ProfileEntry {
     pub early_exit_blocks: u64,
 }
 
-/// Device-wide launch profiler keyed by kernel name.
+/// Device-wide launch profiler keyed by (interned) kernel name. Keys
+/// are `&'static str`, so the steady-state record path allocates only
+/// the first time a name is seen (the hash-map entry itself).
 #[derive(Clone, Debug, Default)]
 pub struct Profiler {
-    entries: HashMap<String, ProfileEntry>,
+    entries: HashMap<&'static str, ProfileEntry>,
 }
 
 impl Profiler {
     /// Records one launch.
-    pub fn record(&mut self, name: &str, timing: &KernelTiming) {
-        let e = self.entries.entry(name.to_string()).or_default();
+    pub fn record(&mut self, name: &'static str, timing: &KernelTiming) {
+        let e = self.entries.entry(name).or_default();
         e.launches += 1;
         e.time_s += timing.total_s;
         e.flops_useful += timing.flops_useful;
@@ -80,7 +82,7 @@ impl Profiler {
     /// All entries, sorted by descending total time.
     #[must_use]
     pub fn sorted_by_time(&self) -> Vec<(&str, &ProfileEntry)> {
-        let mut v: Vec<_> = self.entries.iter().map(|(k, e)| (k.as_str(), e)).collect();
+        let mut v: Vec<(&str, &ProfileEntry)> = self.entries.iter().map(|(&k, e)| (k, e)).collect();
         v.sort_by(|a, b| b.1.time_s.partial_cmp(&a.1.time_s).expect("finite"));
         v
     }

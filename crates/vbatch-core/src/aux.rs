@@ -30,12 +30,30 @@ pub fn compute_imax(
     values: DevicePtr<i32>,
     count: usize,
 ) -> Result<i32, VbatchError> {
+    compute_imax_pooled(dev, values, count, &mut None)
+}
+
+/// [`compute_imax`] with a caller-pooled block-partial buffer: grown on
+/// demand, never shrunk, so a warm scratch makes the reduction
+/// allocation-free (the [`crate::workspace::DriverWorkspace`] path).
+///
+/// # Errors
+/// As [`compute_imax`].
+pub fn compute_imax_pooled(
+    dev: &Device,
+    values: DevicePtr<i32>,
+    count: usize,
+    scratch: &mut Option<DeviceBuffer<i32>>,
+) -> Result<i32, VbatchError> {
     if count == 0 {
         return Ok(0);
     }
     let blocks = count.div_ceil(AUX_THREADS as usize) as u32;
-    let partial: DeviceBuffer<i32> = dev.alloc(blocks as usize)?;
-    let partial_ptr = partial.ptr();
+    if scratch.as_ref().is_none_or(|b| b.len() < blocks as usize) {
+        *scratch = None;
+        *scratch = Some(dev.alloc(blocks as usize)?);
+    }
+    let partial_ptr = scratch.as_ref().expect("ensured above").ptr();
     dev.launch(
         "vbatch_aux_imax",
         LaunchConfig::grid_1d(blocks, AUX_THREADS),
@@ -72,7 +90,7 @@ pub fn compute_imax(
         )?;
     }
     dev.copy_dtoh_bytes(4);
-    Ok(partial.read_to_host()[0])
+    Ok(partial_ptr.get(0))
 }
 
 /// Device-resident per-step state for a factorization driver: for each
@@ -170,6 +188,26 @@ mod tests {
         let buf = d.alloc::<i32>(3000).unwrap();
         buf.fill_from_host(&vals);
         assert_eq!(compute_imax(&d, buf.ptr(), 3000).unwrap(), 5000);
+    }
+
+    #[test]
+    fn imax_pooled_reuses_scratch() {
+        let d = dev();
+        let vals: Vec<i32> = (0..600).map(|i| (i * 13) % 401).collect();
+        let buf = d.alloc::<i32>(600).unwrap();
+        buf.fill_from_host(&vals);
+        let want = *vals.iter().max().unwrap();
+        let mut scratch = None;
+        assert_eq!(
+            compute_imax_pooled(&d, buf.ptr(), 600, &mut scratch).unwrap(),
+            want
+        );
+        let allocs = d.alloc_count();
+        assert_eq!(
+            compute_imax_pooled(&d, buf.ptr(), 600, &mut scratch).unwrap(),
+            want
+        );
+        assert_eq!(d.alloc_count(), allocs, "warm scratch must not allocate");
     }
 
     #[test]

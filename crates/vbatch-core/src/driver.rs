@@ -12,16 +12,17 @@
 use vbatch_dense::{Scalar, Uplo};
 use vbatch_gpu_sim::{Device, DevicePtr};
 
-use crate::aux::{compute_imax, StepState};
+use crate::aux::compute_imax_pooled;
 use crate::etm::EtmPolicy;
 use crate::fused::{fused_feasible, potrf_fused_step, tuned_nb};
 use crate::report::{BatchReport, VbatchError};
 use crate::sep::potf2::potf2_panel_vbatched;
 use crate::sep::syrk::{syrk_streamed, syrk_vbatched};
 use crate::sep::trsm::{trsm_left_upper_trans_vbatched, trsm_right_lower_trans_vbatched};
-use crate::sep::trtri::{trtri_diag_vbatched, TileWorkspace};
+use crate::sep::trtri::trtri_diag_vbatched;
 use crate::sep::{VView, DEFAULT_NB_PANEL};
-use crate::sorting::{build_windows, charge_sort_transfers, single_window, upload_indices};
+use crate::sorting::{build_windows, charge_sort_transfers, single_window, upload_indices_pooled};
+use crate::workspace::DriverWorkspace;
 use crate::VBatch;
 
 /// How the trailing `syrk` update is executed (a tuning decision in the
@@ -151,6 +152,23 @@ pub fn potrf_vbatched_max<T: Scalar>(
     max_n: usize,
     opts: &PotrfOptions,
 ) -> Result<BatchReport, VbatchError> {
+    potrf_vbatched_max_ws(dev, batch, max_n, opts, &mut DriverWorkspace::new())
+}
+
+/// [`potrf_vbatched_max`] with a caller-owned [`DriverWorkspace`]: all
+/// internal device scratch is drawn from — and left in — the workspace,
+/// so repeated calls on same-shaped (or smaller) batches perform zero
+/// device allocations after the first.
+///
+/// # Errors
+/// As [`potrf_vbatched_max`].
+pub fn potrf_vbatched_max_ws<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    max_n: usize,
+    opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
+) -> Result<BatchReport, VbatchError> {
     if batch.rows() != batch.cols() {
         return Err(VbatchError::InvalidArgument(
             "potrf_vbatched: matrices must be square",
@@ -164,8 +182,8 @@ pub fn potrf_vbatched_max<T: Scalar>(
     let nb = opts.fused.nb.unwrap_or_else(|| tuned_nb::<T>(dev, max_n));
     let strategy = resolve_strategy::<T>(dev, opts, max_n, nb);
     match strategy {
-        Strategy::Fused => run_fused(dev, batch, opts.uplo, max_n, nb, opts)?,
-        Strategy::Separated => run_separated(dev, batch, opts.uplo, max_n, opts)?,
+        Strategy::Fused => run_fused(dev, batch, opts.uplo, max_n, nb, opts, ws)?,
+        Strategy::Separated => run_separated(dev, batch, opts.uplo, max_n, opts, ws)?,
         Strategy::Auto => unreachable!("resolved above"),
     }
 
@@ -184,8 +202,23 @@ pub fn potrf_vbatched<T: Scalar>(
     batch: &mut VBatch<T>,
     opts: &PotrfOptions,
 ) -> Result<BatchReport, VbatchError> {
-    let max_n = compute_imax(dev, batch.d_cols(), batch.count())?.max(0) as usize;
-    potrf_vbatched_max(dev, batch, max_n, opts)
+    potrf_vbatched_ws(dev, batch, opts, &mut DriverWorkspace::new())
+}
+
+/// [`potrf_vbatched`] with a caller-owned [`DriverWorkspace`] (the
+/// max-reduction's partial buffer is pooled too).
+///
+/// # Errors
+/// As [`potrf_vbatched_max`].
+pub fn potrf_vbatched_ws<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
+) -> Result<BatchReport, VbatchError> {
+    let max_n = compute_imax_pooled(dev, batch.d_cols(), batch.count(), &mut ws.imax_partial)?
+        .max(0) as usize;
+    potrf_vbatched_max_ws(dev, batch, max_n, opts, ws)
 }
 
 /// Resolves [`Strategy::Auto`] to a concrete approach for this batch.
@@ -219,6 +252,7 @@ fn run_fused<T: Scalar>(
     max_n: usize,
     nb: usize,
     opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
 ) -> Result<(), VbatchError> {
     if !fused_feasible::<T>(dev, max_n, nb) {
         return Err(VbatchError::InvalidArgument(
@@ -244,14 +278,14 @@ fn run_fused<T: Scalar>(
         single_window(sizes)
     };
     for w in &windows {
-        let d_idx = upload_indices(dev, &w.indices)?;
+        let d_idx = upload_indices_pooled(dev, &w.indices, &mut ws.idx_dev, &mut ws.idx_host)?;
         let mut j = 0;
         while j < w.max_size {
             potrf_fused_step(
                 dev,
                 batch,
                 uplo,
-                d_idx.ptr(),
+                d_idx,
                 w.indices.len(),
                 w.max_size,
                 j,
@@ -270,14 +304,14 @@ fn run_separated<T: Scalar>(
     uplo: Uplo,
     max_n: usize,
     opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
 ) -> Result<(), VbatchError> {
     let count = batch.count();
     let nb_panel = opts.sep.nb_panel.max(1);
     let nb_inner = opts.sep.nb_inner.max(1).min(nb_panel);
-    let st = StepState::<T>::alloc(dev, count)?;
-    let work = TileWorkspace::<T>::alloc(dev, count, nb_panel)?;
+    let (st, work, trails) = ws.sep_scratch(dev, count, nb_panel)?;
     // Host mirrors drive the streamed-syrk grids.
-    let sizes = batch.cols().to_vec();
+    let sizes = batch.cols();
 
     let mut j = 0;
     while j < max_n {
@@ -304,7 +338,7 @@ fn run_separated<T: Scalar>(
                 view,
                 st.d_rem.ptr(),
                 batch.d_info(),
-                &work,
+                work,
                 nb_panel,
                 true,
             )?;
@@ -315,7 +349,7 @@ fn run_separated<T: Scalar>(
                     view,
                     st.d_rem.ptr(),
                     batch.d_info(),
-                    &work,
+                    work,
                     nb_panel,
                     max_trail,
                 )?,
@@ -325,7 +359,7 @@ fn run_separated<T: Scalar>(
                     view,
                     st.d_rem.ptr(),
                     batch.d_info(),
-                    &work,
+                    work,
                     nb_panel,
                     max_trail,
                 )?,
@@ -344,17 +378,19 @@ fn run_separated<T: Scalar>(
                     )?;
                 }
                 SyrkMode::Streamed => {
-                    let trails: Vec<usize> = sizes
-                        .iter()
-                        .map(|&n| n.saturating_sub(j).saturating_sub(nb_panel))
-                        .collect();
+                    trails.clear();
+                    trails.extend(
+                        sizes
+                            .iter()
+                            .map(|&n| n.saturating_sub(j).saturating_sub(nb_panel)),
+                    );
                     syrk_streamed(
                         dev,
                         uplo,
                         view,
                         st.d_rem.ptr(),
                         batch.d_info(),
-                        &trails,
+                        trails,
                         nb_panel,
                     )?;
                 }

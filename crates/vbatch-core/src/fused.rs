@@ -27,7 +27,8 @@ use vbatch_gpu_sim::{BlockCtx, Device, DevicePtr, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
 use crate::kernels::{
-    charge_flops, charge_read, charge_smem, charge_write, mat_mut, panel_smem_bytes, round_to_warp,
+    charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, panel_smem_bytes,
+    round_to_warp,
 };
 use crate::report::VbatchError;
 use crate::VBatch;
@@ -246,24 +247,20 @@ pub fn potrf_fused_fixed<T: Scalar>(
     let ptrs = batch.d_ptrs();
     let lds = batch.d_ld();
     let infos = batch.d_info();
-    let stats = dev.launch(
-        &format!("{}potrf_fused_fixed", T::PREFIX),
-        cfg,
-        move |ctx| {
-            let i = ctx.linear_block_id();
-            let ld = lds.get(i) as usize;
-            let mut j = 0;
-            while j < n {
-                // Re-derive the view each step (the math consumes it).
-                let a_step = mat_mut(ptrs.get(i), n, n, ld);
-                if let Err(col) = fused_step_math::<T>(ctx, uplo, a_step, n, j, nb) {
-                    infos.set(i, (col + 1) as i32);
-                    return;
-                }
-                j += nb;
+    let stats = dev.launch(kname::<T>("potrf_fused_fixed"), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let ld = lds.get(i) as usize;
+        let mut j = 0;
+        while j < n {
+            // Re-derive the view each step (the math consumes it).
+            let a_step = mat_mut(ptrs.get(i), n, n, ld);
+            if let Err(col) = fused_step_math::<T>(ctx, uplo, a_step, n, j, nb) {
+                infos.set(i, (col + 1) as i32);
+                return;
             }
-        },
-    )?;
+            j += nb;
+        }
+    })?;
     Ok(stats)
 }
 
@@ -298,7 +295,7 @@ pub fn potrf_fused_step<T: Scalar>(
     let sizes = batch.d_cols();
     let lds = batch.d_ld();
     let infos = batch.d_info();
-    let stats = dev.launch(&format!("{}potrf_fused_step", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("potrf_fused_step"), cfg, move |ctx| {
         let b = ctx.linear_block_id();
         let i = if d_indices.is_empty() {
             b

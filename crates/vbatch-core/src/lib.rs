@@ -57,11 +57,13 @@ pub mod report;
 pub mod sep;
 pub mod solve;
 pub mod sorting;
+pub mod workspace;
 
 pub use batch::VBatch;
 pub use driver::{
-    potrf_vbatched, potrf_vbatched_max, CrossoverConfig, FusedOpts, PotrfOptions, SepOpts,
-    Strategy, SyrkMode,
+    potrf_vbatched, potrf_vbatched_max, potrf_vbatched_max_ws, potrf_vbatched_ws, CrossoverConfig,
+    FusedOpts, PotrfOptions, SepOpts, Strategy, SyrkMode,
 };
 pub use etm::EtmPolicy;
 pub use report::{BatchReport, VbatchError};
+pub use workspace::DriverWorkspace;

@@ -18,7 +18,7 @@ use vbatch_dense::{Diag, Scalar, Trans, Uplo};
 use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_flops, charge_read, charge_write, mat_mut, round_to_warp};
+use crate::kernels::{charge_flops, charge_read, charge_write, kname, mat_mut, round_to_warp};
 use crate::report::{BatchReport, VbatchError};
 use crate::sep::gemm::{gemm_vbatched, GemmDims};
 use crate::sep::trsm::trsm_left_vbatched;
@@ -76,6 +76,71 @@ struct LuStep<T> {
     d_jb: DeviceBuffer<i32>,
     d_trows: DeviceBuffer<i32>,
     d_tcols: DeviceBuffer<i32>,
+}
+
+/// Pooled LU driver scratch, held inside
+/// [`crate::workspace::DriverWorkspace`]: the per-step view buffers and
+/// the always-clean info vector the trailing updates read. Grown on
+/// demand, never shrunk. Reuse is safe: every [`LuStep`] buffer is fully
+/// rewritten by the step kernel before the trailing kernels read it, and
+/// the clean info vector is only ever read (zero forever).
+pub struct LuWorkspace<T> {
+    step: Option<LuStep<T>>,
+    step_count: usize,
+    clean_info: Option<DeviceBuffer<i32>>,
+}
+
+impl<T> Default for LuWorkspace<T> {
+    fn default() -> Self {
+        Self {
+            step: None,
+            step_count: 0,
+            clean_info: None,
+        }
+    }
+}
+
+impl<T: Scalar> LuWorkspace<T> {
+    /// Ensures coverage for `count` matrices, returning the step views
+    /// and the clean-info pointer.
+    fn scratch(
+        &mut self,
+        dev: &Device,
+        count: usize,
+    ) -> Result<(&LuStep<T>, DevicePtr<i32>), VbatchError> {
+        if self.step.is_none() || self.step_count < count {
+            self.step = None;
+            self.step = Some(LuStep::alloc(dev, count)?);
+            self.step_count = count;
+        }
+        if self.clean_info.as_ref().is_none_or(|b| b.len() < count) {
+            self.clean_info = None;
+            self.clean_info = Some(dev.alloc(count)?);
+        }
+        Ok((
+            self.step.as_ref().expect("ensured above"),
+            self.clean_info.as_ref().expect("ensured above").ptr(),
+        ))
+    }
+
+    /// Device bytes currently held.
+    #[must_use]
+    pub fn device_bytes(&self) -> usize {
+        let mut total = 0;
+        if let Some(s) = &self.step {
+            total += s.d_l11.bytes()
+                + s.d_a12.bytes()
+                + s.d_a21.bytes()
+                + s.d_a22.bytes()
+                + s.d_jb.bytes()
+                + s.d_trows.bytes()
+                + s.d_tcols.bytes();
+        }
+        if let Some(b) = &self.clean_info {
+            total += b.bytes();
+        }
+        total
+    }
 }
 
 impl<T: Scalar> LuStep<T> {
@@ -200,6 +265,27 @@ pub fn getrf_vbatched<T: Scalar>(
     batch: &mut VBatch<T>,
     opts: &GetrfOptions,
 ) -> Result<(BatchReport, PivotArray), VbatchError> {
+    getrf_vbatched_ws(
+        dev,
+        batch,
+        opts,
+        &mut crate::workspace::DriverWorkspace::new(),
+    )
+}
+
+/// [`getrf_vbatched`] with a caller-owned
+/// [`crate::workspace::DriverWorkspace`]: the per-step view buffers and
+/// the clean info vector are pooled, so warm calls only allocate the
+/// returned pivot arena.
+///
+/// # Errors
+/// As [`getrf_vbatched`].
+pub fn getrf_vbatched_ws<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    opts: &GetrfOptions,
+    ws: &mut crate::workspace::DriverWorkspace<T>,
+) -> Result<(BatchReport, PivotArray), VbatchError> {
     let count = batch.count();
     let nb = opts.nb_panel.max(1);
     let k_max = batch
@@ -214,10 +300,9 @@ pub fn getrf_vbatched<T: Scalar>(
     if count == 0 || k_max == 0 {
         return Ok((BatchReport::from_info(batch.read_info()), pivots));
     }
-    let step = LuStep::<T>::alloc(dev, count)?;
     // Trailing kernels must keep running for singular matrices (LAPACK
     // continues past a zero pivot), so they get an always-clean info.
-    let clean_info: DeviceBuffer<i32> = dev.alloc(count)?;
+    let (step, clean_info) = ws.lu.scratch(dev, count)?;
 
     let max_m = batch.max_rows();
     let max_n = batch.max_cols();
@@ -270,7 +355,7 @@ pub fn getrf_vbatched<T: Scalar>(
                 VView::new(step.d_a12.ptr(), batch.d_ld()),
                 step.d_jb.ptr(),
                 step.d_tcols.ptr(),
-                clean_info.ptr(),
+                clean_info,
             )?;
         }
         if max_trows > 0 && max_tcols > 0 {
@@ -320,7 +405,7 @@ fn getf2_panel<T: Scalar>(
     let threads =
         round_to_warp(nb * 4, dev.config().warp_size).min(dev.config().max_threads_per_block);
     let cfg = LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(nb * nb * T::BYTES);
-    dev.launch(&format!("{}getf2_vbatched", T::PREFIX), cfg, move |ctx| {
+    dev.launch(kname::<T>("getf2_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let m = d_m.get(i).max(0) as usize;
         let n = d_n.get(i).max(0) as usize;
@@ -368,7 +453,7 @@ fn laswp_outside<T: Scalar>(
     let d_ld = batch.d_ld();
     let piv = pivots.d_ptrs();
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
-    dev.launch(&format!("{}laswp_vbatched", T::PREFIX), cfg, move |ctx| {
+    dev.launch(kname::<T>("laswp_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let m = d_m.get(i).max(0) as usize;
         let n = d_n.get(i).max(0) as usize;

@@ -15,7 +15,7 @@ use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, Dim3, LaunchConfig};
 
 use crate::etm::EtmPolicy;
 use crate::kernels::{
-    charge_flops, charge_read, charge_smem, charge_write, mat_mut, mat_ref, round_to_warp,
+    charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, mat_ref, round_to_warp,
 };
 use crate::report::{BatchReport, VbatchError};
 use crate::VBatch;
@@ -58,6 +58,70 @@ impl<T: Scalar> TauArray<T> {
     }
 }
 
+/// Pooled QR driver scratch, held inside
+/// [`crate::workspace::DriverWorkspace`]: the per-matrix `T`-factor
+/// arena and its device pointer array, keyed on `(count, nb)`. Grown on
+/// demand (and rebuilt when `nb` changes, since the arena stride is
+/// `nb²`); every tile is fully rewritten by the panel kernel before
+/// `larfb` reads it, so reuse across calls is safe.
+pub struct QrWorkspace<T> {
+    t_work: Option<DeviceBuffer<T>>,
+    d_t_ptrs: Option<DeviceBuffer<DevicePtr<T>>>,
+    nb: usize,
+    count: usize,
+}
+
+impl<T> Default for QrWorkspace<T> {
+    fn default() -> Self {
+        Self {
+            t_work: None,
+            d_t_ptrs: None,
+            nb: 0,
+            count: 0,
+        }
+    }
+}
+
+impl<T: Scalar> QrWorkspace<T> {
+    /// Ensures `count` tiles of order `nb`, returning the device array
+    /// of per-matrix `T`-factor pointers.
+    fn t_scratch(
+        &mut self,
+        dev: &Device,
+        count: usize,
+        nb: usize,
+    ) -> Result<DevicePtr<DevicePtr<T>>, VbatchError> {
+        if self.t_work.is_none() || self.nb != nb || self.count < count {
+            self.t_work = None;
+            self.d_t_ptrs = None;
+            let t_work: DeviceBuffer<T> = dev.alloc(count * nb * nb)?;
+            let ptrs: Vec<DevicePtr<T>> = (0..count)
+                .map(|i| t_work.ptr().offset(i * nb * nb).truncate(nb * nb))
+                .collect();
+            let d_t_ptrs: DeviceBuffer<DevicePtr<T>> = dev.alloc(count)?;
+            d_t_ptrs.fill_from_host(&ptrs);
+            self.t_work = Some(t_work);
+            self.d_t_ptrs = Some(d_t_ptrs);
+            self.nb = nb;
+            self.count = count;
+        }
+        Ok(self.d_t_ptrs.as_ref().expect("ensured above").ptr())
+    }
+
+    /// Device bytes currently held.
+    #[must_use]
+    pub fn device_bytes(&self) -> usize {
+        let mut total = 0;
+        if let Some(b) = &self.t_work {
+            total += b.bytes();
+        }
+        if let Some(b) = &self.d_t_ptrs {
+            total += b.bytes();
+        }
+        total
+    }
+}
+
 /// Options for [`geqrf_vbatched`].
 #[derive(Clone, Copy, Debug)]
 pub struct GeqrfOptions {
@@ -87,6 +151,26 @@ pub fn geqrf_vbatched<T: Scalar>(
     batch: &mut VBatch<T>,
     opts: &GeqrfOptions,
 ) -> Result<(BatchReport, TauArray<T>), VbatchError> {
+    geqrf_vbatched_ws(
+        dev,
+        batch,
+        opts,
+        &mut crate::workspace::DriverWorkspace::new(),
+    )
+}
+
+/// [`geqrf_vbatched`] with a caller-owned
+/// [`crate::workspace::DriverWorkspace`]: the `T`-factor arena is
+/// pooled, so warm calls only allocate the returned `tau` arena.
+///
+/// # Errors
+/// As [`geqrf_vbatched`].
+pub fn geqrf_vbatched_ws<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    opts: &GeqrfOptions,
+    ws: &mut crate::workspace::DriverWorkspace<T>,
+) -> Result<(BatchReport, TauArray<T>), VbatchError> {
     let count = batch.count();
     let nb = opts.nb_panel.max(1);
     let tc = opts.tile_cols.max(1);
@@ -102,23 +186,18 @@ pub fn geqrf_vbatched<T: Scalar>(
     if count == 0 || k_max == 0 {
         return Ok((BatchReport::from_info(batch.read_info()), tau));
     }
-    // Per-matrix T-factor workspace (nb × nb each).
-    let t_work: DeviceBuffer<T> = dev.alloc(count * nb * nb)?;
-    let t_ptrs_host: Vec<DevicePtr<T>> = (0..count)
-        .map(|i| t_work.ptr().offset(i * nb * nb).truncate(nb * nb))
-        .collect();
-    let d_t_ptrs: DeviceBuffer<DevicePtr<T>> = dev.alloc(count)?;
-    d_t_ptrs.fill_from_host(&t_ptrs_host);
+    // Per-matrix T-factor workspace (nb × nb each), pooled.
+    let t_ptrs = ws.qr.t_scratch(dev, count, nb)?;
 
     let max_m = batch.max_rows();
     let max_n = batch.max_cols();
 
     let mut j = 0;
     while j < k_max {
-        geqr2_larft_panel(dev, batch, &tau, d_t_ptrs.ptr(), j, nb)?;
+        geqr2_larft_panel(dev, batch, &tau, t_ptrs, j, nb)?;
         let max_tcols = max_n.saturating_sub(j + 1);
         if max_tcols > 0 {
-            larfb_cols(dev, batch, d_t_ptrs.ptr(), j, nb, tc, max_m, max_n)?;
+            larfb_cols(dev, batch, t_ptrs, j, nb, tc, max_m, max_n)?;
         }
         j += nb;
     }
@@ -144,7 +223,7 @@ fn geqr2_larft_panel<T: Scalar>(
     let threads =
         round_to_warp(nb * 4, dev.config().warp_size).min(dev.config().max_threads_per_block);
     let cfg = LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(2 * nb * nb * T::BYTES);
-    dev.launch(&format!("{}geqr2_vbatched", T::PREFIX), cfg, move |ctx| {
+    dev.launch(kname::<T>("geqr2_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let m = d_m.get(i).max(0) as usize;
         let n = d_n.get(i).max(0) as usize;
@@ -208,7 +287,7 @@ fn larfb_cols<T: Scalar>(
     let smem = (nb * nb + nb * tile_cols) * T::BYTES;
     let cfg = LaunchConfig::new(grid, Dim3::x(128), smem);
     let _ = max_m;
-    dev.launch(&format!("{}larfb_vbatched", T::PREFIX), cfg, move |ctx| {
+    dev.launch(kname::<T>("larfb_vbatched"), cfg, move |ctx| {
         let bx = ctx.block_idx().x as usize;
         let i = ctx.block_idx().y as usize;
         let m = d_m.get(i).max(0) as usize;
@@ -272,7 +351,7 @@ pub fn ormqr_left_trans_vbatched<T: Scalar>(
     let d_nrhs = rhs.d_cols();
     let tau_ptrs = tau.d_ptrs();
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
-    dev.launch(&format!("{}ormqr_vbatched", T::PREFIX), cfg, move |ctx| {
+    dev.launch(kname::<T>("ormqr_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let m = d_m.get(i).max(0) as usize;
         let n = d_n.get(i).max(0) as usize;

@@ -7,7 +7,7 @@ use vbatch_dense::{Scalar, Trans};
 use vbatch_gpu_sim::{Device, DevicePtr, Dim3, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_flops, charge_read, charge_write, mat_ref};
+use crate::kernels::{charge_flops, charge_read, charge_write, kname, mat_ref};
 use crate::report::VbatchError;
 use crate::sep::VView;
 
@@ -42,7 +42,7 @@ pub fn gemv_vbatched<T: Scalar>(
     }
     let grid = Dim3::xy(max_rows.div_ceil(GEMV_TILE) as u32, count as u32);
     let cfg = LaunchConfig::new(grid, Dim3::x(256), 0);
-    let stats = dev.launch(&format!("{}gemv_vbatched", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("gemv_vbatched"), cfg, move |ctx| {
         let bx = ctx.block_idx().x as usize;
         let i = ctx.block_idx().y as usize;
         let m = d_m.get(i).max(0) as usize;

@@ -12,7 +12,7 @@ use vbatch_dense::{Scalar, Uplo};
 use vbatch_gpu_sim::{Device, DevicePtr, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{mat_mut, panel_smem_bytes, round_to_warp};
+use crate::kernels::{kname, mat_mut, panel_smem_bytes, round_to_warp};
 use crate::report::VbatchError;
 use crate::sep::VView;
 
@@ -42,7 +42,7 @@ pub fn potf2_panel_vbatched<T: Scalar>(
     let threads = round_to_warp(nb_panel, warp).min(dev.config().max_threads_per_block);
     let cfg = LaunchConfig::grid_1d(count as u32, threads)
         .with_shared_mem(panel_smem_bytes::<T>(nb_panel, nb_inner));
-    let stats = dev.launch(&format!("{}potf2_vbatched", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("potf2_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let rem = d_rem.get(i).max(0) as usize;
         let live = rem > 0 && d_info.get(i) == 0;

@@ -19,7 +19,9 @@ use vbatch_dense::{Scalar, Trans, Uplo};
 use vbatch_gpu_sim::{BlockCtx, Device, DevicePtr, Dim3, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_flops, charge_read, charge_smem, charge_write, mat_mut, mat_ref};
+use crate::kernels::{
+    charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, mat_ref,
+};
 use crate::report::VbatchError;
 use crate::sep::{VView, SYRK_TILE};
 
@@ -116,7 +118,7 @@ pub fn syrk_vbatched<T: Scalar>(
     let grid = Dim3::xyz(tiles, tiles, count as u32);
     let smem = 2 * SYRK_TILE * 8 * T::BYTES;
     let cfg = LaunchConfig::new(grid, Dim3::x(128), smem);
-    let stats = dev.launch(&format!("{}syrk_vbatched", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("syrk_vbatched"), cfg, move |ctx| {
         let bi = ctx.block_idx().x as usize;
         let bj = ctx.block_idx().y as usize;
         let i = ctx.block_idx().z as usize;
@@ -177,83 +179,79 @@ pub fn syrk_general_vbatched<T: Scalar>(
     let grid = Dim3::xyz(tiles, tiles, count as u32);
     let smem = 2 * SYRK_TILE * 8 * T::BYTES;
     let cfg = LaunchConfig::new(grid, Dim3::x(128), smem);
-    let stats = dev.launch(
-        &format!("{}syrk_general_vbatched", T::PREFIX),
-        cfg,
-        move |ctx| {
-            let bi = ctx.block_idx().x as usize;
-            let bj = ctx.block_idx().y as usize;
-            let i = ctx.block_idx().z as usize;
-            let n = d_n.get(i).max(0) as usize;
-            let k = d_k.get(i).max(0) as usize;
-            let in_tri = match uplo {
-                Uplo::Lower => bi >= bj,
-                Uplo::Upper => bi <= bj,
-            };
-            let r0 = bi * SYRK_TILE;
-            let c0 = bj * SYRK_TILE;
-            let live = n > 0 && k > 0 && in_tri && r0 < n && c0 < n;
-            if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
-                return;
-            }
-            let mt = SYRK_TILE.min(n - r0);
-            let nt = SYRK_TILE.min(n - c0);
-            let lda = a.lds.get(i) as usize;
-            let ldc = c.lds.get(i) as usize;
-            let (a_bi, a_bj, op) = match trans {
-                Trans::NoTrans => (
-                    mat_ref(a.ptrs.get(i), n, k, lda).sub(r0, 0, mt, k),
-                    mat_ref(a.ptrs.get(i), n, k, lda).sub(c0, 0, nt, k),
-                    (Trans::NoTrans, Trans::Trans),
-                ),
-                Trans::Trans => (
-                    mat_ref(a.ptrs.get(i), k, n, lda).sub(0, r0, k, mt),
-                    mat_ref(a.ptrs.get(i), k, n, lda).sub(0, c0, k, nt),
-                    (Trans::Trans, Trans::NoTrans),
-                ),
-            };
-            let c_tile = mat_mut(c.ptrs.get(i), n, n, ldc).sub(r0, c0, mt, nt);
-            if bi == bj {
-                let mut tmp = vec![T::ZERO; mt * nt];
-                vbatch_dense::gemm(
-                    op.0,
-                    op.1,
-                    alpha,
-                    a_bi,
-                    a_bj,
-                    T::ZERO,
-                    vbatch_dense::MatMut::from_slice(&mut tmp, mt, nt, mt),
-                );
-                let mut c_tile = c_tile;
-                for jj in 0..nt {
-                    let (lo, hi) = match uplo {
-                        Uplo::Lower => (jj, mt),
-                        Uplo::Upper => (0, (jj + 1).min(mt)),
-                    };
-                    let col = &mut c_tile.col_as_mut_slice(jj)[lo..hi];
-                    let t = &tmp[jj * mt + lo..jj * mt + hi];
-                    if beta == T::ZERO {
-                        // BLAS semantics: β = 0 overwrites, never reads.
-                        col.copy_from_slice(t);
-                    } else {
-                        for (ci, ti) in col.iter_mut().zip(t) {
-                            *ci = beta.mul_add(*ci, *ti);
-                        }
+    let stats = dev.launch(kname::<T>("syrk_general_vbatched"), cfg, move |ctx| {
+        let bi = ctx.block_idx().x as usize;
+        let bj = ctx.block_idx().y as usize;
+        let i = ctx.block_idx().z as usize;
+        let n = d_n.get(i).max(0) as usize;
+        let k = d_k.get(i).max(0) as usize;
+        let in_tri = match uplo {
+            Uplo::Lower => bi >= bj,
+            Uplo::Upper => bi <= bj,
+        };
+        let r0 = bi * SYRK_TILE;
+        let c0 = bj * SYRK_TILE;
+        let live = n > 0 && k > 0 && in_tri && r0 < n && c0 < n;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let mt = SYRK_TILE.min(n - r0);
+        let nt = SYRK_TILE.min(n - c0);
+        let lda = a.lds.get(i) as usize;
+        let ldc = c.lds.get(i) as usize;
+        let (a_bi, a_bj, op) = match trans {
+            Trans::NoTrans => (
+                mat_ref(a.ptrs.get(i), n, k, lda).sub(r0, 0, mt, k),
+                mat_ref(a.ptrs.get(i), n, k, lda).sub(c0, 0, nt, k),
+                (Trans::NoTrans, Trans::Trans),
+            ),
+            Trans::Trans => (
+                mat_ref(a.ptrs.get(i), k, n, lda).sub(0, r0, k, mt),
+                mat_ref(a.ptrs.get(i), k, n, lda).sub(0, c0, k, nt),
+                (Trans::Trans, Trans::NoTrans),
+            ),
+        };
+        let c_tile = mat_mut(c.ptrs.get(i), n, n, ldc).sub(r0, c0, mt, nt);
+        if bi == bj {
+            let mut tmp = vec![T::ZERO; mt * nt];
+            vbatch_dense::gemm(
+                op.0,
+                op.1,
+                alpha,
+                a_bi,
+                a_bj,
+                T::ZERO,
+                vbatch_dense::MatMut::from_slice(&mut tmp, mt, nt, mt),
+            );
+            let mut c_tile = c_tile;
+            for jj in 0..nt {
+                let (lo, hi) = match uplo {
+                    Uplo::Lower => (jj, mt),
+                    Uplo::Upper => (0, (jj + 1).min(mt)),
+                };
+                let col = &mut c_tile.col_as_mut_slice(jj)[lo..hi];
+                let t = &tmp[jj * mt + lo..jj * mt + hi];
+                if beta == T::ZERO {
+                    // BLAS semantics: β = 0 overwrites, never reads.
+                    col.copy_from_slice(t);
+                } else {
+                    for (ci, ti) in col.iter_mut().zip(t) {
+                        *ci = beta.mul_add(*ci, *ti);
                     }
                 }
-            } else {
-                vbatch_dense::gemm(op.0, op.1, alpha, a_bi, a_bj, beta, c_tile);
             }
-            let active = 128.min(mt * nt / 8).max(32);
-            charge_read::<T>(ctx, (mt + nt) * k + mt * nt);
-            charge_write::<T>(ctx, mt * nt);
-            charge_smem::<T>(ctx, (mt + nt) * k);
-            charge_flops::<T>(ctx, active, 2.0 * mt as f64 * nt as f64 * k as f64);
-            for _ in 0..k.div_ceil(8).max(1) {
-                ctx.sync();
-            }
-        },
-    )?;
+        } else {
+            vbatch_dense::gemm(op.0, op.1, alpha, a_bi, a_bj, beta, c_tile);
+        }
+        let active = 128.min(mt * nt / 8).max(32);
+        charge_read::<T>(ctx, (mt + nt) * k + mt * nt);
+        charge_write::<T>(ctx, mt * nt);
+        charge_smem::<T>(ctx, (mt + nt) * k);
+        charge_flops::<T>(ctx, active, 2.0 * mt as f64 * nt as f64 * k as f64);
+        for _ in 0..k.div_ceil(8).max(1) {
+            ctx.sync();
+        }
+    })?;
     Ok(stats)
 }
 
@@ -276,7 +274,7 @@ pub fn syrk_streamed<T: Scalar>(
     trails: &[usize],
     nb_panel: usize,
 ) -> Result<(), VbatchError> {
-    let mut group = dev.stream_group(&format!("{}syrk_streamed", T::PREFIX));
+    let mut group = dev.stream_group(kname::<T>("syrk_streamed"));
     for (i, &trail) in trails.iter().enumerate() {
         if trail == 0 {
             continue;

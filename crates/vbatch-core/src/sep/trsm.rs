@@ -16,7 +16,9 @@ use vbatch_dense::{Diag, Scalar, Side, Trans, Uplo};
 use vbatch_gpu_sim::{Device, DevicePtr, Dim3, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_flops, charge_read, charge_smem, charge_write, mat_mut, mat_ref};
+use crate::kernels::{
+    charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, mat_ref,
+};
 use crate::report::VbatchError;
 use crate::sep::trtri::TileWorkspace;
 use crate::sep::{VView, GEMM_TILE_M};
@@ -51,7 +53,7 @@ pub fn trsm_right_lower_trans_vbatched<T: Scalar>(
     let cfg = LaunchConfig::new(grid, Dim3::x(128), smem);
     let w_ptrs = work.d_ptrs();
     let w_nb = work.nb();
-    let stats = dev.launch(&format!("{}trsm_vbatched", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("trsm_vbatched"), cfg, move |ctx| {
         let bi = ctx.block_idx().x as usize;
         let i = ctx.block_idx().y as usize;
         let rem = d_rem.get(i).max(0) as usize;
@@ -115,7 +117,7 @@ pub fn trsm_left_upper_trans_vbatched<T: Scalar>(
     let cfg = LaunchConfig::new(grid, Dim3::x(128), smem);
     let w_ptrs = work.d_ptrs();
     let w_nb = work.nb();
-    let stats = dev.launch(&format!("{}trsm_vbatched", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("trsm_vbatched"), cfg, move |ctx| {
         let bi = ctx.block_idx().x as usize;
         let i = ctx.block_idx().y as usize;
         let rem = d_rem.get(i).max(0) as usize;
@@ -180,32 +182,28 @@ pub fn trsm_left_vbatched<T: Scalar>(
         ));
     }
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
-    let stats = dev.launch(
-        &format!("{}trsm_left_vbatched", T::PREFIX),
-        cfg,
-        move |ctx| {
-            let i = ctx.linear_block_id();
-            let n = d_n.get(i).max(0) as usize;
-            let nrhs = d_nrhs.get(i).max(0) as usize;
-            let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
-            if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
-                return;
-            }
-            let lda = a.lds.get(i) as usize;
-            let ldb = b.lds.get(i) as usize;
-            let a_view = mat_ref(a.ptrs.get(i), n, n, lda);
-            let b_view = mat_mut(b.ptrs.get(i), n, nrhs, ldb);
-            vbatch_dense::trsm(Side::Left, uplo, trans, diag, T::ONE, a_view, b_view);
-            let active = 128.min(nrhs.max(1));
-            charge_read::<T>(ctx, n * n / 2 + n * nrhs);
-            charge_write::<T>(ctx, n * nrhs);
-            charge_flops::<T>(ctx, active, n as f64 * n as f64 * nrhs as f64);
-            // Substitution synchronizes once per diagonal block of 8.
-            for _ in 0..n.div_ceil(8) {
-                ctx.sync();
-            }
-        },
-    )?;
+    let stats = dev.launch(kname::<T>("trsm_left_vbatched"), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let n = d_n.get(i).max(0) as usize;
+        let nrhs = d_nrhs.get(i).max(0) as usize;
+        let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let lda = a.lds.get(i) as usize;
+        let ldb = b.lds.get(i) as usize;
+        let a_view = mat_ref(a.ptrs.get(i), n, n, lda);
+        let b_view = mat_mut(b.ptrs.get(i), n, nrhs, ldb);
+        vbatch_dense::trsm(Side::Left, uplo, trans, diag, T::ONE, a_view, b_view);
+        let active = 128.min(nrhs.max(1));
+        charge_read::<T>(ctx, n * n / 2 + n * nrhs);
+        charge_write::<T>(ctx, n * nrhs);
+        charge_flops::<T>(ctx, active, n as f64 * n as f64 * nrhs as f64);
+        // Substitution synchronizes once per diagonal block of 8.
+        for _ in 0..n.div_ceil(8) {
+            ctx.sync();
+        }
+    })?;
     Ok(stats)
 }
 

@@ -9,7 +9,9 @@ use vbatch_dense::{Diag, Scalar, Uplo};
 use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_flops, charge_read, charge_write, mat_mut, mat_ref, round_to_warp};
+use crate::kernels::{
+    charge_flops, charge_read, charge_write, kname, mat_mut, mat_ref, round_to_warp,
+};
 use crate::report::VbatchError;
 use crate::sep::VView;
 
@@ -84,7 +86,7 @@ pub fn trtri_diag_vbatched<T: Scalar>(
     let cfg =
         LaunchConfig::grid_1d(count as u32, threads).with_shared_mem(2 * stage * stage * T::BYTES);
     let w_ptrs = work.d_ptrs();
-    let stats = dev.launch(&format!("{}trtri_vbatched", T::PREFIX), cfg, move |ctx| {
+    let stats = dev.launch(kname::<T>("trtri_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let rem = d_rem.get(i).max(0) as usize;
         let jb = rem.min(nb);

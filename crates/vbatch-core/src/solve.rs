@@ -7,7 +7,7 @@ use vbatch_dense::{Diag, Scalar, Trans, Uplo};
 use vbatch_gpu_sim::{Device, DevicePtr, LaunchConfig};
 
 use crate::etm::EtmPolicy;
-use crate::kernels::{charge_read, charge_write, mat_mut};
+use crate::kernels::{charge_read, charge_write, kname, mat_mut};
 use crate::lu::PivotArray;
 use crate::report::VbatchError;
 use crate::sep::trsm::trsm_left_vbatched;
@@ -168,7 +168,7 @@ pub fn potri_vbatched<T: Scalar>(
     let d_n = factors.d_cols();
     let d_info = factors.d_info();
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
-    dev.launch(&format!("{}potri_vbatched", T::PREFIX), cfg, move |ctx| {
+    dev.launch(kname::<T>("potri_vbatched"), cfg, move |ctx| {
         let i = ctx.linear_block_id();
         let n = d_n.get(i).max(0) as usize;
         let live = n > 0 && d_info.get(i) == 0;
@@ -215,35 +215,31 @@ fn laswp_rhs<T: Scalar>(
     let b_ld = rhs.d_ld();
     let piv: DevicePtr<DevicePtr<i32>> = pivots.d_ptrs();
     let cfg = LaunchConfig::grid_1d(count as u32, 128);
-    dev.launch(
-        &format!("{}laswp_rhs_vbatched", T::PREFIX),
-        cfg,
-        move |ctx| {
-            let i = ctx.linear_block_id();
-            let n = d_n.get(i).max(0) as usize;
-            let nrhs = d_nrhs.get(i).max(0) as usize;
-            let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
-            if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
-                return;
-            }
-            let ld = b_ld.get(i).max(1) as usize;
-            let mut b = mat_mut(b_ptrs.get(i), n, nrhs, ld);
-            let p = piv.get(i);
-            for t in 0..n {
-                let pr = p.get(t) as usize;
-                if pr != t {
-                    for c in 0..nrhs {
-                        let x = b.get(t, c);
-                        b.set(t, c, b.get(pr, c));
-                        b.set(pr, c, x);
-                    }
+    dev.launch(kname::<T>("laswp_rhs_vbatched"), cfg, move |ctx| {
+        let i = ctx.linear_block_id();
+        let n = d_n.get(i).max(0) as usize;
+        let nrhs = d_nrhs.get(i).max(0) as usize;
+        let live = n > 0 && nrhs > 0 && d_info.get(i) == 0;
+        if !EtmPolicy::Classic.apply(ctx, if live { 1 } else { 0 }) {
+            return;
+        }
+        let ld = b_ld.get(i).max(1) as usize;
+        let mut b = mat_mut(b_ptrs.get(i), n, nrhs, ld);
+        let p = piv.get(i);
+        for t in 0..n {
+            let pr = p.get(t) as usize;
+            if pr != t {
+                for c in 0..nrhs {
+                    let x = b.get(t, c);
+                    b.set(t, c, b.get(pr, c));
+                    b.set(pr, c, x);
                 }
             }
-            charge_read::<T>(ctx, n * nrhs);
-            charge_write::<T>(ctx, n * nrhs);
-            ctx.sync();
-        },
-    )?;
+        }
+        charge_read::<T>(ctx, n * nrhs);
+        charge_write::<T>(ctx, n * nrhs);
+        ctx.sync();
+    })?;
     Ok(())
 }
 

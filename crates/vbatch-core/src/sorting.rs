@@ -18,7 +18,7 @@
 //! device→host copy of the size array (charged to the simulated clock),
 //! then uploaded as a device index array the kernels indirect through.
 
-use vbatch_gpu_sim::{Device, DeviceBuffer, OomError};
+use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, OomError};
 
 /// One window of nearly-equal-size matrices, ready to be factorized
 /// together.
@@ -81,6 +81,31 @@ pub fn upload_indices(dev: &Device, indices: &[usize]) -> Result<DeviceBuffer<i3
     let buf = dev.alloc::<i32>(indices.len())?;
     buf.fill_from_host(&indices.iter().map(|&i| i as i32).collect::<Vec<_>>());
     Ok(buf)
+}
+
+/// [`upload_indices`] into caller-pooled buffers: the device buffer is
+/// grown on demand (never shrunk) and `host` stages the `i32`
+/// conversion, so a warm pool uploads with zero allocations. Returns the
+/// device pointer truncated to this window's length. Reuse across
+/// windows is safe because simulated launches are synchronous.
+///
+/// # Errors
+/// [`OomError`] when device memory is exhausted.
+pub fn upload_indices_pooled(
+    dev: &Device,
+    indices: &[usize],
+    dev_buf: &mut Option<DeviceBuffer<i32>>,
+    host: &mut Vec<i32>,
+) -> Result<DevicePtr<i32>, OomError> {
+    host.clear();
+    host.extend(indices.iter().map(|&i| i as i32));
+    if dev_buf.as_ref().is_none_or(|b| b.len() < indices.len()) {
+        *dev_buf = None;
+        *dev_buf = Some(dev.alloc::<i32>(indices.len())?);
+    }
+    let buf = dev_buf.as_ref().expect("ensured above");
+    buf.fill_from_host(host);
+    Ok(buf.ptr().truncate(indices.len()))
 }
 
 /// Charges the host↔device traffic the sorting pass needs (sizes down,
@@ -154,6 +179,27 @@ mod tests {
         let wins = build_windows(&[16; 100], 8);
         assert_eq!(wins.len(), 1);
         assert_eq!(wins[0].indices.len(), 100);
+    }
+
+    #[test]
+    fn pooled_upload_reuses_buffer() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut buf = None;
+        let mut host = Vec::new();
+        let p = upload_indices_pooled(&dev, &[9, 2, 5, 1], &mut buf, &mut host).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!((p.get(0), p.get(3)), (9, 1));
+        let allocs = dev.alloc_count();
+        // Smaller window: reuse, truncated view, fresh values.
+        let p = upload_indices_pooled(&dev, &[7, 8], &mut buf, &mut host).unwrap();
+        assert_eq!(dev.alloc_count(), allocs);
+        assert_eq!(p.len(), 2);
+        assert_eq!((p.get(0), p.get(1)), (7, 8));
+        // Larger window: grows.
+        let p = upload_indices_pooled(&dev, &[0, 1, 2, 3, 4, 5], &mut buf, &mut host).unwrap();
+        assert!(dev.alloc_count() > allocs);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.get(5), 5);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Reusable driver workspaces — the steady-state zero-allocation path.
+//!
+//! Every factorization driver in this crate needs a handful of device
+//! scratch buffers (per-step pointer/size state, diagonal-tile arenas,
+//! reduction partials, sorting index uploads). The plain entry points
+//! allocate them per call, which is correct but costs one
+//! allocate/initialize/free round-trip per driver invocation — exactly
+//! the launch-side overhead the paper's fused design exists to amortize
+//! on the kernel side. [`DriverWorkspace`] owns those buffers across
+//! calls: the `*_ws` driver variants ([`crate::potrf_vbatched_ws`],
+//! [`crate::lu::getrf_vbatched_ws`], [`crate::qr::geqrf_vbatched_ws`])
+//! grow them on demand and never shrink, so a warm workspace makes the
+//! steady-state driver loop perform **zero device allocations** — a
+//! property pinned by `Device::alloc_count` in the regression tests.
+//!
+//! Reuse is safe because every pooled buffer is either fully rewritten
+//! by an auxiliary kernel before any consumer reads it (step state, tile
+//! arenas, reduction partials, index uploads) or is never written at all
+//! (the LU trailing updates' always-clean info vector). Simulated
+//! launches are synchronous, so a buffer may be reused across sorting
+//! windows within one call as well. Outputs that belong to the caller
+//! (pivot and tau arenas) are *not* pooled.
+
+use vbatch_dense::Scalar;
+use vbatch_gpu_sim::{Device, DeviceBuffer};
+
+use crate::aux::StepState;
+use crate::lu::LuWorkspace;
+use crate::qr::QrWorkspace;
+use crate::report::VbatchError;
+use crate::sep::trtri::TileWorkspace;
+
+/// Borrows handed to the separated driver loop: step state, tile arena,
+/// and the pooled trailing-size host scratch.
+pub(crate) type SepScratch<'a, T> = (&'a StepState<T>, &'a TileWorkspace<T>, &'a mut Vec<usize>);
+
+/// Pooled device scratch for the factorization drivers, reusable across
+/// calls and across precisions' driver families (Cholesky, LU, QR).
+///
+/// Construction is free (no device memory is touched); buffers are
+/// allocated lazily by the first driver call and grown — never shrunk —
+/// by later ones. Call [`DriverWorkspace::release`] to return all held
+/// device memory.
+pub struct DriverWorkspace<T> {
+    /// Separated-path per-step state, valid for `step_count` matrices.
+    pub(crate) step: Option<StepState<T>>,
+    pub(crate) step_count: usize,
+    /// Separated-path diagonal-tile arena, valid for `tiles_count`
+    /// matrices at its own `nb()`.
+    pub(crate) tiles: Option<TileWorkspace<T>>,
+    pub(crate) tiles_count: usize,
+    /// `compute_imax` block-partial buffer.
+    pub(crate) imax_partial: Option<DeviceBuffer<i32>>,
+    /// Sorting-window index upload: device buffer + host staging.
+    pub(crate) idx_dev: Option<DeviceBuffer<i32>>,
+    pub(crate) idx_host: Vec<i32>,
+    /// Host scratch for the streamed-syrk trailing sizes.
+    pub(crate) trails: Vec<usize>,
+    /// LU-specific pooled scratch.
+    pub(crate) lu: LuWorkspace<T>,
+    /// QR-specific pooled scratch.
+    pub(crate) qr: QrWorkspace<T>,
+}
+
+impl<T: Scalar> DriverWorkspace<T> {
+    /// Creates an empty workspace holding no device memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            step: None,
+            step_count: 0,
+            tiles: None,
+            tiles_count: 0,
+            imax_partial: None,
+            idx_dev: None,
+            idx_host: Vec::new(),
+            trails: Vec::new(),
+            lu: LuWorkspace::default(),
+            qr: QrWorkspace::default(),
+        }
+    }
+
+    /// Returns all pooled device memory to the device and clears the
+    /// host staging buffers.
+    pub fn release(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Device bytes currently held by the pooled buffers.
+    #[must_use]
+    pub fn device_bytes(&self) -> usize {
+        let mut total = 0;
+        if let Some(st) = &self.step {
+            total += st.d_ptrs.bytes() + st.d_rem.bytes();
+        }
+        if let Some(t) = &self.tiles {
+            total += t.bytes() + self.tiles_count * std::mem::size_of::<*mut T>();
+        }
+        if let Some(b) = &self.imax_partial {
+            total += b.bytes();
+        }
+        if let Some(b) = &self.idx_dev {
+            total += b.bytes();
+        }
+        total + self.lu.device_bytes() + self.qr.device_bytes()
+    }
+
+    /// Ensures the separated-path scratch covers `count` matrices at
+    /// panel width `nb`, returning the step state, the tile arena and
+    /// the pooled trailing-size host scratch.
+    ///
+    /// # Errors
+    /// [`VbatchError::Oom`] when device memory is exhausted.
+    pub(crate) fn sep_scratch(
+        &mut self,
+        dev: &Device,
+        count: usize,
+        nb: usize,
+    ) -> Result<SepScratch<'_, T>, VbatchError> {
+        if self.step.is_none() || self.step_count < count {
+            self.step = None;
+            self.step = Some(StepState::alloc(dev, count)?);
+            self.step_count = count;
+        }
+        let tiles_stale = self
+            .tiles
+            .as_ref()
+            .is_none_or(|t| t.nb() != nb || self.tiles_count < count);
+        if tiles_stale {
+            self.tiles = None;
+            self.tiles = Some(TileWorkspace::alloc(dev, count, nb)?);
+            self.tiles_count = count;
+        }
+        Ok((
+            self.step.as_ref().expect("ensured above"),
+            self.tiles.as_ref().expect("ensured above"),
+            &mut self.trails,
+        ))
+    }
+}
+
+impl<T: Scalar> Default for DriverWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn new_holds_no_device_memory() {
+        let ws = DriverWorkspace::<f64>::new();
+        assert_eq!(ws.device_bytes(), 0);
+    }
+
+    #[test]
+    fn sep_scratch_grows_and_reuses() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let mut ws = DriverWorkspace::<f64>::new();
+        ws.sep_scratch(&dev, 8, 32).unwrap();
+        let after_first = dev.alloc_count();
+        // Same shape: no new allocations.
+        ws.sep_scratch(&dev, 8, 32).unwrap();
+        assert_eq!(dev.alloc_count(), after_first);
+        // Smaller batch still fits: no new allocations.
+        ws.sep_scratch(&dev, 3, 32).unwrap();
+        assert_eq!(dev.alloc_count(), after_first);
+        // Larger batch grows; different nb replaces the tile arena.
+        ws.sep_scratch(&dev, 16, 32).unwrap();
+        assert!(dev.alloc_count() > after_first);
+        let after_grow = dev.alloc_count();
+        ws.sep_scratch(&dev, 16, 8).unwrap();
+        assert!(dev.alloc_count() > after_grow);
+        assert!(ws.device_bytes() > 0);
+        let in_use = dev.mem_in_use();
+        assert!(in_use > 0);
+        ws.release();
+        assert_eq!(ws.device_bytes(), 0);
+        assert!(dev.mem_in_use() < in_use);
+    }
+}

@@ -26,6 +26,17 @@ impl<T> Mutex<T> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Attempts to acquire the lock without blocking, returning `None`
+    /// when it is already held (parking_lot's `try_lock` shape). A
+    /// poisoned mutex is entered anyway, like `lock()`.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner
@@ -44,6 +55,17 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(5);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        *m.try_lock().expect("uncontended") += 1;
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]

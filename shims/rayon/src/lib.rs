@@ -208,6 +208,30 @@ pub trait ParallelIterator: ParSource {
     fn collect<C: FromParSource<Self::Item>>(self) -> C {
         C::from_par_source(self)
     }
+
+    /// Collects into a caller-provided `Vec`, clearing it first —
+    /// mirrors `IndexedParallelIterator::collect_into_vec`. On the
+    /// sequential path (single core or tiny input) items are pushed
+    /// straight into `target`, so a caller-pooled vector with enough
+    /// capacity is refilled with **zero** heap allocations; the parallel
+    /// path stages through order-preserving slots and extends `target`.
+    fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+        let n = self.len();
+        target.clear();
+        target.reserve(n);
+        if threads().min(n.max(1)) <= 1 || n < 2 {
+            self.drain(&mut |item| target.push(item));
+            return;
+        }
+        let mut slots: Vec<Option<Self::Item>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        {
+            let sink = SliceMutSource { slice: &mut slots };
+            let zipped = ZipSource { a: self, b: sink };
+            run_chunks(zipped, &|(item, slot), _| *slot = Some(item));
+        }
+        target.extend(slots.into_iter().map(|x| x.expect("slot filled")));
+    }
 }
 
 impl<S: ParSource> ParallelIterator for S {}
@@ -383,6 +407,24 @@ mod tests {
             total.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 257 * 256 / 2);
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_target() {
+        let mut v: Vec<usize> = Vec::with_capacity(64);
+        (0..50usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .collect_into_vec(&mut v);
+        assert_eq!(v.len(), 50);
+        assert_eq!(v[49], 50);
+        let cap = v.capacity();
+        (0..10usize)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .collect_into_vec(&mut v);
+        assert_eq!(v, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(v.capacity(), cap, "refill must not shrink the pool");
     }
 
     #[test]
