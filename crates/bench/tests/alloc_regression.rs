@@ -79,6 +79,45 @@ fn potrf_separated_warm_zero_device_allocs_f32() {
 }
 
 #[test]
+fn potrf_interleaved_warm_zero_device_allocs() {
+    // Every size at or below INTERLEAVE_CUTOFF: the fused driver routes
+    // every window through the interleaved batched-small kernel, whose
+    // lane-group scratch must come from the pooled workspace — warm
+    // calls make zero device allocations, like every other driver path.
+    let sizes: [usize; 9] = [4, 32, 7, 16, 1, 8, 27, 32, 3];
+    let dev = fresh_device();
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
+    fill_spd_batch(&mut batch, &sizes, &mut seeded_rng(13));
+    let opts = PotrfOptions {
+        strategy: Strategy::Fused,
+        ..Default::default()
+    };
+    let mut ws = DriverWorkspace::<f64>::new();
+    let report = potrf_vbatched_max_ws(&dev, &mut batch, 32, &opts, &mut ws).unwrap();
+    assert!(report.all_ok());
+    let allocs = dev.alloc_count();
+    let frees = dev.free_count();
+    assert!(allocs > 0, "cold call must have populated the workspace");
+    for _ in 0..2 {
+        fill_spd_batch(&mut batch, &sizes, &mut seeded_rng(13));
+        let report = potrf_vbatched_max_ws(&dev, &mut batch, 32, &opts, &mut ws).unwrap();
+        assert!(report.all_ok());
+    }
+    assert_eq!(
+        dev.alloc_count(),
+        allocs,
+        "warm interleaved call allocated device memory"
+    );
+    assert_eq!(
+        dev.free_count(),
+        frees,
+        "warm interleaved call freed device memory"
+    );
+    // The pooled interleave buffer is accounted for by the workspace.
+    assert!(ws.device_bytes() > 0);
+}
+
+#[test]
 fn potrf_lapack_interface_warm_zero_device_allocs() {
     // The LAPACK-style entry (device max reduction) must be warm too.
     let dev = fresh_device();

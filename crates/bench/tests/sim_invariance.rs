@@ -6,6 +6,12 @@
 //! driver on the same workload; a mismatch means a change altered the
 //! simulated schedule, not just host speed — that is a correctness bug
 //! until proven intentional (then re-pin with justification).
+//!
+//! The lane-interleaved batched-small path (DESIGN.md §6d) leaves the
+//! Fused golden unchanged *by design*: the small-size window (max 12
+//! here) still costs one launch, and the lane kernel performs the
+//! scalar tier's arithmetic bit-for-bit, so every size-derived charge
+//! is identical — only host-side execution is reorganized.
 
 use vbatch_bench::fresh_device;
 use vbatch_core::{potrf_vbatched, PotrfOptions, SepOpts, Strategy, VBatch};

@@ -27,6 +27,7 @@
 pub mod error;
 pub mod flops;
 pub mod gen;
+pub mod interleave;
 pub mod matrix;
 pub mod naive;
 pub mod scalar;

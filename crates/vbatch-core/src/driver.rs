@@ -14,7 +14,9 @@ use vbatch_gpu_sim::{Device, DevicePtr};
 
 use crate::aux::compute_imax_pooled;
 use crate::etm::EtmPolicy;
-use crate::fused::{fused_feasible, potrf_fused_step, tuned_nb};
+use crate::fused::{
+    fused_feasible, potrf_fused_step, potrf_interleaved_window, tuned_nb, INTERLEAVE_CUTOFF,
+};
 use crate::report::{BatchReport, VbatchError};
 use crate::sep::potf2::potf2_panel_vbatched;
 use crate::sep::syrk::{syrk_streamed, syrk_vbatched};
@@ -46,6 +48,11 @@ pub struct FusedOpts {
     pub nb: Option<usize>,
     /// Implicit-sorting window width in multiples of `nb`.
     pub window_factor: usize,
+    /// Route `Lower` windows whose largest matrix is at or below
+    /// [`crate::fused::INTERLEAVE_CUTOFF`] through the lane-interleaved
+    /// batched-small kernel ([`crate::fused::potrf_interleaved_window`])
+    /// instead of the per-matrix step loop.
+    pub batched_small: bool,
 }
 
 impl Default for FusedOpts {
@@ -55,6 +62,7 @@ impl Default for FusedOpts {
             sorting: true,
             nb: None,
             window_factor: 4,
+            batched_small: true,
         }
     }
 }
@@ -278,6 +286,19 @@ fn run_fused<T: Scalar>(
         single_window(sizes)
     };
     for w in &windows {
+        if opts.fused.batched_small && uplo == Uplo::Lower && w.max_size <= INTERLEAVE_CUTOFF {
+            // Batched-small path: the whole window factorizes in one
+            // cross-matrix interleaved launch instead of a per-step
+            // loop. Lane-group scratch is pooled like every other
+            // driver buffer (zero allocations when warm).
+            let lanes = vbatch_dense::interleave::lane_count::<T>();
+            let groups = w.indices.len().div_ceil(lanes);
+            let tile = w.max_size * w.max_size * lanes;
+            let ilv = ws.ilv_scratch(dev, groups * tile)?;
+            let d_idx = upload_indices_pooled(dev, &w.indices, &mut ws.idx_dev, &mut ws.idx_host)?;
+            potrf_interleaved_window(dev, batch, d_idx, w.indices.len(), w.max_size, ilv)?;
+            continue;
+        }
         let d_idx = upload_indices_pooled(dev, &w.indices, &mut ws.idx_dev, &mut ws.idx_host)?;
         let mut j = 0;
         while j < w.max_size {

@@ -27,8 +27,8 @@ use vbatch_gpu_sim::{BlockCtx, Device, DevicePtr, KernelStats, LaunchConfig};
 
 use crate::etm::EtmPolicy;
 use crate::kernels::{
-    charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, panel_smem_bytes,
-    round_to_warp,
+    charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, mat_ref,
+    panel_smem_bytes, round_to_warp,
 };
 use crate::report::VbatchError;
 use crate::VBatch;
@@ -313,6 +313,137 @@ pub fn potrf_fused_step<T: Scalar>(
         if let Err(col) = fused_step_math::<T>(ctx, uplo, a, n, j, nb) {
             infos.set(i, (col + 1) as i32);
         }
+    })?;
+    Ok(stats)
+}
+
+/// Windows whose largest matrix is at or below this order take the
+/// interleaved batched-small path ([`potrf_interleaved_window`]) instead
+/// of the per-matrix fused step loop. At 32 the per-matrix tiers still
+/// cannot fill SIMD lanes (the whole matrix is smaller than one register
+/// tile), the `m² · L` lane-group tile stays within one block's shared
+/// memory in both precisions, and the host A/B in
+/// `BENCH_kernels.json["batched_small"]` shows the cross-matrix path
+/// ahead across the whole range.
+pub const INTERLEAVE_CUTOFF: usize = 32;
+
+/// Interleaved batched-small Cholesky over one sorting window: each
+/// thread block packs up to `L` = [`interleave::lane_count`] matrices of
+/// the window (selected via `d_indices`, identity when empty) into the
+/// AoSoA lane-group tile it owns inside `ilv`, factorizes all lanes in
+/// one pass with the lane-parallel [`interleave::potrf_lanes`] kernel,
+/// and unpacks. `Lower` only — the driver falls back to the per-step
+/// loop for `Upper`.
+///
+/// Lane masking is the host analog of ETM-aggressive: when the window
+/// count is not a multiple of `L`, the trailing lanes of the last group
+/// are dead on arrival and their threads retire at launch; a breakdown
+/// mid-factorization freezes only its own lane (the per-matrix `info`
+/// codes and partial factors match the scalar tier bit-for-bit).
+///
+/// # Errors
+/// [`VbatchError::InvalidArgument`] if the window is empty or `ilv` is
+/// smaller than `ceil(group_count / L) · group_max² · L` elements;
+/// [`VbatchError::Launch`] on launch rejection.
+pub fn potrf_interleaved_window<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    d_indices: DevicePtr<i32>,
+    group_count: usize,
+    group_max: usize,
+    ilv: DevicePtr<T>,
+) -> Result<KernelStats, VbatchError> {
+    use vbatch_dense::interleave::{self, MAX_LANES};
+
+    if group_count == 0 || group_max == 0 {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_interleaved_window: empty window",
+        ));
+    }
+    let lanes = interleave::lane_count::<T>();
+    let m = group_max;
+    let groups = group_count.div_ceil(lanes);
+    let tile_elems = interleave::interleaved_len(m, m, lanes);
+    if ilv.len() < groups * tile_elems {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_interleaved_window: interleave scratch too small",
+        ));
+    }
+    let warp = dev.config().warp_size;
+    let threads = round_to_warp(m * lanes, warp).min(dev.config().max_threads_per_block);
+    let cfg = LaunchConfig::grid_1d(groups as u32, threads).with_shared_mem(tile_elems * T::BYTES);
+    let ptrs = batch.d_ptrs();
+    let sizes = batch.d_cols();
+    let lds = batch.d_ld();
+    let infos = batch.d_info();
+    let stats = dev.launch(kname::<T>("potrf_ilv_batch"), cfg, move |ctx| {
+        let g = ctx.linear_block_id();
+        let first = g * lanes;
+        let cnt = lanes.min(group_count - first);
+        // Resolve this group's matrices; already-broken lanes pack
+        // nothing (order 0) and are skipped at unpack.
+        let mut idx = [0usize; MAX_LANES];
+        let mut ns = [0usize; MAX_LANES];
+        for (l, (il, nl)) in idx.iter_mut().zip(ns.iter_mut()).enumerate().take(cnt) {
+            let i = if d_indices.is_empty() {
+                first + l
+            } else {
+                d_indices.get(first + l) as usize
+            };
+            *il = i;
+            *nl = if infos.get(i) != 0 {
+                0
+            } else {
+                sizes.get(i) as usize
+            };
+        }
+        if cnt < lanes {
+            // Threads are lane-major (`t = l·m + i`), so the dead tail
+            // of a partial group retires in one contiguous span — the
+            // host analog of ETM-aggressive.
+            ctx.retire_threads_beyond(cnt * m);
+        }
+        // SAFETY: each block owns the disjoint `tile_elems` span at
+        // `g · tile_elems` of the scratch buffer (groups never overlap),
+        // and the driver hands this launch exclusive use of `ilv`.
+        let tile =
+            unsafe { core::slice::from_raw_parts_mut(ilv.raw().add(g * tile_elems), tile_elems) };
+        tile.fill(T::ZERO);
+        let mut read_elems = 0usize;
+        let mut total_flops = 0.0f64;
+        for (l, (&i, &n)) in idx.iter().zip(ns.iter()).enumerate().take(cnt) {
+            let src = mat_ref::<T>(ptrs.get(i), n, n, lds.get(i) as usize);
+            for j in 0..n {
+                let col = src.col_as_slice(j);
+                for (r, &v) in col.iter().enumerate() {
+                    tile[interleave::lane_index(m, lanes, r, j, l)] = v;
+                }
+            }
+            read_elems += n * n;
+            total_flops += vbatch_dense::flops::potrf(n);
+        }
+        charge_read::<T>(ctx, read_elems);
+        charge_smem::<T>(ctx, tile_elems);
+        let mut infs = [0i32; MAX_LANES];
+        interleave::potrf_lanes(tile, m, &ns[..cnt], &mut infs[..cnt]);
+        charge_flops::<T>(ctx, cnt * m, total_flops);
+        // The lane kernel is column-synchronous: every column's pivot
+        // gates its lane-mates' updates, one barrier per column.
+        for _ in 0..m {
+            ctx.sync();
+        }
+        for (l, (&i, &n)) in idx.iter().zip(ns.iter()).enumerate().take(cnt) {
+            if n == 0 {
+                continue;
+            }
+            let dst = mat_mut::<T>(ptrs.get(i), n, n, lds.get(i) as usize);
+            interleave::unpack_lane(tile, m, l, dst);
+            if infs[l] != 0 {
+                infos.set(i, infs[l]);
+            }
+        }
+        charge_write::<T>(ctx, read_elems);
+        charge_smem::<T>(ctx, tile_elems);
     })?;
     Ok(stats)
 }

@@ -121,6 +121,43 @@ mod tests {
     use vbatch_gpu_sim::DeviceConfig;
 
     #[test]
+    fn sizes_exactly_at_window_multiples_stay_separate() {
+        // n = k·w sits in bucket k−1 (half-open upper edge), so exact
+        // multiples land in distinct windows, each its own maximum.
+        let sizes = vec![32usize, 64, 96];
+        let wins = build_windows(&sizes, 32);
+        assert_eq!(wins.len(), 3);
+        assert_eq!(
+            wins.iter().map(|w| w.max_size).collect::<Vec<_>>(),
+            vec![32, 64, 96]
+        );
+        assert_eq!(
+            wins.iter().map(|w| w.indices.clone()).collect::<Vec<_>>(),
+            vec![vec![0], vec![1], vec![2]]
+        );
+    }
+
+    #[test]
+    fn all_zero_batch_builds_no_windows() {
+        assert!(build_windows(&[0, 0, 0, 0], 32).is_empty());
+        assert!(build_windows(&[], 32).is_empty());
+        assert!(single_window(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn bucket_edge_splits_between_adjacent_sizes() {
+        // 31 and 32 share bucket 0 ((0, 32]); 33 opens bucket 1 — one
+        // matrix per side of the edge must not be merged across it.
+        let sizes = vec![33usize, 31, 32];
+        let wins = build_windows(&sizes, 32);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0].indices, vec![1, 2]);
+        assert_eq!(wins[0].max_size, 32);
+        assert_eq!(wins[1].indices, vec![0]);
+        assert_eq!(wins[1].max_size, 33);
+    }
+
+    #[test]
     fn windows_partition_all_indices() {
         let sizes = vec![100, 3, 57, 64, 8, 200, 33, 1];
         let wins = build_windows(&sizes, 32);
