@@ -199,7 +199,7 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| {
                 let m = spd_vec::<f64>(&mut rng, n);
-                batch.upload_matrix(i, &m);
+                batch.upload_matrix(i, &m).unwrap();
                 m
             })
             .collect();
@@ -226,7 +226,7 @@ mod tests {
 
         let mut b1 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
         for (i, &n) in sizes.iter().enumerate() {
-            b1.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+            b1.upload_matrix(i, &spd_vec::<f64>(&mut rng, n)).unwrap();
         }
         dev.reset_metrics();
         let cpu = CpuConfig::dual_e5_2670();
@@ -236,7 +236,7 @@ mod tests {
         let mut b2 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
         for (i, &n) in sizes.iter().enumerate() {
-            b2.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+            b2.upload_matrix(i, &spd_vec::<f64>(&mut rng, n)).unwrap();
         }
         dev.reset_metrics();
         vbatch_core::potrf_vbatched(&dev, &mut b2, &vbatch_core::PotrfOptions::default()).unwrap();
@@ -256,7 +256,7 @@ mod tests {
         let mut bad = spd_vec::<f64>(&mut rng, n);
         bad[5 + 5 * n] = -100.0;
         let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
-        batch.upload_matrix(0, &bad);
+        batch.upload_matrix(0, &bad).unwrap();
         let cpu = CpuConfig::dual_e5_2670();
         let report = potrf_hybrid_serial(&dev, &mut batch, &cpu, &HybridOptions { nb: 8 }).unwrap();
         assert_eq!(report.failures(), vec![(0, 6)]);

@@ -49,7 +49,7 @@ pub fn build_padded_batch<T: Scalar>(
     assert_eq!(host_mats.len(), sizes.len());
     let mut batch = VBatch::<T>::alloc_square(dev, &vec![nmax; sizes.len()])?;
     for (i, (m, &n)) in host_mats.iter().zip(sizes).enumerate() {
-        batch.upload_matrix(i, &pad_spd(m, n, nmax));
+        batch.upload_matrix(i, &pad_spd(m, n, nmax))?;
     }
     Ok(batch)
 }
@@ -151,7 +151,7 @@ mod tests {
 
         let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
         for (i, m) in mats.iter().enumerate() {
-            batch.upload_matrix(i, m);
+            batch.upload_matrix(i, m).unwrap();
         }
         dev.reset_metrics();
         vbatch_core::potrf_vbatched(&dev, &mut batch, &vbatch_core::PotrfOptions::default())

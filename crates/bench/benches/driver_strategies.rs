@@ -76,7 +76,7 @@ fn bench_strategies(c: &mut Criterion) {
             b.iter(|| {
                 let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
                 for (i, m) in mats.iter().enumerate() {
-                    batch.upload_matrix(i, m);
+                    batch.upload_matrix(i, m).unwrap();
                 }
                 potrf_vbatched_max(&dev, &mut batch, 96, opts).unwrap();
             });

@@ -20,7 +20,7 @@ fn bench_fixed_kernel(c: &mut Criterion) {
             bench.iter(|| {
                 let mut batch = VBatch::<f64>::alloc_square(&dev, &vec![n; count]).unwrap();
                 for i in 0..count {
-                    batch.upload_matrix(i, &spd);
+                    batch.upload_matrix(i, &spd).unwrap();
                 }
                 potrf_fused_fixed(&dev, &mut batch, vbatch_dense::Uplo::Lower, n, 8).unwrap();
             });
@@ -42,7 +42,7 @@ fn bench_nb_ablation(c: &mut Criterion) {
             bench.iter(|| {
                 let mut batch = VBatch::<f64>::alloc_square(&dev, &[n; 16]).unwrap();
                 for i in 0..16 {
-                    batch.upload_matrix(i, &spd);
+                    batch.upload_matrix(i, &spd).unwrap();
                 }
                 potrf_fused_fixed(&dev, &mut batch, vbatch_dense::Uplo::Lower, n, nb).unwrap();
             });

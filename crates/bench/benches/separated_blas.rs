@@ -17,7 +17,9 @@ fn bench_separated(c: &mut Criterion) {
     let mut rng = seeded_rng(7);
     let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
     for (i, &n) in sizes.iter().enumerate() {
-        batch.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+        batch
+            .upload_matrix(i, &spd_vec::<f64>(&mut rng, n))
+            .unwrap();
     }
     let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
     st.update(

@@ -139,9 +139,14 @@ fn lu_warm_allocates_only_the_pivot_arena() {
     let mut rng = seeded_rng(81);
     let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
     for (i, &(m, n)) in dims.iter().enumerate() {
-        batch.upload_matrix(i, &vbatch_dense::gen::rand_mat::<f64>(&mut rng, m * n));
+        batch
+            .upload_matrix(i, &vbatch_dense::gen::rand_mat::<f64>(&mut rng, m * n))
+            .unwrap();
     }
-    let opts = GetrfOptions { nb_panel: 16 };
+    let opts = GetrfOptions {
+        nb_panel: 16,
+        ..Default::default()
+    };
     let mut ws = DriverWorkspace::<f64>::new();
     let (report, pivots) = getrf_vbatched_ws(&dev, &mut batch, &opts, &mut ws).unwrap();
     assert!(report.all_ok());
@@ -162,7 +167,9 @@ fn qr_warm_allocates_only_the_tau_arena() {
     let mut rng = seeded_rng(82);
     let mut batch = VBatch::<f64>::alloc(&dev, &dims).unwrap();
     for (i, &(m, n)) in dims.iter().enumerate() {
-        batch.upload_matrix(i, &vbatch_dense::gen::rand_mat::<f64>(&mut rng, m * n));
+        batch
+            .upload_matrix(i, &vbatch_dense::gen::rand_mat::<f64>(&mut rng, m * n))
+            .unwrap();
     }
     let opts = GeqrfOptions::default();
     let mut ws = DriverWorkspace::<f64>::new();

@@ -7,11 +7,13 @@ use rayon::prelude::*;
 use crate::config::DeviceConfig;
 use crate::cost::{BlockCost, BlockCtx};
 use crate::energy::{EnergyMeter, PowerModel};
+use crate::fault::{FaultPlan, FaultState, InjectionEvent};
 use crate::grid::LaunchConfig;
 use crate::mem::{DeviceBuffer, DevicePtr, MemoryTracker, OomError};
 use crate::occupancy::{occupancy, Occupancy, OccupancyError};
 use crate::sched::{schedule_blocks, schedule_blocks_uniform, KernelTiming};
 use crate::stats::{KernelStats, Profiler};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A kernel launch was rejected before execution.
@@ -19,12 +21,16 @@ use std::sync::Arc;
 pub enum LaunchError {
     /// The launch configuration violates a device limit.
     Occupancy(OccupancyError),
+    /// An installed [`FaultPlan`] rejected the launch (transient fault
+    /// model). Like an occupancy rejection, no block ran.
+    Injected,
 }
 
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::Occupancy(e) => write!(f, "launch rejected: {e}"),
+            LaunchError::Injected => write!(f, "launch rejected: injected transient fault"),
         }
     }
 }
@@ -67,6 +73,11 @@ pub struct Device {
     mem: Arc<MemoryTracker>,
     inner: Mutex<Inner>,
     scratch: Mutex<LaunchScratch>,
+    /// Fast-path gate for fault injection: a single relaxed load when no
+    /// plan is installed, so the chaos seam costs nothing in production
+    /// runs (the `alloc_regression` / `sim_invariance` contract).
+    fault_on: AtomicBool,
+    fault: Mutex<Option<FaultState>>,
 }
 
 impl Device {
@@ -88,6 +99,78 @@ impl Device {
                 launches: 0,
             }),
             scratch: Mutex::new(LaunchScratch::default()),
+            fault_on: AtomicBool::new(false),
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Installs a deterministic [`FaultPlan`]; subsequent launches and
+    /// allocations pass through its injection checks. Replaces any plan
+    /// already installed (discarding its event log).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(FaultState::new(plan));
+        self.fault_on.store(true, Ordering::Release);
+    }
+
+    /// Removes the installed plan (if any) and returns its injection
+    /// event log.
+    pub fn clear_fault_plan(&self) -> Vec<InjectionEvent> {
+        self.fault_on.store(false, Ordering::Release);
+        self.fault
+            .lock()
+            .take()
+            .map_or_else(Vec::new, FaultState::into_events)
+    }
+
+    /// Whether a fault plan is currently installed.
+    #[must_use]
+    pub fn fault_active(&self) -> bool {
+        self.fault_on.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the injections fired so far under the installed plan
+    /// (empty when none is installed).
+    #[must_use]
+    pub fn fault_events(&self) -> Vec<InjectionEvent> {
+        self.fault
+            .lock()
+            .as_ref()
+            .map_or_else(Vec::new, FaultState::events)
+    }
+
+    /// Registers a buffer as a corruption target under `name` (see
+    /// [`crate::fault::Fault::Corrupt`]). No-op without an installed
+    /// plan. The caller must keep the buffer alive while the plan is
+    /// installed — the same lifetime contract as [`DevicePtr`].
+    pub fn register_fault_target<T>(&self, name: String, ptr: DevicePtr<T>) {
+        if !self.fault_active() {
+            return;
+        }
+        if let Some(st) = self.fault.lock().as_mut() {
+            st.register_target(name, ptr.raw().cast(), ptr.len(), std::mem::size_of::<T>());
+        }
+    }
+
+    /// Injection check for a launch attempt; `true` means reject.
+    fn fault_try_inject_launch(&self, name: &'static str) -> bool {
+        self.fault
+            .lock()
+            .as_mut()
+            .is_some_and(|st| st.on_launch(name))
+    }
+
+    /// Injection check for an allocation attempt.
+    fn fault_check_alloc(&self, bytes: usize) -> Option<OomError> {
+        self.fault
+            .lock()
+            .as_mut()
+            .and_then(|st| st.on_alloc(bytes, self.mem.in_use(), self.mem.capacity()))
+    }
+
+    /// Applies any due buffer corruption (called after a commit).
+    fn fault_after_launch(&self) {
+        if let Some(st) = self.fault.lock().as_mut() {
+            st.after_launch();
         }
     }
 
@@ -103,6 +186,11 @@ impl Device {
     /// [`OomError`] when device memory is exhausted — the padding
     /// baseline's failure mode.
     pub fn alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, OomError> {
+        if self.fault_on.load(Ordering::Relaxed) {
+            if let Some(e) = self.fault_check_alloc(len * std::mem::size_of::<T>()) {
+                return Err(e);
+            }
+        }
         DeviceBuffer::new(len, Arc::clone(&self.mem))
     }
 
@@ -160,6 +248,10 @@ impl Device {
         F: Fn(&mut BlockCtx) + Sync,
     {
         let occ = occupancy(&self.cfg, &cfg)?;
+        let faulty = self.fault_on.load(Ordering::Relaxed);
+        if faulty && self.fault_try_inject_launch(name) {
+            return Err(LaunchError::Injected);
+        }
         let launch_s = self.launch_overhead_s();
         let timing = match self.scratch.try_lock() {
             Some(mut scratch) => {
@@ -177,6 +269,9 @@ impl Device {
             }
         };
         self.commit(name, &timing, 1);
+        if faulty {
+            self.fault_after_launch();
+        }
         Ok(KernelStats {
             name,
             config: cfg,
@@ -322,6 +417,10 @@ impl StreamGroup<'_> {
         F: Fn(&mut BlockCtx) + Sync,
     {
         let occ = occupancy(&self.dev.cfg, &cfg)?;
+        if self.dev.fault_on.load(Ordering::Relaxed) && self.dev.fault_try_inject_launch(self.name)
+        {
+            return Err(LaunchError::Injected);
+        }
         let costs = self.dev.run_blocks(&cfg, &kernel);
         // The host issues launches serially: kernel k's blocks release
         // only after k+1 launch overheads have elapsed.
@@ -346,6 +445,9 @@ impl StreamGroup<'_> {
         // itself adds none on top.
         let timing = schedule_blocks(&self.dev.cfg, &self.pending, 0.0);
         self.dev.commit(self.name, &timing, self.launches);
+        if self.dev.fault_on.load(Ordering::Relaxed) {
+            self.dev.fault_after_launch();
+        }
         timing
     }
 }
@@ -546,5 +648,84 @@ mod tests {
         let d = dev(); // 1 MB capacity
         let r = d.alloc::<f64>(1024 * 1024);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn injected_launch_has_no_side_effects_and_recovers() {
+        let d = dev();
+        d.install_fault_plan(FaultPlan::new().transient_launch("victim", 0, 1));
+        let before = d.now();
+        let err = d.launch("victim", LaunchConfig::grid_1d(1, 32), |_blk| {
+            panic!("must not run")
+        });
+        assert_eq!(err.unwrap_err(), LaunchError::Injected);
+        assert_eq!(d.now(), before, "rejected launch advanced the clock");
+        assert_eq!(d.launch_count(), 0);
+        // The retry is match #1 and passes.
+        d.launch("victim", LaunchConfig::grid_1d(1, 32), |_blk| {})
+            .unwrap();
+        let events = d.clear_fault_plan();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            InjectionEvent::LaunchRejected {
+                name: "victim",
+                launch: 0
+            }
+        ));
+        assert!(!d.fault_active());
+    }
+
+    #[test]
+    fn injected_oom_and_soft_ceiling() {
+        let d = dev();
+        d.install_fault_plan(FaultPlan::new().oom_at_alloc(0).soft_ceiling(4096));
+        let e = d.alloc::<f64>(8).err().expect("attempt 0 must be denied");
+        assert_eq!(e.requested, 64);
+        let b = d.alloc::<f64>(8).unwrap(); // one-shot: retry succeeds
+        assert_eq!(d.mem_in_use(), 64);
+        // 8 KB > 4 KB ceiling.
+        let e = d.alloc::<f64>(1024).err().expect("ceiling must deny");
+        assert_eq!(e.capacity, 4096, "ceiling reported as capacity");
+        drop(b);
+        assert_eq!(d.mem_in_use(), 0, "denied allocs leak nothing");
+        assert_eq!(d.fault_events().len(), 2);
+        d.clear_fault_plan();
+    }
+
+    #[test]
+    fn corruption_fires_between_launches_on_registered_target() {
+        let d = dev();
+        let buf = d.alloc::<f64>(16).unwrap();
+        buf.fill_from_host(&[1.0; 16]);
+        d.install_fault_plan(FaultPlan::new().corrupt("mat", 1, 3, crate::fault::Corruption::Nan));
+        d.register_fault_target("mat0".to_string(), buf.ptr());
+        d.launch("k", LaunchConfig::grid_1d(1, 32), |_blk| {})
+            .unwrap();
+        let host = buf.read_to_host();
+        assert!(host[3].is_nan());
+        assert_eq!(host.iter().filter(|v| v.is_nan()).count(), 1);
+        let events = d.clear_fault_plan();
+        assert!(matches!(
+            &events[0],
+            InjectionEvent::Corrupted { elem: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn stream_group_launch_injection_and_no_plan_overhead() {
+        let d = dev();
+        d.install_fault_plan(FaultPlan::new().transient_launch("streamed", 0, 1));
+        let mut g = d.stream_group("k_streamed");
+        let err = g.launch(LaunchConfig::grid_1d(1, 32), |_blk| panic!("must not run"));
+        assert_eq!(err.unwrap_err(), LaunchError::Injected);
+        g.launch(LaunchConfig::grid_1d(1, 32), |_blk| {}).unwrap();
+        g.sync();
+        assert_eq!(d.launch_count(), 1);
+        d.clear_fault_plan();
+        // With the plan cleared the seam is inert.
+        assert!(d.fault_events().is_empty());
+        d.launch("streamed", LaunchConfig::grid_1d(1, 32), |_blk| {})
+            .unwrap();
     }
 }

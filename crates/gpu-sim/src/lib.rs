@@ -51,6 +51,7 @@ pub mod config;
 pub mod cost;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod grid;
 pub mod intern;
 pub mod mem;
@@ -62,6 +63,7 @@ pub use config::DeviceConfig;
 pub use cost::{BlockCost, BlockCtx};
 pub use device::{Device, LaunchError, StreamGroup};
 pub use energy::{EnergyMeter, PowerModel};
+pub use fault::{Corruption, Fault, FaultPlan, InjectionEvent};
 pub use grid::{Dim3, LaunchConfig};
 pub use mem::{DeviceBuffer, DevicePtr, OomError};
 pub use occupancy::Occupancy;

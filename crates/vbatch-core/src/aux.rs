@@ -230,8 +230,10 @@ mod tests {
         let d = dev();
         let mut b = VBatch::<f64>::alloc_square(&d, &[4, 2]).unwrap();
         // Matrix 0: 4x4 with values 0..16; diagonal (2,2) = index 10.
-        b.upload_matrix(0, &(0..16).map(|x| x as f64).collect::<Vec<_>>());
-        b.upload_matrix(1, &(0..4).map(|x| x as f64).collect::<Vec<_>>());
+        b.upload_matrix(0, &(0..16).map(|x| x as f64).collect::<Vec<_>>())
+            .unwrap();
+        b.upload_matrix(1, &(0..4).map(|x| x as f64).collect::<Vec<_>>())
+            .unwrap();
         let st = StepState::<f64>::alloc(&d, 2).unwrap();
         st.update(&d, b.d_ptrs(), b.d_cols(), b.d_ld(), 2, 2)
             .unwrap();

@@ -9,7 +9,9 @@
 //! information (what the caller of a real vbatched API would also know).
 
 use vbatch_dense::Scalar;
-use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, OomError};
+use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr};
+
+use crate::report::VbatchError;
 
 /// A device-resident batch of matrices with independent shapes.
 pub struct VBatch<T> {
@@ -30,8 +32,8 @@ impl<T: Scalar> VBatch<T> {
     /// (`ld = n`), zero-initialized.
     ///
     /// # Errors
-    /// [`OomError`] when device memory is exhausted.
-    pub fn alloc_square(dev: &Device, sizes: &[usize]) -> Result<Self, OomError> {
+    /// [`VbatchError::Oom`] when device memory is exhausted.
+    pub fn alloc_square(dev: &Device, sizes: &[usize]) -> Result<Self, VbatchError> {
         let dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, n)).collect();
         Self::alloc(dev, &dims)
     }
@@ -40,8 +42,8 @@ impl<T: Scalar> VBatch<T> {
     /// zero-initialized.
     ///
     /// # Errors
-    /// [`OomError`] when device memory is exhausted.
-    pub fn alloc(dev: &Device, dims: &[(usize, usize)]) -> Result<Self, OomError> {
+    /// [`VbatchError::Oom`] when device memory is exhausted.
+    pub fn alloc(dev: &Device, dims: &[(usize, usize)]) -> Result<Self, VbatchError> {
         let ld: Vec<usize> = dims.iter().map(|&(m, _)| m).collect();
         Self::alloc_with_ld(dev, dims, &ld)
     }
@@ -50,21 +52,28 @@ impl<T: Scalar> VBatch<T> {
     /// (`ld[i] ≥ rows[i]`).
     ///
     /// # Errors
-    /// [`OomError`] when device memory is exhausted.
-    ///
-    /// # Panics
-    /// If `ld[i] < rows[i]` for any matrix.
+    /// [`VbatchError::InvalidArgument`] when `ld` and `dims` disagree in
+    /// length or `ld[i] < rows[i]` for a non-empty matrix;
+    /// [`VbatchError::Oom`] when device memory is exhausted.
     pub fn alloc_with_ld(
         dev: &Device,
         dims: &[(usize, usize)],
         ld: &[usize],
-    ) -> Result<Self, OomError> {
-        assert_eq!(dims.len(), ld.len());
+    ) -> Result<Self, VbatchError> {
+        if dims.len() != ld.len() {
+            return Err(VbatchError::InvalidArgument(
+                "alloc_with_ld: dims and ld must have the same length",
+            ));
+        }
         let count = dims.len();
         let mut storage = Vec::with_capacity(count);
         let mut ptrs = Vec::with_capacity(count);
         for (&(m, n), &l) in dims.iter().zip(ld) {
-            assert!(m == 0 || l >= m, "ld {l} < rows {m}");
+            if m > 0 && l < m {
+                return Err(VbatchError::InvalidArgument(
+                    "alloc_with_ld: leading dimension smaller than row count",
+                ));
+            }
             let elems = if n == 0 { 0 } else { l * (n - 1) + m };
             let buf = dev.alloc::<T>(elems)?;
             ptrs.push(buf.ptr());
@@ -175,12 +184,36 @@ impl<T: Scalar> VBatch<T> {
     /// Uploads matrix `i` from packed column-major host data of extent
     /// `ld·(cols−1) + rows` (bypasses the PCIe clock; benchmark setup).
     ///
-    /// # Panics
-    /// If `data` does not match the matrix extent.
-    pub fn upload_matrix(&mut self, i: usize, data: &[T]) {
+    /// # Errors
+    /// [`VbatchError::InvalidArgument`] when `i` is out of range or
+    /// `data` does not match the matrix extent.
+    pub fn upload_matrix(&mut self, i: usize, data: &[T]) -> Result<(), VbatchError> {
+        if i >= self.count {
+            return Err(VbatchError::InvalidArgument(
+                "upload_matrix: matrix index out of range",
+            ));
+        }
         let need = extent(self.rows[i], self.cols[i], self.ld[i]);
-        assert_eq!(data.len(), need, "matrix {i}: expected {need} elements");
+        if data.len() != need {
+            return Err(VbatchError::InvalidArgument(
+                "upload_matrix: data length does not match the matrix extent",
+            ));
+        }
         self.storage[i].fill_from_host(data);
+        Ok(())
+    }
+
+    /// Registers every matrix buffer as a fault-injection corruption
+    /// target named `"vbatch_mat{i}"` (see
+    /// [`vbatch_gpu_sim::Fault::Corrupt`]). No-op unless a fault plan is
+    /// installed; the drivers call this automatically at entry.
+    pub fn register_fault_targets(&self, dev: &Device) {
+        if !dev.fault_active() {
+            return;
+        }
+        for (i, buf) in self.storage.iter().enumerate() {
+            dev.register_fault_target(format!("vbatch_mat{i}"), buf.ptr());
+        }
     }
 
     /// Downloads matrix `i` as packed column-major data (with its `ld`).
@@ -222,7 +255,7 @@ mod tests {
         assert_eq!(b.count(), 3);
         assert_eq!(b.max_rows(), 5);
         let data: Vec<f64> = (0..25).map(|x| x as f64).collect();
-        b.upload_matrix(1, &data);
+        b.upload_matrix(1, &data).unwrap();
         assert_eq!(b.download_matrix(1), data);
         assert_eq!(b.download_matrix(0), vec![0.0; 9]);
     }
@@ -246,7 +279,7 @@ mod tests {
         let mut b = VBatch::<f64>::alloc_with_ld(&d, &[(3, 2)], &[5]).unwrap();
         // Extent = 5*(2-1)+3 = 8.
         let data: Vec<f64> = (0..8).map(|x| x as f64).collect();
-        b.upload_matrix(0, &data);
+        b.upload_matrix(0, &data).unwrap();
         assert_eq!(b.download_matrix(0).len(), 8);
     }
 
@@ -267,6 +300,35 @@ mod tests {
         assert_eq!(b.count(), 3);
         assert_eq!(b.max_rows(), 4);
         assert!(b.download_matrix(0).is_empty());
+    }
+
+    #[test]
+    fn invalid_arguments_are_typed_errors_not_panics() {
+        let d = dev();
+        // ld < rows.
+        assert!(matches!(
+            VBatch::<f64>::alloc_with_ld(&d, &[(4, 4)], &[3]),
+            Err(VbatchError::InvalidArgument(_))
+        ));
+        // dims/ld length mismatch.
+        assert!(matches!(
+            VBatch::<f64>::alloc_with_ld(&d, &[(4, 4), (2, 2)], &[4]),
+            Err(VbatchError::InvalidArgument(_))
+        ));
+        let mut b = VBatch::<f64>::alloc_square(&d, &[3]).unwrap();
+        // Wrong extent.
+        assert!(matches!(
+            b.upload_matrix(0, &[0.0; 8]),
+            Err(VbatchError::InvalidArgument(_))
+        ));
+        // Index out of range.
+        assert!(matches!(
+            b.upload_matrix(5, &[0.0; 9]),
+            Err(VbatchError::InvalidArgument(_))
+        ));
+        // Failed attempts leave the batch usable.
+        b.upload_matrix(0, &[1.0; 9]).unwrap();
+        assert_eq!(b.download_matrix(0), vec![1.0; 9]);
     }
 
     #[test]

@@ -17,6 +17,9 @@ use crate::etm::EtmPolicy;
 use crate::fused::{
     fused_feasible, potrf_fused_step, potrf_interleaved_window, tuned_nb, INTERLEAVE_CUTOFF,
 };
+use crate::recover::{
+    fault_events_start, finish_recovery, scrub_batch, with_retry, RecoveryPolicy, RecoveryReport,
+};
 use crate::report::{BatchReport, VbatchError};
 use crate::sep::potf2::potf2_panel_vbatched;
 use crate::sep::syrk::{syrk_streamed, syrk_vbatched};
@@ -122,6 +125,9 @@ pub struct PotrfOptions {
     pub sep: SepOpts,
     /// Crossover for [`Strategy::Auto`].
     pub crossover: CrossoverConfig,
+    /// Response to transient device failures (retry → split →
+    /// quarantine; see [`crate::recover`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for PotrfOptions {
@@ -132,6 +138,7 @@ impl Default for PotrfOptions {
             fused: FusedOpts::default(),
             sep: SepOpts::default(),
             crossover: CrossoverConfig::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -177,6 +184,32 @@ pub fn potrf_vbatched_max_ws<T: Scalar>(
     opts: &PotrfOptions,
     ws: &mut DriverWorkspace<T>,
 ) -> Result<BatchReport, VbatchError> {
+    let ev_start = fault_events_start(dev);
+    potrf_run(
+        dev,
+        batch,
+        max_n,
+        opts,
+        ws,
+        RecoveryReport::default(),
+        ev_start,
+    )
+}
+
+/// Driver body shared by both public entry points: validates, runs the
+/// resolved strategy under the recovery policy, and finalizes the
+/// report. `rec`/`ev_start` carry recovery state accumulated by the
+/// caller (the LAPACK-style interface's max-reduction runs *before*
+/// this body and is itself retried).
+fn potrf_run<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    max_n: usize,
+    opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
+    mut rec: RecoveryReport,
+    ev_start: usize,
+) -> Result<BatchReport, VbatchError> {
     if batch.rows() != batch.cols() {
         return Err(VbatchError::InvalidArgument(
             "potrf_vbatched: matrices must be square",
@@ -184,19 +217,22 @@ pub fn potrf_vbatched_max_ws<T: Scalar>(
     }
     batch.reset_info();
     if batch.count() == 0 || max_n == 0 {
-        return Ok(BatchReport::from_info(batch.read_info()));
+        return Ok(BatchReport::from_parts(batch.read_info(), rec));
     }
+    batch.register_fault_targets(dev);
 
     let nb = opts.fused.nb.unwrap_or_else(|| tuned_nb::<T>(dev, max_n));
     let strategy = resolve_strategy::<T>(dev, opts, max_n, nb);
     match strategy {
-        Strategy::Fused => run_fused(dev, batch, opts.uplo, max_n, nb, opts, ws)?,
-        Strategy::Separated => run_separated(dev, batch, opts.uplo, max_n, opts, ws)?,
+        Strategy::Fused => run_fused(dev, batch, opts.uplo, max_n, nb, opts, ws, &mut rec)?,
+        Strategy::Separated => run_separated(dev, batch, opts.uplo, max_n, opts, ws, &mut rec)?,
         Strategy::Auto => unreachable!("resolved above"),
     }
 
     dev.copy_dtoh_bytes(batch.count() * 4);
-    Ok(BatchReport::from_info(batch.read_info()))
+    let info = batch.read_info();
+    finish_recovery(dev, ev_start, &mut rec, &info);
+    Ok(BatchReport::from_parts(info, rec))
 }
 
 /// Variable-size batched Cholesky, LAPACK-style interface (§III-A): the
@@ -224,9 +260,15 @@ pub fn potrf_vbatched_ws<T: Scalar>(
     opts: &PotrfOptions,
     ws: &mut DriverWorkspace<T>,
 ) -> Result<BatchReport, VbatchError> {
-    let max_n = compute_imax_pooled(dev, batch.d_cols(), batch.count(), &mut ws.imax_partial)?
-        .max(0) as usize;
-    potrf_vbatched_max_ws(dev, batch, max_n, opts, ws)
+    let ev_start = fault_events_start(dev);
+    let mut rec = RecoveryReport::default();
+    let d_cols = batch.d_cols();
+    let count = batch.count();
+    let max_n = with_retry(dev, &opts.recovery, &mut rec, || {
+        compute_imax_pooled(dev, d_cols, count, &mut ws.imax_partial)
+    })?
+    .max(0) as usize;
+    potrf_run(dev, batch, max_n, opts, ws, rec, ev_start)
 }
 
 /// Resolves [`Strategy::Auto`] to a concrete approach for this batch.
@@ -253,6 +295,7 @@ pub fn resolve_strategy<T: Scalar>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_fused<T: Scalar>(
     dev: &Device,
     batch: &VBatch<T>,
@@ -261,6 +304,7 @@ fn run_fused<T: Scalar>(
     nb: usize,
     opts: &PotrfOptions,
     ws: &mut DriverWorkspace<T>,
+    rec: &mut RecoveryReport,
 ) -> Result<(), VbatchError> {
     if !fused_feasible::<T>(dev, max_n, nb) {
         return Err(VbatchError::InvalidArgument(
@@ -286,35 +330,112 @@ fn run_fused<T: Scalar>(
         single_window(sizes)
     };
     for w in &windows {
-        if opts.fused.batched_small && uplo == Uplo::Lower && w.max_size <= INTERLEAVE_CUTOFF {
-            // Batched-small path: the whole window factorizes in one
-            // cross-matrix interleaved launch instead of a per-step
-            // loop. Lane-group scratch is pooled like every other
-            // driver buffer (zero allocations when warm).
-            let lanes = vbatch_dense::interleave::lane_count::<T>();
-            let groups = w.indices.len().div_ceil(lanes);
-            let tile = w.max_size * w.max_size * lanes;
-            let ilv = ws.ilv_scratch(dev, groups * tile)?;
-            let d_idx = upload_indices_pooled(dev, &w.indices, &mut ws.idx_dev, &mut ws.idx_host)?;
-            potrf_interleaved_window(dev, batch, d_idx, w.indices.len(), w.max_size, ilv)?;
-            continue;
+        process_fused_window(dev, batch, uplo, &w.indices, w.max_size, nb, opts, ws, rec)?;
+        scrub_batch(dev, batch, &opts.recovery, rec)?;
+    }
+    Ok(())
+}
+
+/// Factorizes one fused sorting window, degrading on persistent OOM by
+/// recursive halving (rung 2 of the recovery ladder): each sub-window is
+/// bitwise-equivalent to its share of the full window because the fused
+/// per-matrix arithmetic depends only on the matrix's own order and the
+/// globally fixed blocking `nb`, never on which neighbors share the
+/// launch. At a single-matrix window the pooled workspace is released
+/// back to the device as the last resort before giving up.
+#[allow(clippy::too_many_arguments)]
+fn process_fused_window<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    uplo: Uplo,
+    indices: &[usize],
+    wmax: usize,
+    nb: usize,
+    opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
+    rec: &mut RecoveryReport,
+) -> Result<(), VbatchError> {
+    match fused_window_once(dev, batch, uplo, indices, wmax, nb, opts, ws, rec) {
+        Err(VbatchError::Oom(e)) if opts.recovery.split_on_oom => {
+            if indices.len() > 1 {
+                rec.window_splits += 1;
+                let (lo, hi) = indices.split_at(indices.len() / 2);
+                for half in [lo, hi] {
+                    let half_max = half.iter().map(|&i| batch.cols()[i]).max().unwrap_or(0);
+                    process_fused_window(dev, batch, uplo, half, half_max, nb, opts, ws, rec)?;
+                }
+                Ok(())
+            } else {
+                // One matrix left and still no memory: release every
+                // pooled buffer and make a final attempt.
+                rec.workspace_releases += 1;
+                ws.release();
+                fused_window_once(dev, batch, uplo, indices, wmax, nb, opts, ws, rec)
+                    .map_err(|_| VbatchError::Oom(e))
+            }
         }
-        let d_idx = upload_indices_pooled(dev, &w.indices, &mut ws.idx_dev, &mut ws.idx_host)?;
-        let mut j = 0;
-        while j < w.max_size {
+        other => other,
+    }
+}
+
+/// One attempt at a fused window (no OOM degradation — that is the
+/// caller's ladder). Launch rejections and (under a fault plan) alloc
+/// denials are retried in place.
+#[allow(clippy::too_many_arguments)]
+fn fused_window_once<T: Scalar>(
+    dev: &Device,
+    batch: &VBatch<T>,
+    uplo: Uplo,
+    indices: &[usize],
+    wmax: usize,
+    nb: usize,
+    opts: &PotrfOptions,
+    ws: &mut DriverWorkspace<T>,
+    rec: &mut RecoveryReport,
+) -> Result<(), VbatchError> {
+    if indices.is_empty() || wmax == 0 {
+        return Ok(());
+    }
+    let pol = &opts.recovery;
+    if opts.fused.batched_small && uplo == Uplo::Lower && wmax <= INTERLEAVE_CUTOFF {
+        // Batched-small path: the whole window factorizes in one
+        // cross-matrix interleaved launch instead of a per-step
+        // loop. Lane-group scratch is pooled like every other
+        // driver buffer (zero allocations when warm).
+        let lanes = vbatch_dense::interleave::lane_count::<T>();
+        let groups = indices.len().div_ceil(lanes);
+        let tile = wmax * wmax * lanes;
+        let need = groups * tile;
+        let ilv = with_retry(dev, pol, rec, || ws.ilv_scratch(dev, need))?;
+        let d_idx = with_retry(dev, pol, rec, || {
+            upload_indices_pooled(dev, indices, &mut ws.idx_dev, &mut ws.idx_host)
+                .map_err(VbatchError::from)
+        })?;
+        with_retry(dev, pol, rec, || {
+            potrf_interleaved_window(dev, batch, d_idx, indices.len(), wmax, ilv)
+        })?;
+        return Ok(());
+    }
+    let d_idx = with_retry(dev, pol, rec, || {
+        upload_indices_pooled(dev, indices, &mut ws.idx_dev, &mut ws.idx_host)
+            .map_err(VbatchError::from)
+    })?;
+    let mut j = 0;
+    while j < wmax {
+        with_retry(dev, pol, rec, || {
             potrf_fused_step(
                 dev,
                 batch,
                 uplo,
                 d_idx,
-                w.indices.len(),
-                w.max_size,
+                indices.len(),
+                wmax,
                 j,
                 nb,
                 opts.fused.etm,
-            )?;
-            j += nb;
-        }
+            )
+        })?;
+        j += nb;
     }
     Ok(())
 }
@@ -326,77 +447,105 @@ fn run_separated<T: Scalar>(
     max_n: usize,
     opts: &PotrfOptions,
     ws: &mut DriverWorkspace<T>,
+    rec: &mut RecoveryReport,
 ) -> Result<(), VbatchError> {
     let count = batch.count();
+    let pol = opts.recovery;
     let nb_panel = opts.sep.nb_panel.max(1);
     let nb_inner = opts.sep.nb_inner.max(1).min(nb_panel);
+    // OOM ladder for the separated scratch. Shrinking `nb_panel` would
+    // reorder the blocked arithmetic and break bitwise reproducibility,
+    // so the only degradations are retry (under a fault plan) and a
+    // last-resort release of the pooled workspace; `sep_scratch` keeps
+    // partial progress (the step state survives a failed tile alloc).
+    let mut grown = with_retry(dev, &pol, rec, || {
+        ws.sep_scratch(dev, count, nb_panel).map(|_| ())
+    });
+    if matches!(grown, Err(VbatchError::Oom(_))) && pol.split_on_oom {
+        rec.workspace_releases += 1;
+        ws.release();
+        grown = ws.sep_scratch(dev, count, nb_panel).map(|_| ());
+    }
+    grown?;
     let (st, work, trails) = ws.sep_scratch(dev, count, nb_panel)?;
     // Host mirrors drive the streamed-syrk grids.
     let sizes = batch.cols();
 
     let mut j = 0;
     while j < max_n {
-        st.update(dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), count, j)?;
+        with_retry(dev, &pol, rec, || {
+            st.update(dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), count, j)
+        })?;
         let view = VView::new(st.d_ptrs.ptr(), batch.d_ld());
-        potf2_panel_vbatched(
-            dev,
-            count,
-            uplo,
-            view,
-            st.d_rem.ptr(),
-            batch.d_info(),
-            nb_panel,
-            nb_inner,
-            j,
-        )?;
-        let max_rem = max_n - j;
-        if max_rem > nb_panel {
-            let max_trail = max_rem - nb_panel;
-            trtri_diag_vbatched(
+        with_retry(dev, &pol, rec, || {
+            potf2_panel_vbatched(
                 dev,
                 count,
                 uplo,
                 view,
                 st.d_rem.ptr(),
                 batch.d_info(),
-                work,
                 nb_panel,
-                true,
-            )?;
+                nb_inner,
+                j,
+            )
+        })?;
+        let max_rem = max_n - j;
+        if max_rem > nb_panel {
+            let max_trail = max_rem - nb_panel;
+            with_retry(dev, &pol, rec, || {
+                trtri_diag_vbatched(
+                    dev,
+                    count,
+                    uplo,
+                    view,
+                    st.d_rem.ptr(),
+                    batch.d_info(),
+                    work,
+                    nb_panel,
+                    true,
+                )
+            })?;
             match uplo {
-                Uplo::Lower => trsm_right_lower_trans_vbatched(
-                    dev,
-                    count,
-                    view,
-                    st.d_rem.ptr(),
-                    batch.d_info(),
-                    work,
-                    nb_panel,
-                    max_trail,
-                )?,
-                Uplo::Upper => trsm_left_upper_trans_vbatched(
-                    dev,
-                    count,
-                    view,
-                    st.d_rem.ptr(),
-                    batch.d_info(),
-                    work,
-                    nb_panel,
-                    max_trail,
-                )?,
-            };
-            match opts.sep.syrk {
-                SyrkMode::Batched => {
-                    syrk_vbatched(
+                Uplo::Lower => with_retry(dev, &pol, rec, || {
+                    trsm_right_lower_trans_vbatched(
                         dev,
                         count,
-                        uplo,
                         view,
                         st.d_rem.ptr(),
                         batch.d_info(),
+                        work,
                         nb_panel,
                         max_trail,
-                    )?;
+                    )
+                })?,
+                Uplo::Upper => with_retry(dev, &pol, rec, || {
+                    trsm_left_upper_trans_vbatched(
+                        dev,
+                        count,
+                        view,
+                        st.d_rem.ptr(),
+                        batch.d_info(),
+                        work,
+                        nb_panel,
+                        max_trail,
+                    )
+                })?,
+            };
+            match opts.sep.syrk {
+                SyrkMode::Batched => {
+                    with_retry(dev, &pol, rec, || {
+                        syrk_vbatched(
+                            dev,
+                            count,
+                            uplo,
+                            view,
+                            st.d_rem.ptr(),
+                            batch.d_info(),
+                            nb_panel,
+                            max_trail,
+                        )
+                    })?;
                 }
                 SyrkMode::Streamed => {
                     trails.clear();
@@ -405,6 +554,10 @@ fn run_separated<T: Scalar>(
                             .iter()
                             .map(|&n| n.saturating_sub(j).saturating_sub(nb_panel)),
                     );
+                    // Stream-group blocks execute at launch time, so the
+                    // retry loop lives *inside* syrk_streamed, per
+                    // sub-launch — a whole-group retry would re-apply
+                    // the updates of launches that already ran.
                     syrk_streamed(
                         dev,
                         uplo,
@@ -413,10 +566,12 @@ fn run_separated<T: Scalar>(
                         batch.d_info(),
                         trails,
                         nb_panel,
+                        Some((&pol, &mut *rec)),
                     )?;
                 }
             }
         }
+        scrub_batch(dev, batch, &pol, rec)?;
         j += nb_panel;
     }
     Ok(())
@@ -450,7 +605,7 @@ mod tests {
             .map(|(i, &n)| {
                 let m = spd_vec::<T>(&mut rng, n);
                 if n > 0 {
-                    batch.upload_matrix(i, &m);
+                    batch.upload_matrix(i, &m).unwrap();
                 }
                 m
             })
@@ -598,7 +753,7 @@ mod tests {
             // Corrupt matrix 1 at column 10.
             let mut bad = origs[1].clone();
             bad[10 + 10 * 24] = -1e6;
-            batch.upload_matrix(1, &bad);
+            batch.upload_matrix(1, &bad).unwrap();
             let opts = PotrfOptions {
                 strategy,
                 sep: SepOpts {

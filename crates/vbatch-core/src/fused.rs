@@ -478,7 +478,7 @@ mod tests {
         let origs: Vec<Vec<f64>> = (0..8)
             .map(|i| {
                 let m = spd_vec::<f64>(&mut rng, n);
-                batch.upload_matrix(i, &m);
+                batch.upload_matrix(i, &m).unwrap();
                 m
             })
             .collect();
@@ -499,7 +499,7 @@ mod tests {
             let mut batch = VBatch::<f64>::alloc_square(&d, &[n; 3]).unwrap();
             let orig = spd_vec::<f64>(&mut rng, n);
             for i in 0..3 {
-                batch.upload_matrix(i, &orig);
+                batch.upload_matrix(i, &orig).unwrap();
             }
             potrf_fused_fixed(&d, &mut batch, Uplo::Lower, n, nb).unwrap();
             check_factor(&batch.download_matrix(2), &orig, n);
@@ -515,7 +515,7 @@ mod tests {
         let origs: Vec<Vec<f64>> = (0..4)
             .map(|i| {
                 let m = spd_vec::<f64>(&mut rng, n);
-                batch.upload_matrix(i, &m);
+                batch.upload_matrix(i, &m).unwrap();
                 m
             })
             .collect();
@@ -539,7 +539,7 @@ mod tests {
         let mut batch = VBatch::<f32>::alloc_square(&d, &[n; 4]).unwrap();
         let orig = spd_vec::<f32>(&mut rng, n);
         for i in 0..4 {
-            batch.upload_matrix(i, &orig);
+            batch.upload_matrix(i, &orig).unwrap();
         }
         potrf_fused_fixed(&d, &mut batch, Uplo::Lower, n, 8).unwrap();
         check_factor(&batch.download_matrix(0), &orig, n);
@@ -554,9 +554,9 @@ mod tests {
         let good = spd_vec::<f64>(&mut rng, n);
         let mut bad = good.clone();
         bad[3 + 3 * n] = -100.0; // breaks at column 3
-        batch.upload_matrix(0, &good);
-        batch.upload_matrix(1, &bad);
-        batch.upload_matrix(2, &good);
+        batch.upload_matrix(0, &good).unwrap();
+        batch.upload_matrix(1, &bad).unwrap();
+        batch.upload_matrix(2, &good).unwrap();
         potrf_fused_fixed(&d, &mut batch, Uplo::Lower, n, 4).unwrap();
         let info = batch.read_info();
         assert_eq!(info[0], 0);
@@ -578,7 +578,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, &n)| {
                     let m = spd_vec::<f64>(&mut rng, n);
-                    batch.upload_matrix(i, &m);
+                    batch.upload_matrix(i, &m).unwrap();
                     m
                 })
                 .collect();
@@ -618,7 +618,7 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| {
                 let m = spd_vec::<f64>(&mut rng, n);
-                batch.upload_matrix(i, &m);
+                batch.upload_matrix(i, &m).unwrap();
                 m
             })
             .collect();
@@ -658,7 +658,9 @@ mod tests {
             let mut rng = seeded_rng(11);
             let mut batch = VBatch::<f64>::alloc_square(&d, &sizes).unwrap();
             for (i, &n) in sizes.iter().enumerate() {
-                batch.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+                batch
+                    .upload_matrix(i, &spd_vec::<f64>(&mut rng, n))
+                    .unwrap();
             }
             d.reset_metrics();
             let nb = 8;

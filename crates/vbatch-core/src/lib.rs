@@ -39,7 +39,7 @@
 //! let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
 //! let mut rng = seeded_rng(1);
 //! for (i, &n) in sizes.iter().enumerate() {
-//!     batch.upload_matrix(i, &spd_vec(&mut rng, n));
+//!     batch.upload_matrix(i, &spd_vec(&mut rng, n)).unwrap();
 //! }
 //! let report = potrf_vbatched(&dev, &mut batch, &PotrfOptions::default()).unwrap();
 //! assert!(report.all_ok());
@@ -53,6 +53,7 @@ pub mod fused;
 pub mod kernels;
 pub mod lu;
 pub mod qr;
+pub mod recover;
 pub mod report;
 pub mod sep;
 pub mod solve;
@@ -65,5 +66,6 @@ pub use driver::{
     FusedOpts, PotrfOptions, SepOpts, Strategy, SyrkMode,
 };
 pub use etm::EtmPolicy;
+pub use recover::{Outcome, RecoveryPolicy, RecoveryReport, ScrubPolicy};
 pub use report::{BatchReport, VbatchError};
 pub use workspace::DriverWorkspace;

@@ -19,6 +19,9 @@ use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, LaunchConfig};
 
 use crate::etm::EtmPolicy;
 use crate::kernels::{charge_flops, charge_read, charge_write, kname, mat_mut, round_to_warp};
+use crate::recover::{
+    fault_events_start, finish_recovery, scrub_batch, with_retry, RecoveryPolicy, RecoveryReport,
+};
 use crate::report::{BatchReport, VbatchError};
 use crate::sep::gemm::{gemm_vbatched, GemmDims};
 use crate::sep::trsm::trsm_left_vbatched;
@@ -244,11 +247,16 @@ impl<T: Scalar> LuStep<T> {
 pub struct GetrfOptions {
     /// Outer panel width.
     pub nb_panel: usize,
+    /// Response to transient device failures (see [`crate::recover`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GetrfOptions {
     fn default() -> Self {
-        Self { nb_panel: 64 }
+        Self {
+            nb_panel: 64,
+            recovery: RecoveryPolicy::default(),
+        }
     }
 }
 
@@ -286,6 +294,9 @@ pub fn getrf_vbatched_ws<T: Scalar>(
     opts: &GetrfOptions,
     ws: &mut crate::workspace::DriverWorkspace<T>,
 ) -> Result<(BatchReport, PivotArray), VbatchError> {
+    let ev_start = fault_events_start(dev);
+    let mut rec = RecoveryReport::default();
+    let pol = opts.recovery;
     let count = batch.count();
     let nb = opts.nb_panel.max(1);
     let k_max = batch
@@ -296,22 +307,32 @@ pub fn getrf_vbatched_ws<T: Scalar>(
         .max()
         .unwrap_or(0);
     batch.reset_info();
-    let pivots = PivotArray::alloc(dev, count.max(1), k_max)?;
+    let pivots = with_retry(dev, &pol, &mut rec, || {
+        PivotArray::alloc(dev, count.max(1), k_max)
+    })?;
     if count == 0 || k_max == 0 {
-        return Ok((BatchReport::from_info(batch.read_info()), pivots));
+        return Ok((BatchReport::from_parts(batch.read_info(), rec), pivots));
     }
+    batch.register_fault_targets(dev);
     // Trailing kernels must keep running for singular matrices (LAPACK
     // continues past a zero pivot), so they get an always-clean info.
-    let (step, clean_info) = ws.lu.scratch(dev, count)?;
+    let (step, clean_info) = with_retry(dev, &pol, &mut rec, || {
+        ws.lu.scratch(dev, count).map(|_| ())
+    })
+    .and(ws.lu.scratch(dev, count))?;
 
     let max_m = batch.max_rows();
     let max_n = batch.max_cols();
 
     let mut j = 0;
     while j < k_max {
-        getf2_panel(dev, batch, &pivots, j, nb)?;
-        laswp_outside(dev, batch, &pivots, j, nb)?;
-        step.update(dev, batch, j, nb)?;
+        with_retry(dev, &pol, &mut rec, || {
+            getf2_panel(dev, batch, &pivots, j, nb)
+        })?;
+        with_retry(dev, &pol, &mut rec, || {
+            laswp_outside(dev, batch, &pivots, j, nb)
+        })?;
+        with_retry(dev, &pol, &mut rec, || step.update(dev, batch, j, nb))?;
 
         // Host-side conservative bounds for the trailing grids.
         let max_trows = batch
@@ -345,46 +366,53 @@ pub fn getrf_vbatched_ws<T: Scalar>(
 
         if max_tcols > 0 {
             // U12 ← L11⁻¹ · A12 (unit lower).
-            trsm_left_vbatched(
-                dev,
-                count,
-                Uplo::Lower,
-                Trans::NoTrans,
-                Diag::Unit,
-                VView::new(step.d_l11.ptr(), batch.d_ld()),
-                VView::new(step.d_a12.ptr(), batch.d_ld()),
-                step.d_jb.ptr(),
-                step.d_tcols.ptr(),
-                clean_info,
-            )?;
+            with_retry(dev, &pol, &mut rec, || {
+                trsm_left_vbatched(
+                    dev,
+                    count,
+                    Uplo::Lower,
+                    Trans::NoTrans,
+                    Diag::Unit,
+                    VView::new(step.d_l11.ptr(), batch.d_ld()),
+                    VView::new(step.d_a12.ptr(), batch.d_ld()),
+                    step.d_jb.ptr(),
+                    step.d_tcols.ptr(),
+                    clean_info,
+                )
+            })?;
         }
         if max_trows > 0 && max_tcols > 0 {
             // A22 ← A22 − L21 · U12.
-            gemm_vbatched(
-                dev,
-                count,
-                Trans::NoTrans,
-                Trans::NoTrans,
-                -T::ONE,
-                VView::new(step.d_a21.ptr(), batch.d_ld()),
-                VView::new(step.d_a12.ptr(), batch.d_ld()),
-                T::ONE,
-                VView::new(step.d_a22.ptr(), batch.d_ld()),
-                GemmDims {
-                    d_m: step.d_trows.ptr(),
-                    d_n: step.d_tcols.ptr(),
-                    d_k: step.d_jb.ptr(),
-                },
-                max_trows,
-                max_tcols,
-            )?;
+            with_retry(dev, &pol, &mut rec, || {
+                gemm_vbatched(
+                    dev,
+                    count,
+                    Trans::NoTrans,
+                    Trans::NoTrans,
+                    -T::ONE,
+                    VView::new(step.d_a21.ptr(), batch.d_ld()),
+                    VView::new(step.d_a12.ptr(), batch.d_ld()),
+                    T::ONE,
+                    VView::new(step.d_a22.ptr(), batch.d_ld()),
+                    GemmDims {
+                        d_m: step.d_trows.ptr(),
+                        d_n: step.d_tcols.ptr(),
+                        d_k: step.d_jb.ptr(),
+                    },
+                    max_trows,
+                    max_tcols,
+                )
+            })?;
         }
+        scrub_batch(dev, batch, &pol, &mut rec)?;
         j += nb;
         let _ = (max_m, max_n);
     }
 
     dev.copy_dtoh_bytes(count * 4);
-    Ok((BatchReport::from_info(batch.read_info()), pivots))
+    let info = batch.read_info();
+    finish_recovery(dev, ev_start, &mut rec, &info);
+    Ok((BatchReport::from_parts(info, rec), pivots))
 }
 
 /// One-block-per-matrix panel factorization with partial pivoting.
@@ -513,13 +541,20 @@ mod tests {
             .map(|(i, &(m, n))| {
                 let a = rand_mat::<f64>(&mut rng, m * n);
                 if m * n > 0 {
-                    batch.upload_matrix(i, &a);
+                    batch.upload_matrix(i, &a).unwrap();
                 }
                 a
             })
             .collect();
-        let (report, pivots) =
-            getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 16 }).unwrap();
+        let (report, pivots) = getrf_vbatched(
+            &dev,
+            &mut batch,
+            &GetrfOptions {
+                nb_panel: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(report.all_ok(), "{:?}", report.failures());
         for (i, &(m, n)) in dims.iter().enumerate() {
             let k = m.min(n);
@@ -544,9 +579,16 @@ mod tests {
         let mut rng = seeded_rng(82);
         let a = rand_mat::<f64>(&mut rng, m * n);
         let mut batch = VBatch::<f64>::alloc(&dev, &[(m, n)]).unwrap();
-        batch.upload_matrix(0, &a);
-        let (report, pivots) =
-            getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 8 }).unwrap();
+        batch.upload_matrix(0, &a).unwrap();
+        let (report, pivots) = getrf_vbatched(
+            &dev,
+            &mut batch,
+            &GetrfOptions {
+                nb_panel: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(report.all_ok());
         // Host reference with the same blocking.
         let mut want = a.clone();
@@ -577,10 +619,17 @@ mod tests {
             bad[r + 5 * n] = 0.0;
         }
         let mut batch = VBatch::<f64>::alloc(&dev, &[(n, n), (n, n)]).unwrap();
-        batch.upload_matrix(0, &bad);
-        batch.upload_matrix(1, &good);
-        let (report, pivots) =
-            getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 4 }).unwrap();
+        batch.upload_matrix(0, &bad).unwrap();
+        batch.upload_matrix(1, &good).unwrap();
+        let (report, pivots) = getrf_vbatched(
+            &dev,
+            &mut batch,
+            &GetrfOptions {
+                nb_panel: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(report.failure_count(), 1);
         assert_eq!(report.failures()[0].0, 0);
         // The healthy matrix is still correct.

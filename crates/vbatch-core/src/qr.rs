@@ -17,6 +17,9 @@ use crate::etm::EtmPolicy;
 use crate::kernels::{
     charge_flops, charge_read, charge_smem, charge_write, kname, mat_mut, mat_ref, round_to_warp,
 };
+use crate::recover::{
+    fault_events_start, finish_recovery, scrub_batch, with_retry, RecoveryPolicy, RecoveryReport,
+};
 use crate::report::{BatchReport, VbatchError};
 use crate::VBatch;
 
@@ -129,6 +132,8 @@ pub struct GeqrfOptions {
     pub nb_panel: usize,
     /// Trailing columns per `larfb` block.
     pub tile_cols: usize,
+    /// Fault-recovery policy (see [`crate::recover`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GeqrfOptions {
@@ -136,6 +141,7 @@ impl Default for GeqrfOptions {
         Self {
             nb_panel: 32,
             tile_cols: 32,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -174,6 +180,9 @@ pub fn geqrf_vbatched_ws<T: Scalar>(
     let count = batch.count();
     let nb = opts.nb_panel.max(1);
     let tc = opts.tile_cols.max(1);
+    let ev_start = fault_events_start(dev);
+    let mut rec = RecoveryReport::default();
+    let pol = opts.recovery;
     let k_max = batch
         .rows()
         .iter()
@@ -182,27 +191,39 @@ pub fn geqrf_vbatched_ws<T: Scalar>(
         .max()
         .unwrap_or(0);
     batch.reset_info();
-    let tau = TauArray::<T>::alloc(dev, count.max(1), k_max)?;
+    let tau = with_retry(dev, &pol, &mut rec, || {
+        TauArray::<T>::alloc(dev, count.max(1), k_max)
+    })?;
     if count == 0 || k_max == 0 {
-        return Ok((BatchReport::from_info(batch.read_info()), tau));
+        return Ok((BatchReport::from_parts(batch.read_info(), rec), tau));
     }
-    // Per-matrix T-factor workspace (nb × nb each), pooled.
-    let t_ptrs = ws.qr.t_scratch(dev, count, nb)?;
+    batch.register_fault_targets(dev);
+    // Per-matrix T-factor workspace (nb × nb each), pooled. On OOM under
+    // an active fault plan the retry re-enters `t_scratch`, which keeps
+    // whatever partial progress the first attempt made.
+    let t_ptrs = with_retry(dev, &pol, &mut rec, || ws.qr.t_scratch(dev, count, nb))?;
 
     let max_m = batch.max_rows();
     let max_n = batch.max_cols();
 
     let mut j = 0;
     while j < k_max {
-        geqr2_larft_panel(dev, batch, &tau, t_ptrs, j, nb)?;
+        with_retry(dev, &pol, &mut rec, || {
+            geqr2_larft_panel(dev, batch, &tau, t_ptrs, j, nb)
+        })?;
         let max_tcols = max_n.saturating_sub(j + 1);
         if max_tcols > 0 {
-            larfb_cols(dev, batch, t_ptrs, j, nb, tc, max_m, max_n)?;
+            with_retry(dev, &pol, &mut rec, || {
+                larfb_cols(dev, batch, t_ptrs, j, nb, tc, max_m, max_n)
+            })?;
         }
+        scrub_batch(dev, batch, &pol, &mut rec)?;
         j += nb;
     }
 
-    Ok((BatchReport::from_info(batch.read_info()), tau))
+    let info = batch.read_info();
+    finish_recovery(dev, ev_start, &mut rec, &info);
+    Ok((BatchReport::from_parts(info, rec), tau))
 }
 
 /// Panel factorization + `T` formation, one block per matrix.
@@ -408,21 +429,32 @@ pub fn gels_vbatched<T: Scalar>(
             "gels_vbatched: every matrix must have m >= n",
         ));
     }
-    let (report, tau) = geqrf_vbatched(dev, batch, opts)?;
-    ormqr_left_trans_vbatched(dev, batch, &tau, rhs)?;
+    let ev_start = fault_events_start(dev);
+    let (mut report, tau) = geqrf_vbatched(dev, batch, opts)?;
+    let pol = opts.recovery;
+    let mut rec = std::mem::take(&mut report.recovery);
+    with_retry(dev, &pol, &mut rec, || {
+        ormqr_left_trans_vbatched(dev, batch, &tau, rhs)
+    })?;
     // R X = (QᵀB)[0:n] — upper-triangular solves on the leading rows.
-    crate::sep::trsm::trsm_left_vbatched(
-        dev,
-        batch.count(),
-        vbatch_dense::Uplo::Upper,
-        vbatch_dense::Trans::NoTrans,
-        vbatch_dense::Diag::NonUnit,
-        crate::sep::VView::new(batch.d_ptrs(), batch.d_ld()),
-        crate::sep::VView::new(rhs.d_ptrs(), rhs.d_ld()),
-        batch.d_cols(),
-        rhs.d_cols(),
-        batch.d_info(),
-    )?;
+    with_retry(dev, &pol, &mut rec, || {
+        crate::sep::trsm::trsm_left_vbatched(
+            dev,
+            batch.count(),
+            vbatch_dense::Uplo::Upper,
+            vbatch_dense::Trans::NoTrans,
+            vbatch_dense::Diag::NonUnit,
+            crate::sep::VView::new(batch.d_ptrs(), batch.d_ld()),
+            crate::sep::VView::new(rhs.d_ptrs(), rhs.d_ld()),
+            batch.d_cols(),
+            rhs.d_cols(),
+            batch.d_info(),
+        )
+    })?;
+    // Re-capture from the gels entry point so injections during the
+    // `ormqr`/`trsm` tail are reported alongside the factorization's.
+    finish_recovery(dev, ev_start, &mut rec, &report.info);
+    report.recovery = rec;
     Ok(report)
 }
 
@@ -453,7 +485,7 @@ mod tests {
             .map(|(i, &(m, n))| {
                 let a = rand_mat::<f64>(&mut rng, m * n);
                 if m * n > 0 {
-                    batch.upload_matrix(i, &a);
+                    batch.upload_matrix(i, &a).unwrap();
                 }
                 a
             })
@@ -464,6 +496,7 @@ mod tests {
             &GeqrfOptions {
                 nb_panel: 8,
                 tile_cols: 16,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -495,13 +528,14 @@ mod tests {
         let mut rng = seeded_rng(92);
         let a = rand_mat::<f64>(&mut rng, m * n);
         let mut batch = VBatch::<f64>::alloc(&dev, &[(m, n)]).unwrap();
-        batch.upload_matrix(0, &a);
+        batch.upload_matrix(0, &a).unwrap();
         let (_, tau) = geqrf_vbatched(
             &dev,
             &mut batch,
             &GeqrfOptions {
                 nb_panel: 4,
                 tile_cols: 8,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -551,8 +585,8 @@ mod tests {
                 m,
                 nrhs,
             );
-            batch.upload_matrix(i, &a);
-            rhs.upload_matrix(i, &b);
+            batch.upload_matrix(i, &a).unwrap();
+            rhs.upload_matrix(i, &b).unwrap();
             xs.push(x);
         }
         let report = gels_vbatched(
@@ -562,6 +596,7 @@ mod tests {
             &GeqrfOptions {
                 nb_panel: 4,
                 tile_cols: 8,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -601,7 +636,7 @@ mod tests {
         let mut rng = seeded_rng(93);
         let a = rand_mat::<f32>(&mut rng, m * n);
         let mut batch = VBatch::<f32>::alloc(&dev, &[(m, n)]).unwrap();
-        batch.upload_matrix(0, &a);
+        batch.upload_matrix(0, &a).unwrap();
         let (report, tau) = geqrf_vbatched(&dev, &mut batch, &GeqrfOptions::default()).unwrap();
         assert!(report.all_ok());
         let f = batch.download_matrix(0);

@@ -7,19 +7,52 @@
 //! returned to the host as a [`BatchReport`]. A numerical breakdown in
 //! one matrix never poisons the others.
 
+use crate::recover::{Outcome, RecoveryReport};
+
 /// Per-matrix factorization outcome for a whole batch.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
     /// LAPACK-style `info` per matrix: `0` success, `k > 0` breakdown at
-    /// column `k` (1-based), as in `xPOTRF`/`xGETRF`.
+    /// column `k` (1-based), as in `xPOTRF`/`xGETRF`; `k < 0` means the
+    /// runtime quarantined the matrix after detecting non-finite data in
+    /// column `−k` (see [`crate::recover`]).
     pub info: Vec<i32>,
+    /// Recovery actions the driver took (retries, window splits,
+    /// scrubber quarantines, injected faults observed).
+    pub recovery: RecoveryReport,
 }
 
 impl BatchReport {
     /// Builds a report from a downloaded device `info` array.
     #[must_use]
     pub fn from_info(info: Vec<i32>) -> Self {
-        Self { info }
+        Self {
+            info,
+            recovery: RecoveryReport::default(),
+        }
+    }
+
+    /// Builds a report carrying the run's [`RecoveryReport`].
+    #[must_use]
+    pub fn from_parts(info: Vec<i32>, recovery: RecoveryReport) -> Self {
+        Self { info, recovery }
+    }
+
+    /// Overall health of the run: clean, recovered, or degraded.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        self.recovery.outcome()
+    }
+
+    /// Indices of matrices the runtime quarantined (negative `info`).
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.info
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v < 0)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// `true` when every matrix factorized successfully.
@@ -95,5 +128,14 @@ mod tests {
         let ok = BatchReport::from_info(vec![0; 5]);
         assert!(ok.all_ok());
         assert!(ok.failures().is_empty());
+        assert_eq!(ok.outcome(), Outcome::Clean);
+    }
+
+    #[test]
+    fn negative_info_is_quarantine() {
+        let r = BatchReport::from_info(vec![0, -2, 4, -1]);
+        assert_eq!(r.quarantined(), vec![1, 3]);
+        assert_eq!(r.failure_count(), 3, "quarantined matrices are failures");
+        assert!(!r.all_ok());
     }
 }

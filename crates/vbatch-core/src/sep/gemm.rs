@@ -202,9 +202,9 @@ mod tests {
                 let av = rand_mat::<f64>(&mut rng, a_dims[i].0 * a_dims[i].1);
                 let bv = rand_mat::<f64>(&mut rng, b_dims[i].0 * b_dims[i].1);
                 let cv = rand_mat::<f64>(&mut rng, c_dims[i].0 * c_dims[i].1);
-                ab.upload_matrix(i, &av);
-                bb.upload_matrix(i, &bv);
-                cb.upload_matrix(i, &cv);
+                ab.upload_matrix(i, &av).unwrap();
+                bb.upload_matrix(i, &bv).unwrap();
+                cb.upload_matrix(i, &cv).unwrap();
                 hosts.push((av, bv, cv));
             }
             let (dims, _keep) = upload_dims(
@@ -266,9 +266,12 @@ mod tests {
         let mut bb = VBatch::<f64>::alloc(&d, &dims_host).unwrap();
         let mut cb = VBatch::<f64>::alloc(&d, &dims_host).unwrap();
         for (i, &(m, n)) in dims_host.iter().enumerate() {
-            ab.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
-            bb.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
-            cb.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
+            ab.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n))
+                .unwrap();
+            bb.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n))
+                .unwrap();
+            cb.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n))
+                .unwrap();
         }
         let (dims, _keep) = upload_dims(&d, &[200, 5], &[200, 5], &[200, 5]).unwrap();
         let stats = gemm_vbatched(

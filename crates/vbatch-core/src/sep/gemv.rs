@@ -122,7 +122,7 @@ mod tests {
             let mut hosts = Vec::new();
             for (i, &(m, n)) in dims.iter().enumerate() {
                 let av = rand_mat::<f64>(&mut rng, m * n);
-                ab.upload_matrix(i, &av);
+                ab.upload_matrix(i, &av).unwrap();
                 let xv = rand_mat::<f64>(&mut rng, xs_len[i]);
                 let yv = rand_mat::<f64>(&mut rng, ys_len[i]);
                 let xp = x_buf.ptr().offset(xo).truncate(xs_len[i]);
@@ -191,7 +191,7 @@ mod tests {
         let m = 3 * GEMV_TILE + 17;
         let mut ab = VBatch::<f64>::alloc(&dev, &[(m, 2)]).unwrap();
         let a: Vec<f64> = vec![1.0; m * 2];
-        ab.upload_matrix(0, &a);
+        ab.upload_matrix(0, &a).unwrap();
         let x_buf = dev.alloc::<f64>(2).unwrap();
         x_buf.fill_from_host(&[3.0, 4.0]);
         let y_buf = dev.alloc::<f64>(m).unwrap();

@@ -89,7 +89,7 @@ mod tests {
             .map(|(i, &n)| {
                 let m = spd_vec::<f64>(&mut rng, n);
                 if n > 0 {
-                    batch.upload_matrix(i, &m);
+                    batch.upload_matrix(i, &m).unwrap();
                 }
                 m
             })
@@ -152,7 +152,7 @@ mod tests {
         let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
         let mut bad = spd_vec::<f64>(&mut rng, n);
         bad[2 + 2 * n] = -50.0;
-        batch.upload_matrix(0, &bad);
+        batch.upload_matrix(0, &bad).unwrap();
         let st = StepState::<f64>::alloc(&dev, 1).unwrap();
         st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0)
             .unwrap();

@@ -16,7 +16,7 @@
 //!   driver's [`crate::SyrkMode`] exposes.
 
 use vbatch_dense::{Scalar, Trans, Uplo};
-use vbatch_gpu_sim::{BlockCtx, Device, DevicePtr, Dim3, KernelStats, LaunchConfig};
+use vbatch_gpu_sim::{BlockCtx, Device, DevicePtr, Dim3, KernelStats, LaunchConfig, LaunchError};
 
 use crate::etm::EtmPolicy;
 use crate::kernels::{
@@ -262,6 +262,12 @@ pub fn syrk_general_vbatched<T: Scalar>(
 /// Host mirrors of the trailing sizes (`trails`) drive the per-matrix
 /// grids, as a cuBLAS-per-stream caller would know them.
 ///
+/// `recovery` (from the driver's [`crate::recover::RecoveryPolicy`])
+/// enables bounded retry of *individual* stream launches on injected
+/// faults. The retry must live here, per sub-launch: stream-group blocks
+/// execute at launch time, so retrying the whole group would re-apply
+/// trailing updates that already ran.
+///
 /// # Errors
 /// [`VbatchError::Launch`] on launch rejection.
 #[allow(clippy::too_many_arguments)]
@@ -273,6 +279,10 @@ pub fn syrk_streamed<T: Scalar>(
     d_info: DevicePtr<i32>,
     trails: &[usize],
     nb_panel: usize,
+    mut recovery: Option<(
+        &crate::recover::RecoveryPolicy,
+        &mut crate::recover::RecoveryReport,
+    )>,
 ) -> Result<(), VbatchError> {
     let mut group = dev.stream_group(kname::<T>("syrk_streamed"));
     for (i, &trail) in trails.iter().enumerate() {
@@ -285,7 +295,7 @@ pub fn syrk_streamed<T: Scalar>(
             Dim3::x(128),
             2 * SYRK_TILE * 8 * T::BYTES,
         );
-        group.launch(cfg, move |ctx| {
+        let kernel = move |ctx: &mut BlockCtx| {
             let bi = ctx.block_idx().x as usize;
             let bj = ctx.block_idx().y as usize;
             let rem = d_rem.get(i).max(0) as usize;
@@ -301,7 +311,27 @@ pub fn syrk_streamed<T: Scalar>(
             }
             let ld = a.lds.get(i) as usize;
             syrk_tile_math::<T>(ctx, uplo, a.ptrs.get(i), ld, rem, t, nb_panel, bi, bj);
-        })?;
+        };
+        let mut attempt = 0u32;
+        loop {
+            match group.launch(cfg, kernel) {
+                Err(LaunchError::Injected) => {
+                    let Some((pol, rec)) = recovery.as_mut() else {
+                        return Err(LaunchError::Injected.into());
+                    };
+                    if attempt >= pol.max_retries {
+                        return Err(LaunchError::Injected.into());
+                    }
+                    attempt += 1;
+                    rec.retried_launches += 1;
+                    dev.advance_time(pol.backoff_s * f64::from(attempt), 0.0);
+                }
+                other => {
+                    other?;
+                    break;
+                }
+            }
+        }
     }
     group.sync();
     Ok(())
@@ -339,7 +369,7 @@ mod tests {
         let mut hosts = Vec::new();
         for (i, &n) in sizes.iter().enumerate() {
             let m = spd_vec::<f64>(&mut rng, n);
-            batch.upload_matrix(i, &m);
+            batch.upload_matrix(i, &m).unwrap();
             hosts.push(m);
         }
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
@@ -363,6 +393,7 @@ mod tests {
                 batch.d_info(),
                 &trails,
                 nb,
+                None,
             )
             .unwrap();
         } else {
@@ -437,8 +468,8 @@ mod tests {
                     let av = vbatch_dense::gen::rand_mat::<f64>(&mut rng, am * an);
                     let n = dims_nk[i].0;
                     let cv = vbatch_dense::gen::rand_mat::<f64>(&mut rng, n * n);
-                    ab.upload_matrix(i, &av);
-                    cb.upload_matrix(i, &cv);
+                    ab.upload_matrix(i, &av).unwrap();
+                    cb.upload_matrix(i, &cv).unwrap();
                     hosts.push((av, cv));
                 }
                 let d_n: Vec<i32> = dims_nk.iter().map(|p| p.0 as i32).collect();
@@ -503,7 +534,9 @@ mod tests {
         let nb = 8;
         let mut rng = seeded_rng(72);
         let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
-        batch.upload_matrix(0, &spd_vec::<f64>(&mut rng, n));
+        batch
+            .upload_matrix(0, &spd_vec::<f64>(&mut rng, n))
+            .unwrap();
         let st = StepState::<f64>::alloc(&dev, 1).unwrap();
         st.update(&dev, batch.d_ptrs(), batch.d_cols(), batch.d_ld(), 1, 0)
             .unwrap();

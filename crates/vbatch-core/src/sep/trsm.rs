@@ -235,7 +235,7 @@ mod tests {
                 MatMut::from_slice(&mut m, n, n, n).sub(0, 0, jb, jb),
             )
             .unwrap();
-            batch.upload_matrix(i, &m);
+            batch.upload_matrix(i, &m).unwrap();
             hosts.push(m);
         }
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();
@@ -334,8 +334,8 @@ mod tests {
                 vbatch_dense::MatRef::from_slice(&l, n, n, n),
                 MatMut::from_slice(&mut b, n, r, n),
             );
-            ab.upload_matrix(i, &l);
-            bb.upload_matrix(i, &b);
+            ab.upload_matrix(i, &l).unwrap();
+            bb.upload_matrix(i, &b).unwrap();
             expected.push(x);
         }
         let (dims, _keep) = crate::sep::gemm::upload_dims(

@@ -155,7 +155,7 @@ mod tests {
                 MatMut::from_slice(&mut m, n, n, n).sub(0, 0, jb, jb),
             )
             .unwrap();
-            batch.upload_matrix(i, &m);
+            batch.upload_matrix(i, &m).unwrap();
             tiles.push(m);
         }
         let st = StepState::<f64>::alloc(&dev, sizes.len()).unwrap();

@@ -284,8 +284,8 @@ mod tests {
                 n,
                 r,
             );
-            factors.upload_matrix(i, &a);
-            rhs.upload_matrix(i, &b);
+            factors.upload_matrix(i, &a).unwrap();
+            rhs.upload_matrix(i, &b).unwrap();
             xs.push(x);
         }
         let report = potrf_vbatched(&dev, &mut factors, &PotrfOptions::default()).unwrap();
@@ -325,12 +325,19 @@ mod tests {
                 n,
                 3,
             );
-            factors.upload_matrix(i, &a);
-            rhs.upload_matrix(i, &b);
+            factors.upload_matrix(i, &a).unwrap();
+            rhs.upload_matrix(i, &b).unwrap();
             xs.push(x);
         }
-        let (report, pivots) =
-            getrf_vbatched(&dev, &mut factors, &GetrfOptions { nb_panel: 8 }).unwrap();
+        let (report, pivots) = getrf_vbatched(
+            &dev,
+            &mut factors,
+            &GetrfOptions {
+                nb_panel: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(report.all_ok());
         getrs_vbatched(&dev, &factors, &pivots, &rhs).unwrap();
         for (i, x) in xs.iter().enumerate() {
@@ -350,7 +357,7 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| {
                 let a = spd_vec::<f64>(&mut rng, n);
-                batch.upload_matrix(i, &a);
+                batch.upload_matrix(i, &a).unwrap();
                 a
             })
             .collect();
@@ -406,8 +413,8 @@ mod tests {
             let a = spd_vec::<f64>(&mut rng, n);
             let x = rand_mat::<f64>(&mut rng, n);
             let b = naive::matvec_ref(&a, n, n, &x);
-            batch.upload_matrix(i, &a);
-            rhs.upload_matrix(i, &b);
+            batch.upload_matrix(i, &a).unwrap();
+            rhs.upload_matrix(i, &b).unwrap();
             xs.push(x);
         }
         let report = posv_vbatched(&dev, &mut batch, &rhs, &PotrfOptions::default()).unwrap();
@@ -440,12 +447,12 @@ mod tests {
         let good = spd_vec::<f64>(&mut rng, n);
         let mut bad = good.clone();
         bad[0] = -5.0;
-        factors.upload_matrix(0, &bad);
-        factors.upload_matrix(1, &good);
+        factors.upload_matrix(0, &bad).unwrap();
+        factors.upload_matrix(1, &good).unwrap();
         let mut rhs = VBatch::<f64>::alloc(&dev, &[(n, 1), (n, 1)]).unwrap();
         let b0 = rand_mat::<f64>(&mut rng, n);
-        rhs.upload_matrix(0, &b0);
-        rhs.upload_matrix(1, &b0);
+        rhs.upload_matrix(0, &b0).unwrap();
+        rhs.upload_matrix(1, &b0).unwrap();
         let report = potrf_vbatched(&dev, &mut factors, &PotrfOptions::default()).unwrap();
         assert_eq!(report.failure_count(), 1);
         potrs_vbatched(&dev, &factors, &rhs).unwrap();

@@ -30,7 +30,7 @@ pub fn fill_spd_batch<T: Scalar>(
         .map(|(i, &n)| {
             let m = spd_vec::<T>(rng, n);
             if n > 0 {
-                batch.upload_matrix(i, &m);
+                batch.upload_matrix(i, &m).unwrap();
             }
             m
         })
@@ -48,7 +48,7 @@ pub fn fill_general_batch<T: Scalar>(
         .map(|(i, &(m, n))| {
             let a = diag_dominant_vec::<T>(rng, m, n);
             if m * n > 0 {
-                batch.upload_matrix(i, &a);
+                batch.upload_matrix(i, &a).unwrap();
             }
             a
         })

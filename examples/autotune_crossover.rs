@@ -17,7 +17,9 @@ fn run(dev: &Device, sizes: &[usize], opts: &PotrfOptions) -> f64 {
     let mut rng = seeded_rng(4);
     let mut batch = VBatch::<f64>::alloc_square(dev, sizes).unwrap();
     for (i, &n) in sizes.iter().enumerate() {
-        batch.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+        batch
+            .upload_matrix(i, &spd_vec::<f64>(&mut rng, n))
+            .unwrap();
     }
     dev.reset_metrics();
     let max = sizes.iter().copied().max().unwrap();

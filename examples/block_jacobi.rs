@@ -42,7 +42,9 @@ fn main() {
     // Setup phase: factorize every diagonal block.
     let mut blocks = VBatch::<f64>::alloc_square(&dev, &sizes).expect("alloc blocks");
     for (i, &n) in sizes.iter().enumerate() {
-        blocks.upload_matrix(i, &spd_vec::<f64>(&mut rng, n));
+        blocks
+            .upload_matrix(i, &spd_vec::<f64>(&mut rng, n))
+            .unwrap();
     }
     dev.reset_metrics();
     let report = potrf_vbatched(&dev, &mut blocks, &PotrfOptions::default()).expect("potrf");
@@ -59,7 +61,7 @@ fn main() {
     let rhs_dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, 1)).collect();
     let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).expect("alloc rhs");
     for (i, &n) in sizes.iter().enumerate() {
-        rhs.upload_matrix(i, &vec![1.0; n]);
+        rhs.upload_matrix(i, &vec![1.0; n]).unwrap();
     }
     let iters = 5;
     let t0 = dev.now();

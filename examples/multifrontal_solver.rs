@@ -68,7 +68,7 @@ fn main() {
             .enumerate()
             .map(|(i, &n)| {
                 let a = spd_vec::<f64>(&mut rng, n);
-                fronts.upload_matrix(i, &a);
+                fronts.upload_matrix(i, &a).unwrap();
                 a
             })
             .collect();
@@ -101,7 +101,7 @@ fn main() {
                     n,
                     2,
                 );
-                rhs.upload_matrix(i, &b);
+                rhs.upload_matrix(i, &b).unwrap();
                 x
             })
             .collect();

@@ -26,7 +26,7 @@ fn main() {
         .enumerate()
         .map(|(i, &n)| {
             let a = spd_vec::<f64>(&mut rng, n);
-            batch.upload_matrix(i, &a);
+            batch.upload_matrix(i, &a).unwrap();
             a
         })
         .collect();

@@ -60,7 +60,7 @@ fn main() {
     let dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, n)).collect();
     let mut factors = VBatch::<f64>::alloc(&dev, &dims).expect("alloc systems");
     for (i, a) in systems.iter().enumerate() {
-        factors.upload_matrix(i, a);
+        factors.upload_matrix(i, a).unwrap();
     }
     let (report, pivots) =
         getrf_vbatched(&dev, &mut factors, &GetrfOptions::default()).expect("getrf");
@@ -72,7 +72,7 @@ fn main() {
         let rhs_dims: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, 1)).collect();
         let mut rhs = VBatch::<f64>::alloc(&dev, &rhs_dims).expect("alloc rhs");
         for (i, s) in states.iter().enumerate() {
-            rhs.upload_matrix(i, s);
+            rhs.upload_matrix(i, s).unwrap();
         }
         getrs_vbatched(&dev, &factors, &pivots, &rhs).expect("getrs");
         for (i, s) in states.iter_mut().enumerate() {

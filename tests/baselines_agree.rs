@@ -41,7 +41,7 @@ fn all_paths_produce_the_same_factor() {
     // Hybrid baseline.
     let mut hyb = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
     for (i, m) in origs.iter().enumerate() {
-        hyb.upload_matrix(i, m);
+        hyb.upload_matrix(i, m).unwrap();
     }
     let cpu = CpuConfig::dual_e5_2670();
     potrf_hybrid_serial(&dev, &mut hyb, &cpu, &HybridOptions { nb: 32 }).unwrap();
@@ -99,7 +99,7 @@ fn paper_ordering_holds_on_a_representative_batch() {
     // Hybrid.
     let mut h = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
     for (i, m) in origs.iter().enumerate() {
-        h.upload_matrix(i, m);
+        h.upload_matrix(i, m).unwrap();
     }
     dev.reset_metrics();
     potrf_hybrid_serial(&dev, &mut h, &cpu, &HybridOptions::default()).unwrap();

@@ -90,7 +90,7 @@ fn upper_triangle_mirrors_lower() {
         let origs = fill_spd_batch(&mut lower, &sizes, &mut rng);
         let mut upper = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
         for (i, m) in origs.iter().enumerate() {
-            upper.upload_matrix(i, m);
+            upper.upload_matrix(i, m).unwrap();
         }
         let base = PotrfOptions {
             strategy,
@@ -141,7 +141,7 @@ fn expert_and_lapack_interfaces_agree() {
     let origs = fill_spd_batch(&mut b1, &sizes, &mut rng);
     let mut b2 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
     for (i, m) in origs.iter().enumerate() {
-        b2.upload_matrix(i, m);
+        b2.upload_matrix(i, m).unwrap();
     }
     let opts = PotrfOptions::default();
     potrf_vbatched_max(&dev, &mut b1, 44, &opts).unwrap();
@@ -225,7 +225,7 @@ fn all_matrices_same_size_matches_fixed_kernel() {
 
     let mut b2 = VBatch::<f64>::alloc_square(&dev, &sizes).unwrap();
     for (i, m) in origs.iter().enumerate() {
-        b2.upload_matrix(i, m);
+        b2.upload_matrix(i, m).unwrap();
     }
     vbatch_core::fused::potrf_fused_fixed(&dev, &mut b2, Uplo::Lower, n, 8).unwrap();
     for i in 0..sizes.len() {

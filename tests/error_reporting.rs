@@ -41,9 +41,9 @@ fn info_codes_match_single_matrix_lapack() {
 
     for strategy in [Strategy::Fused, Strategy::Separated] {
         let mut batch = VBatch::<f64>::alloc_square(&dev, &[n, n, n]).unwrap();
-        batch.upload_matrix(0, &bad_a);
-        batch.upload_matrix(1, &good);
-        batch.upload_matrix(2, &bad_b);
+        batch.upload_matrix(0, &bad_a).unwrap();
+        batch.upload_matrix(1, &good).unwrap();
+        batch.upload_matrix(2, &bad_b).unwrap();
         let opts = PotrfOptions {
             strategy,
             sep: SepOpts {
@@ -80,7 +80,7 @@ fn broken_matrix_stops_consuming_steps() {
     bad[1 + n] = -1e9; // breaks in the first panel
     bad[1] = 0.0;
     let mut batch = VBatch::<f64>::alloc_square(&dev, &[n]).unwrap();
-    batch.upload_matrix(0, &bad);
+    batch.upload_matrix(0, &bad).unwrap();
     let opts = PotrfOptions {
         strategy: Strategy::Fused,
         fused: FusedOpts {
@@ -126,8 +126,16 @@ fn lu_singularity_reported_with_global_column() {
         a[r + 17 * n] = 0.0; // exactly-zero column 17
     }
     let mut batch = VBatch::<f64>::alloc(&dev, &[(n, n)]).unwrap();
-    batch.upload_matrix(0, &a);
-    let (report, _) = getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 8 }).unwrap();
+    batch.upload_matrix(0, &a).unwrap();
+    let (report, _) = getrf_vbatched(
+        &dev,
+        &mut batch,
+        &GetrfOptions {
+            nb_panel: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(report.info[0], 18, "1-based zero-pivot column");
 }
 

@@ -32,12 +32,11 @@ proptest! {
             .enumerate()
             .map(|(i, &(m, n))| {
                 let a = rand_mat::<f64>(&mut rng, m * n);
-                batch.upload_matrix(i, &a);
-                a
+                batch.upload_matrix(i, &a).unwrap();                a
             })
             .collect();
         let (report, pivots) =
-            getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: nb }).unwrap();
+            getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: nb, ..Default::default() }).unwrap();
         prop_assert!(report.all_ok());
         for (i, &(m, n)) in dims.iter().enumerate() {
             let k = m.min(n);
@@ -67,14 +66,13 @@ proptest! {
             .enumerate()
             .map(|(i, &(m, n))| {
                 let a = rand_mat::<f64>(&mut rng, m * n);
-                batch.upload_matrix(i, &a);
-                a
+                batch.upload_matrix(i, &a).unwrap();                a
             })
             .collect();
         let (report, tau) = geqrf_vbatched(
             &dev,
             &mut batch,
-            &GeqrfOptions { nb_panel: nb, tile_cols: 16 },
+            &GeqrfOptions { nb_panel: nb, tile_cols: 16, ..Default::default() },
         )
         .unwrap();
         prop_assert!(report.all_ok());
@@ -120,8 +118,8 @@ fn lu_then_solve_recovers_solutions() {
             n,
             2,
         );
-        factors.upload_matrix(i, &a);
-        rhs.upload_matrix(i, &b);
+        factors.upload_matrix(i, &a).unwrap();
+        rhs.upload_matrix(i, &b).unwrap();
         xs.push(x);
     }
     let (report, pivots) = getrf_vbatched(&dev, &mut factors, &GetrfOptions::default()).unwrap();
@@ -148,9 +146,8 @@ fn gels_minimizes_residual_on_inconsistent_systems() {
     for (i, &(m, n)) in dims.iter().enumerate() {
         let a = rand_mat::<f64>(&mut rng, m * n);
         let b = rand_mat::<f64>(&mut rng, m); // generic rhs: inconsistent
-        batch.upload_matrix(i, &a);
-        rhs.upload_matrix(i, &b);
-        // Host normal equations: (AᵀA) x = Aᵀ b.
+        batch.upload_matrix(i, &a).unwrap();
+        rhs.upload_matrix(i, &b).unwrap(); // Host normal equations: (AᵀA) x = Aᵀ b.
         let ata = naive::gemm_ref(
             Trans::Trans,
             Trans::NoTrans,
@@ -202,6 +199,7 @@ fn gels_minimizes_residual_on_inconsistent_systems() {
         &vbatch_core::qr::GeqrfOptions {
             nb_panel: 4,
             tile_cols: 8,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -222,7 +220,8 @@ fn lu_qr_advance_the_simulated_clock() {
     let dims = [(40usize, 40usize), (25, 30)];
     let mut b1 = VBatch::<f64>::alloc(&dev, &dims).unwrap();
     for (i, &(m, n)) in dims.iter().enumerate() {
-        b1.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
+        b1.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n))
+            .unwrap();
     }
     dev.reset_metrics();
     getrf_vbatched(&dev, &mut b1, &GetrfOptions::default()).unwrap();
@@ -231,7 +230,8 @@ fn lu_qr_advance_the_simulated_clock() {
 
     let mut b2 = VBatch::<f64>::alloc(&dev, &dims).unwrap();
     for (i, &(m, n)) in dims.iter().enumerate() {
-        b2.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n));
+        b2.upload_matrix(i, &rand_mat::<f64>(&mut rng, m * n))
+            .unwrap();
     }
     dev.reset_metrics();
     geqrf_vbatched(&dev, &mut b2, &GeqrfOptions::default()).unwrap();
@@ -249,11 +249,19 @@ fn f32_extensions() {
         .enumerate()
         .map(|(i, &(m, n))| {
             let a = rand_mat::<f32>(&mut rng, m * n);
-            batch.upload_matrix(i, &a);
+            batch.upload_matrix(i, &a).unwrap();
             a
         })
         .collect();
-    let (report, pivots) = getrf_vbatched(&dev, &mut batch, &GetrfOptions { nb_panel: 8 }).unwrap();
+    let (report, pivots) = getrf_vbatched(
+        &dev,
+        &mut batch,
+        &GetrfOptions {
+            nb_panel: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert!(report.all_ok());
     for (i, &(m, n)) in dims.iter().enumerate() {
         let f = batch.download_matrix(i);

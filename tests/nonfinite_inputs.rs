@@ -1,0 +1,141 @@
+//! Non-finite *input* handling (satellite of the robustness PR).
+//!
+//! A NaN or ±Inf already present in a user matrix must surface as that
+//! matrix's LAPACK `info` — the 1-based first column whose pivot test
+//! fails — on every execution path, and the lane-interleaved tier must
+//! stay bitwise-identical to the scalar fused tier even on such inputs.
+//! A lower-triangle entry at `(i, j)` contaminates exactly the column-`i`
+//! pivot (rows `< i` never read it), so the expected `info` is `i + 1`.
+
+use vbatch_core::{potrf_vbatched, FusedOpts, PotrfOptions, Strategy, VBatch};
+use vbatch_dense::gen::{seeded_rng, spd_vec};
+use vbatch_gpu_sim::{Device, DeviceConfig};
+
+/// Lower-triangle (incl. diagonal) positions of an `n × n` matrix.
+fn lower_positions(n: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for j in 0..n {
+        for i in j..n {
+            v.push((i, j));
+        }
+    }
+    v
+}
+
+/// One batch per planted value: matrix `p` is SPD with `val` written at
+/// the `p`-th lower-triangle position.
+fn planted_batch(dev: &Device, n: usize, val: f64) -> (VBatch<f64>, Vec<(usize, usize)>) {
+    let pos = lower_positions(n);
+    let sizes = vec![n; pos.len()];
+    let mut batch = VBatch::<f64>::alloc_square(dev, &sizes).unwrap();
+    let mut rng = seeded_rng(0xBAD1D);
+    let base = spd_vec::<f64>(&mut rng, n);
+    for (p, &(i, j)) in pos.iter().enumerate() {
+        let mut a = base.clone();
+        a[i + j * n] = val;
+        batch.upload_matrix(p, &a).unwrap();
+    }
+    (batch, pos)
+}
+
+fn run(dev: &Device, n: usize, val: f64, opts: &PotrfOptions) -> (Vec<i32>, Vec<Vec<u64>>) {
+    let (mut batch, pos) = planted_batch(dev, n, val);
+    let report = potrf_vbatched(dev, &mut batch, opts).unwrap();
+    let factors = (0..pos.len())
+        .map(|p| {
+            batch
+                .download_matrix(p)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+    (report.info, factors)
+}
+
+fn fused_opts(batched_small: bool) -> PotrfOptions {
+    PotrfOptions {
+        strategy: Strategy::Fused,
+        fused: FusedOpts {
+            batched_small,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+const VALS: [f64; 3] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+
+/// The interleaved (batched-small) tier and the scalar fused tier must
+/// agree bitwise — factors and info — on non-finite inputs.
+#[test]
+fn interleaved_and_scalar_fused_tiers_agree_on_nonfinite() {
+    let dev = Device::new(DeviceConfig::k40c());
+    for n in [4usize, 8, 13, 32] {
+        for val in VALS {
+            let (info_ilv, fac_ilv) = run(&dev, n, val, &fused_opts(true));
+            let (info_sca, fac_sca) = run(&dev, n, val, &fused_opts(false));
+            assert_eq!(info_ilv, info_sca, "info diverges, n={n} val={val}");
+            for (p, (a, b)) in fac_ilv.iter().zip(&fac_sca).enumerate() {
+                assert_eq!(a, b, "factor bits diverge, n={n} val={val} matrix {p}");
+            }
+        }
+    }
+}
+
+/// Fused and Separated paths must report the same `info` for the same
+/// non-finite input, and it must be the first offending column `i + 1`.
+#[test]
+fn fused_and_separated_info_agree_and_name_first_offending_column() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let sep = PotrfOptions {
+        strategy: Strategy::Separated,
+        ..Default::default()
+    };
+    for n in [4usize, 8, 13, 32, 50] {
+        for val in VALS {
+            let (info_f, _) = run(&dev, n, val, &fused_opts(true));
+            let (info_s, _) = run(&dev, n, val, &sep);
+            assert_eq!(info_f, info_s, "fused vs separated info, n={n} val={val}");
+            let pos = lower_positions(n);
+            for (p, &(i, _)) in pos.iter().enumerate() {
+                assert_eq!(
+                    info_f[p],
+                    (i + 1) as i32,
+                    "n={n} val={val} planted at row {i}: info must be the \
+                     contaminated column, never 0 (silent success)"
+                );
+            }
+        }
+    }
+}
+
+/// f32 spot check: the lane-interleaved tier packs twice the lanes, so
+/// exercise the narrower type too.
+#[test]
+fn f32_nonfinite_inputs_are_reported() {
+    let dev = Device::new(DeviceConfig::k40c());
+    let n = 8usize;
+    let pos = lower_positions(n);
+    for val in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        for bs in [true, false] {
+            let sizes = vec![n; pos.len()];
+            let mut batch = VBatch::<f32>::alloc_square(&dev, &sizes).unwrap();
+            let mut rng = seeded_rng(0xF00D);
+            let base = spd_vec::<f32>(&mut rng, n);
+            for (p, &(i, j)) in pos.iter().enumerate() {
+                let mut a = base.clone();
+                a[i + j * n] = val;
+                batch.upload_matrix(p, &a).unwrap();
+            }
+            let report = potrf_vbatched(&dev, &mut batch, &fused_opts(bs)).unwrap();
+            for (p, &(i, _)) in pos.iter().enumerate() {
+                assert_eq!(
+                    report.info[p],
+                    (i + 1) as i32,
+                    "f32 val={val} batched_small={bs} planted at row {i}"
+                );
+            }
+        }
+    }
+}

@@ -56,10 +56,7 @@ proptest! {
             let av = rand_mat::<f64>(&mut rng, a_dims[i].0 * a_dims[i].1);
             let bv = rand_mat::<f64>(&mut rng, b_dims[i].0 * b_dims[i].1);
             let cv = rand_mat::<f64>(&mut rng, c_dims[i].0 * c_dims[i].1);
-            ab.upload_matrix(i, &av);
-            bb.upload_matrix(i, &bv);
-            cb.upload_matrix(i, &cv);
-            hosts.push((av, bv, cv));
+            ab.upload_matrix(i, &av).unwrap();            bb.upload_matrix(i, &bv).unwrap();            cb.upload_matrix(i, &cv).unwrap();            hosts.push((av, bv, cv));
         }
         let (dims, _keep) = upload_dims(
             &dev,
@@ -121,9 +118,7 @@ proptest! {
                 MatRef::from_slice(&l, n, n, n),
                 MatMut::from_slice(&mut b, n, r, n),
             );
-            ab.upload_matrix(i, &l);
-            bb.upload_matrix(i, &b);
-            expected.push(x);
+            ab.upload_matrix(i, &l).unwrap();            bb.upload_matrix(i, &b).unwrap();            expected.push(x);
         }
         let (dims, _keep) = upload_dims(
             &dev,
@@ -157,9 +152,12 @@ fn gemm_vbatched_clock_and_blocks_accounted() {
     let mut ab = VBatch::<f64>::alloc(&dev, &dims_h).unwrap();
     let mut bb = VBatch::<f64>::alloc(&dev, &dims_h).unwrap();
     let mut cb = VBatch::<f64>::alloc(&dev, &dims_h).unwrap();
-    ab.upload_matrix(0, &rand_mat::<f64>(&mut rng, 10000));
-    bb.upload_matrix(0, &rand_mat::<f64>(&mut rng, 10000));
-    cb.upload_matrix(0, &rand_mat::<f64>(&mut rng, 10000));
+    ab.upload_matrix(0, &rand_mat::<f64>(&mut rng, 10000))
+        .unwrap();
+    bb.upload_matrix(0, &rand_mat::<f64>(&mut rng, 10000))
+        .unwrap();
+    cb.upload_matrix(0, &rand_mat::<f64>(&mut rng, 10000))
+        .unwrap();
     let (dims, _keep) = upload_dims(&dev, &[100], &[100], &[100]).unwrap();
     dev.reset_metrics();
     let stats = gemm_vbatched(
