@@ -133,7 +133,10 @@ pub fn potrf_hybrid_serial<T: Scalar>(
                     let a_bi = mat_ref(frame, rem, jb, ld).sub(jb + r0, 0, mt, jb);
                     let a_bj = mat_ref(frame, rem, jb, ld).sub(jb + c0, 0, nt, jb);
                     if bi == bj {
-                        let mut tmp = vec![T::ZERO; mt * nt];
+                        // Stack tile (mt, nt ≤ TS): stages the product so
+                        // only the lower triangle is written back, without
+                        // heap allocation in the launch body (VBA101).
+                        let mut tmp = [T::ZERO; TS * TS];
                         vbatch_dense::gemm(
                             Trans::NoTrans,
                             Trans::Trans,
@@ -141,7 +144,7 @@ pub fn potrf_hybrid_serial<T: Scalar>(
                             a_bi,
                             a_bj,
                             T::ZERO,
-                            vbatch_dense::MatMut::from_slice(&mut tmp, mt, nt, mt),
+                            vbatch_dense::MatMut::from_slice(&mut tmp[..mt * nt], mt, nt, mt),
                         );
                         let mut c = mat_mut(frame, rem, rem, ld).sub(jb + r0, jb + c0, mt, nt);
                         for cc in 0..nt {

@@ -152,7 +152,7 @@ pub fn pack_group<T: Scalar>(n: usize, srcs: &[T], buf: &mut [T]) {
         buf.len() >= interleaved_len(n, n, lanes),
         "pack_group: buffer too small"
     );
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::pack_group(n, srcs, buf) {
         return;
     }
@@ -193,7 +193,7 @@ pub fn unpack_group<T: Scalar>(n: usize, buf: &[T], dsts: &mut [T]) {
         buf.len() >= interleaved_len(n, n, lanes),
         "unpack_group: buffer too small"
     );
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::unpack_group(n, buf, dsts) {
         return;
     }
@@ -260,7 +260,7 @@ pub fn potrf_group<T: Scalar>(
     assert!(infos.len() >= groups * lanes, "potrf_group: infos short");
     let ns = [n; MAX_LANES];
     infos[..groups * lanes].fill(0);
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::potrf_group(n, groups, src, dst, tile, &ns[..lanes], infos) {
         return;
     }
@@ -296,7 +296,7 @@ pub fn potrf_group<T: Scalar>(
 /// order above `m`, or the buffer is shorter than the group.
 pub fn potrf_lanes<T: Scalar>(buf: &mut [T], m: usize, ns: &[usize], infos: &mut [i32]) {
     check_group::<T>(buf, m, ns, infos);
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::potrf(buf, m, ns, infos) {
         return;
     }
@@ -386,7 +386,7 @@ pub fn gemm_nt_lanes<T: Scalar>(
     c: &mut [T],
 ) {
     check_gemm_group::<T>(m, n, k, a, b, c);
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::gemm_nt(m, n, k, alpha, a, b, beta, c) {
         return;
     }
@@ -470,7 +470,7 @@ pub fn syrk_ln_lanes<T: Scalar>(n: usize, k: usize, alpha: T, a: &[T], beta: T, 
         c.len() >= interleaved_len(n, n, lanes),
         "syrk lanes: C short"
     );
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::syrk_ln(n, k, alpha, a, beta, c) {
         return;
     }
@@ -546,7 +546,7 @@ pub fn trsm_rlt_lanes<T: Scalar>(m: usize, n: usize, a: &[T], b: &mut [T]) {
         b.len() >= interleaved_len(m, n, lanes),
         "trsm lanes: B short"
     );
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::trsm_rlt(m, n, a, b) {
         return;
     }
@@ -598,7 +598,7 @@ pub fn trsm_rlt_lanes_portable<T: Scalar>(m: usize, n: usize, a: &[T], b: &mut [
 /// skip semantics of the scalar tier (including signed zeros). Selected
 /// per call by `TypeId` after a runtime CPU-feature check, exactly like
 /// the blocked tier's microkernel.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod x86 {
     use super::Scalar;
     use core::any::TypeId;
@@ -835,7 +835,7 @@ mod x86 {
     /// 4×4 `f64` register transpose.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn tr4(
+    fn tr4(
         v0: __m256d,
         v1: __m256d,
         v2: __m256d,
@@ -867,104 +867,109 @@ mod x86 {
     /// AVX2+FMA detected; `src`/`dst` hold at least one full group.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn potrf4_f64(src: &[f64], dst: &mut [f64]) -> bool {
-        const FULL: i32 = 0xF;
-        let s = src.as_ptr();
-        let zero = _mm256_setzero_pd();
-        let neg0 = _mm256_set1_pd(-0.0);
-        let inf = _mm256_set1_pd(f64::INFINITY);
-        let ok = |v: __m256d| {
-            let fine = _mm256_and_pd(
-                _mm256_cmp_pd::<_CMP_GT_OQ>(v, zero),
-                _mm256_cmp_pd::<_CMP_LT_OQ>(v, inf),
+        // SAFETY: fn contract — `src` and `dst` hold at least one full
+        // group (64 elements), so every offset below (max 60 + 4-wide
+        // access) is in bounds; unaligned loads/stores are used throughout.
+        unsafe {
+            const FULL: i32 = 0xF;
+            let s = src.as_ptr();
+            let zero = _mm256_setzero_pd();
+            let neg0 = _mm256_set1_pd(-0.0);
+            let inf = _mm256_set1_pd(f64::INFINITY);
+            let ok = |v: __m256d| {
+                let fine = _mm256_and_pd(
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(v, zero),
+                    _mm256_cmp_pd::<_CMP_LT_OQ>(v, inf),
+                );
+                _mm256_movemask_pd(fine) == FULL
+            };
+            let nonzero =
+                |v: __m256d| _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_NEQ_UQ>(v, zero)) == FULL;
+            // Pack: x_ij holds element (i, j) of all four matrices.
+            let (x00, x10, x20, x30) = tr4(
+                _mm256_loadu_pd(s),
+                _mm256_loadu_pd(s.add(16)),
+                _mm256_loadu_pd(s.add(32)),
+                _mm256_loadu_pd(s.add(48)),
             );
-            _mm256_movemask_pd(fine) == FULL
-        };
-        let nonzero =
-            |v: __m256d| _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_NEQ_UQ>(v, zero)) == FULL;
-        // Pack: x_ij holds element (i, j) of all four matrices.
-        let (x00, x10, x20, x30) = tr4(
-            _mm256_loadu_pd(s),
-            _mm256_loadu_pd(s.add(16)),
-            _mm256_loadu_pd(s.add(32)),
-            _mm256_loadu_pd(s.add(48)),
-        );
-        let (x01, x11, x21, x31) = tr4(
-            _mm256_loadu_pd(s.add(4)),
-            _mm256_loadu_pd(s.add(20)),
-            _mm256_loadu_pd(s.add(36)),
-            _mm256_loadu_pd(s.add(52)),
-        );
-        let (x02, x12, x22, x32) = tr4(
-            _mm256_loadu_pd(s.add(8)),
-            _mm256_loadu_pd(s.add(24)),
-            _mm256_loadu_pd(s.add(40)),
-            _mm256_loadu_pd(s.add(56)),
-        );
-        let (x03, x13, x23, x33) = tr4(
-            _mm256_loadu_pd(s.add(12)),
-            _mm256_loadu_pd(s.add(28)),
-            _mm256_loadu_pd(s.add(44)),
-            _mm256_loadu_pd(s.add(60)),
-        );
-        // Column 0.
-        if !ok(x00) {
-            return false;
+            let (x01, x11, x21, x31) = tr4(
+                _mm256_loadu_pd(s.add(4)),
+                _mm256_loadu_pd(s.add(20)),
+                _mm256_loadu_pd(s.add(36)),
+                _mm256_loadu_pd(s.add(52)),
+            );
+            let (x02, x12, x22, x32) = tr4(
+                _mm256_loadu_pd(s.add(8)),
+                _mm256_loadu_pd(s.add(24)),
+                _mm256_loadu_pd(s.add(40)),
+                _mm256_loadu_pd(s.add(56)),
+            );
+            let (x03, x13, x23, x33) = tr4(
+                _mm256_loadu_pd(s.add(12)),
+                _mm256_loadu_pd(s.add(28)),
+                _mm256_loadu_pd(s.add(44)),
+                _mm256_loadu_pd(s.add(60)),
+            );
+            // Column 0.
+            if !ok(x00) {
+                return false;
+            }
+            let p0 = _mm256_sqrt_pd(x00);
+            let l10 = _mm256_div_pd(x10, p0);
+            let l20 = _mm256_div_pd(x20, p0);
+            let l30 = _mm256_div_pd(x30, p0);
+            // Column 1.
+            let a11 = _mm256_sub_pd(x11, _mm256_mul_pd(l10, l10));
+            if !ok(a11) || !nonzero(l10) {
+                return false;
+            }
+            let p1 = _mm256_sqrt_pd(a11);
+            let nw = _mm256_xor_pd(l10, neg0);
+            let l21 = _mm256_div_pd(_mm256_fmadd_pd(nw, l20, x21), p1);
+            let l31 = _mm256_div_pd(_mm256_fmadd_pd(nw, l30, x31), p1);
+            // Column 2.
+            let mut a22 = _mm256_sub_pd(x22, _mm256_mul_pd(l20, l20));
+            a22 = _mm256_sub_pd(a22, _mm256_mul_pd(l21, l21));
+            if !ok(a22) || !nonzero(l20) || !nonzero(l21) {
+                return false;
+            }
+            let p2 = _mm256_sqrt_pd(a22);
+            let mut t32 = _mm256_fmadd_pd(_mm256_xor_pd(l20, neg0), l30, x32);
+            t32 = _mm256_fmadd_pd(_mm256_xor_pd(l21, neg0), l31, t32);
+            let l32 = _mm256_div_pd(t32, p2);
+            // Column 3 (last: no trailing update or divide).
+            let mut a33 = _mm256_sub_pd(x33, _mm256_mul_pd(l30, l30));
+            a33 = _mm256_sub_pd(a33, _mm256_mul_pd(l31, l31));
+            a33 = _mm256_sub_pd(a33, _mm256_mul_pd(l32, l32));
+            if !ok(a33) {
+                return false;
+            }
+            let l33 = _mm256_sqrt_pd(a33);
+            // Unpack; strict upper elements carry their source values, the
+            // in-place behavior of the scalar tier.
+            let d = dst.as_mut_ptr();
+            let (c0, c1, c2, c3) = tr4(p0, l10, l20, l30);
+            _mm256_storeu_pd(d, c0);
+            _mm256_storeu_pd(d.add(16), c1);
+            _mm256_storeu_pd(d.add(32), c2);
+            _mm256_storeu_pd(d.add(48), c3);
+            let (c0, c1, c2, c3) = tr4(x01, p1, l21, l31);
+            _mm256_storeu_pd(d.add(4), c0);
+            _mm256_storeu_pd(d.add(20), c1);
+            _mm256_storeu_pd(d.add(36), c2);
+            _mm256_storeu_pd(d.add(52), c3);
+            let (c0, c1, c2, c3) = tr4(x02, x12, p2, l32);
+            _mm256_storeu_pd(d.add(8), c0);
+            _mm256_storeu_pd(d.add(24), c1);
+            _mm256_storeu_pd(d.add(40), c2);
+            _mm256_storeu_pd(d.add(56), c3);
+            let (c0, c1, c2, c3) = tr4(x03, x13, x23, l33);
+            _mm256_storeu_pd(d.add(12), c0);
+            _mm256_storeu_pd(d.add(28), c1);
+            _mm256_storeu_pd(d.add(44), c2);
+            _mm256_storeu_pd(d.add(60), c3);
+            true
         }
-        let p0 = _mm256_sqrt_pd(x00);
-        let l10 = _mm256_div_pd(x10, p0);
-        let l20 = _mm256_div_pd(x20, p0);
-        let l30 = _mm256_div_pd(x30, p0);
-        // Column 1.
-        let a11 = _mm256_sub_pd(x11, _mm256_mul_pd(l10, l10));
-        if !ok(a11) || !nonzero(l10) {
-            return false;
-        }
-        let p1 = _mm256_sqrt_pd(a11);
-        let nw = _mm256_xor_pd(l10, neg0);
-        let l21 = _mm256_div_pd(_mm256_fmadd_pd(nw, l20, x21), p1);
-        let l31 = _mm256_div_pd(_mm256_fmadd_pd(nw, l30, x31), p1);
-        // Column 2.
-        let mut a22 = _mm256_sub_pd(x22, _mm256_mul_pd(l20, l20));
-        a22 = _mm256_sub_pd(a22, _mm256_mul_pd(l21, l21));
-        if !ok(a22) || !nonzero(l20) || !nonzero(l21) {
-            return false;
-        }
-        let p2 = _mm256_sqrt_pd(a22);
-        let mut t32 = _mm256_fmadd_pd(_mm256_xor_pd(l20, neg0), l30, x32);
-        t32 = _mm256_fmadd_pd(_mm256_xor_pd(l21, neg0), l31, t32);
-        let l32 = _mm256_div_pd(t32, p2);
-        // Column 3 (last: no trailing update or divide).
-        let mut a33 = _mm256_sub_pd(x33, _mm256_mul_pd(l30, l30));
-        a33 = _mm256_sub_pd(a33, _mm256_mul_pd(l31, l31));
-        a33 = _mm256_sub_pd(a33, _mm256_mul_pd(l32, l32));
-        if !ok(a33) {
-            return false;
-        }
-        let l33 = _mm256_sqrt_pd(a33);
-        // Unpack; strict upper elements carry their source values, the
-        // in-place behavior of the scalar tier.
-        let d = dst.as_mut_ptr();
-        let (c0, c1, c2, c3) = tr4(p0, l10, l20, l30);
-        _mm256_storeu_pd(d, c0);
-        _mm256_storeu_pd(d.add(16), c1);
-        _mm256_storeu_pd(d.add(32), c2);
-        _mm256_storeu_pd(d.add(48), c3);
-        let (c0, c1, c2, c3) = tr4(x01, p1, l21, l31);
-        _mm256_storeu_pd(d.add(4), c0);
-        _mm256_storeu_pd(d.add(20), c1);
-        _mm256_storeu_pd(d.add(36), c2);
-        _mm256_storeu_pd(d.add(52), c3);
-        let (c0, c1, c2, c3) = tr4(x02, x12, p2, l32);
-        _mm256_storeu_pd(d.add(8), c0);
-        _mm256_storeu_pd(d.add(24), c1);
-        _mm256_storeu_pd(d.add(40), c2);
-        _mm256_storeu_pd(d.add(56), c3);
-        let (c0, c1, c2, c3) = tr4(x03, x13, x23, l33);
-        _mm256_storeu_pd(d.add(12), c0);
-        _mm256_storeu_pd(d.add(28), c1);
-        _mm256_storeu_pd(d.add(44), c2);
-        _mm256_storeu_pd(d.add(60), c3);
-        true
     }
 
     /// Batch driver for [`potrf4_f64`]: the rare bail-outs rerun
@@ -981,12 +986,18 @@ mod x86 {
         ns: &[usize],
         infos: &mut [i32],
     ) {
-        for g in 0..groups {
-            let s = &src[g * 64..];
-            if !potrf4_f64(s, &mut dst[g * 64..]) {
-                pack_group_f64(4, s, tile, true);
-                potrf_f64(tile, 4, ns, &mut infos[g * 4..]);
-                unpack_group_f64(4, tile, &mut dst[g * 64..], true);
+        // SAFETY: fn contract — the dispatching wrapper checked that
+        // `src`/`dst` hold `groups` full groups, `tile` one group, and
+        // `infos` 4 slots per group, so every per-group slice below is in
+        // bounds and the callees’ extent contracts hold.
+        unsafe {
+            for g in 0..groups {
+                let s = &src[g * 64..];
+                if !potrf4_f64(s, &mut dst[g * 64..]) {
+                    pack_group_f64(4, s, tile, true);
+                    potrf_f64(tile, 4, ns, &mut infos[g * 4..]);
+                    unpack_group_f64(4, tile, &mut dst[g * 64..], true);
+                }
             }
         }
     }
@@ -994,7 +1005,7 @@ mod x86 {
     /// 8×8 `f32` register transpose.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn tr8(v: [__m256; 8]) -> [__m256; 8] {
+    fn tr8(v: [__m256; 8]) -> [__m256; 8] {
         let t0 = _mm256_unpacklo_ps(v[0], v[1]);
         let t1 = _mm256_unpackhi_ps(v[0], v[1]);
         let t2 = _mm256_unpacklo_ps(v[2], v[3]);
@@ -1030,35 +1041,41 @@ mod x86 {
     /// touches — halving the moved bytes.
     #[target_feature(enable = "avx2")]
     unsafe fn pack_group_f64(n: usize, srcs: &[f64], buf: &mut [f64], lower: bool) {
-        let s = srcs.as_ptr();
-        let o = buf.as_mut_ptr();
-        let mm = n * n;
-        for j in 0..n {
-            let c0 = s.add(j * n);
-            let c1 = s.add(mm + j * n);
-            let c2 = s.add(2 * mm + j * n);
-            let c3 = s.add(3 * mm + j * n);
-            let ob = o.add(j * n * 4);
-            let mut i = if lower { j & !3 } else { 0 };
-            while i + 4 <= n {
-                let (r0, r1, r2, r3) = tr4(
-                    _mm256_loadu_pd(c0.add(i)),
-                    _mm256_loadu_pd(c1.add(i)),
-                    _mm256_loadu_pd(c2.add(i)),
-                    _mm256_loadu_pd(c3.add(i)),
-                );
-                _mm256_storeu_pd(ob.add(i * 4), r0);
-                _mm256_storeu_pd(ob.add(i * 4 + 4), r1);
-                _mm256_storeu_pd(ob.add(i * 4 + 8), r2);
-                _mm256_storeu_pd(ob.add(i * 4 + 12), r3);
-                i += 4;
-            }
-            while i < n {
-                *ob.add(i * 4) = *c0.add(i);
-                *ob.add(i * 4 + 1) = *c1.add(i);
-                *ob.add(i * 4 + 2) = *c2.add(i);
-                *ob.add(i * 4 + 3) = *c3.add(i);
-                i += 1;
+        // SAFETY: fn contract — `srcs` holds 4 n×n matrices and `buf` one
+        // interleaved group (4·n·n), so column bases `l·n² + j·n` and the
+        // 4-wide row accesses at `i ≤ n−4` (scalar tail below n) stay in
+        // bounds for both slices.
+        unsafe {
+            let s = srcs.as_ptr();
+            let o = buf.as_mut_ptr();
+            let mm = n * n;
+            for j in 0..n {
+                let c0 = s.add(j * n);
+                let c1 = s.add(mm + j * n);
+                let c2 = s.add(2 * mm + j * n);
+                let c3 = s.add(3 * mm + j * n);
+                let ob = o.add(j * n * 4);
+                let mut i = if lower { j & !3 } else { 0 };
+                while i + 4 <= n {
+                    let (r0, r1, r2, r3) = tr4(
+                        _mm256_loadu_pd(c0.add(i)),
+                        _mm256_loadu_pd(c1.add(i)),
+                        _mm256_loadu_pd(c2.add(i)),
+                        _mm256_loadu_pd(c3.add(i)),
+                    );
+                    _mm256_storeu_pd(ob.add(i * 4), r0);
+                    _mm256_storeu_pd(ob.add(i * 4 + 4), r1);
+                    _mm256_storeu_pd(ob.add(i * 4 + 8), r2);
+                    _mm256_storeu_pd(ob.add(i * 4 + 12), r3);
+                    i += 4;
+                }
+                while i < n {
+                    *ob.add(i * 4) = *c0.add(i);
+                    *ob.add(i * 4 + 1) = *c1.add(i);
+                    *ob.add(i * 4 + 2) = *c2.add(i);
+                    *ob.add(i * 4 + 3) = *c3.add(i);
+                    i += 1;
+                }
             }
         }
     }
@@ -1067,35 +1084,40 @@ mod x86 {
     /// As [`pack_group_f64`].
     #[target_feature(enable = "avx2")]
     unsafe fn unpack_group_f64(n: usize, buf: &[f64], dsts: &mut [f64], lower: bool) {
-        let b = buf.as_ptr();
-        let d = dsts.as_mut_ptr();
-        let mm = n * n;
-        for j in 0..n {
-            let c0 = d.add(j * n);
-            let c1 = d.add(mm + j * n);
-            let c2 = d.add(2 * mm + j * n);
-            let c3 = d.add(3 * mm + j * n);
-            let ib = b.add(j * n * 4);
-            let mut i = if lower { j & !3 } else { 0 };
-            while i + 4 <= n {
-                let (r0, r1, r2, r3) = tr4(
-                    _mm256_loadu_pd(ib.add(i * 4)),
-                    _mm256_loadu_pd(ib.add(i * 4 + 4)),
-                    _mm256_loadu_pd(ib.add(i * 4 + 8)),
-                    _mm256_loadu_pd(ib.add(i * 4 + 12)),
-                );
-                _mm256_storeu_pd(c0.add(i), r0);
-                _mm256_storeu_pd(c1.add(i), r1);
-                _mm256_storeu_pd(c2.add(i), r2);
-                _mm256_storeu_pd(c3.add(i), r3);
-                i += 4;
-            }
-            while i < n {
-                *c0.add(i) = *ib.add(i * 4);
-                *c1.add(i) = *ib.add(i * 4 + 1);
-                *c2.add(i) = *ib.add(i * 4 + 2);
-                *c3.add(i) = *ib.add(i * 4 + 3);
-                i += 1;
+        // SAFETY: fn contract — mirror of `pack_group_f64`: `buf` holds one
+        // interleaved group and `dsts` 4 n×n matrices, same in-bounds
+        // offset argument with loads and stores exchanged.
+        unsafe {
+            let b = buf.as_ptr();
+            let d = dsts.as_mut_ptr();
+            let mm = n * n;
+            for j in 0..n {
+                let c0 = d.add(j * n);
+                let c1 = d.add(mm + j * n);
+                let c2 = d.add(2 * mm + j * n);
+                let c3 = d.add(3 * mm + j * n);
+                let ib = b.add(j * n * 4);
+                let mut i = if lower { j & !3 } else { 0 };
+                while i + 4 <= n {
+                    let (r0, r1, r2, r3) = tr4(
+                        _mm256_loadu_pd(ib.add(i * 4)),
+                        _mm256_loadu_pd(ib.add(i * 4 + 4)),
+                        _mm256_loadu_pd(ib.add(i * 4 + 8)),
+                        _mm256_loadu_pd(ib.add(i * 4 + 12)),
+                    );
+                    _mm256_storeu_pd(c0.add(i), r0);
+                    _mm256_storeu_pd(c1.add(i), r1);
+                    _mm256_storeu_pd(c2.add(i), r2);
+                    _mm256_storeu_pd(c3.add(i), r3);
+                    i += 4;
+                }
+                while i < n {
+                    *c0.add(i) = *ib.add(i * 4);
+                    *c1.add(i) = *ib.add(i * 4 + 1);
+                    *c2.add(i) = *ib.add(i * 4 + 2);
+                    *c3.add(i) = *ib.add(i * 4 + 3);
+                    i += 1;
+                }
             }
         }
     }
@@ -1104,32 +1126,37 @@ mod x86 {
     /// As [`pack_group_f64`].
     #[target_feature(enable = "avx2")]
     unsafe fn pack_group_f32(n: usize, srcs: &[f32], buf: &mut [f32], lower: bool) {
-        let s = srcs.as_ptr();
-        let o = buf.as_mut_ptr();
-        let mm = n * n;
-        for j in 0..n {
-            let mut cols = [core::ptr::null::<f32>(); 8];
-            for (l, c) in cols.iter_mut().enumerate() {
-                *c = s.add(l * mm + j * n);
-            }
-            let ob = o.add(j * n * 8);
-            let mut i = if lower { j & !7 } else { 0 };
-            while i + 8 <= n {
-                let mut v = [_mm256_setzero_ps(); 8];
-                for (l, c) in cols.iter().enumerate() {
-                    v[l] = _mm256_loadu_ps(c.add(i));
+        // SAFETY: fn contract — `srcs` holds 8 n×n matrices and `buf` one
+        // interleaved group (8·n·n); lane bases `l·n² + j·n` and 8-wide row
+        // accesses at `i ≤ n−8` (scalar tail below n) stay in bounds.
+        unsafe {
+            let s = srcs.as_ptr();
+            let o = buf.as_mut_ptr();
+            let mm = n * n;
+            for j in 0..n {
+                let mut cols = [core::ptr::null::<f32>(); 8];
+                for (l, c) in cols.iter_mut().enumerate() {
+                    *c = s.add(l * mm + j * n);
                 }
-                let r = tr8(v);
-                for (k, rv) in r.iter().enumerate() {
-                    _mm256_storeu_ps(ob.add((i + k) * 8), *rv);
+                let ob = o.add(j * n * 8);
+                let mut i = if lower { j & !7 } else { 0 };
+                while i + 8 <= n {
+                    let mut v = [_mm256_setzero_ps(); 8];
+                    for (l, c) in cols.iter().enumerate() {
+                        v[l] = _mm256_loadu_ps(c.add(i));
+                    }
+                    let r = tr8(v);
+                    for (k, rv) in r.iter().enumerate() {
+                        _mm256_storeu_ps(ob.add((i + k) * 8), *rv);
+                    }
+                    i += 8;
                 }
-                i += 8;
-            }
-            while i < n {
-                for (l, c) in cols.iter().enumerate() {
-                    *ob.add(i * 8 + l) = *c.add(i);
+                while i < n {
+                    for (l, c) in cols.iter().enumerate() {
+                        *ob.add(i * 8 + l) = *c.add(i);
+                    }
+                    i += 1;
                 }
-                i += 1;
             }
         }
     }
@@ -1138,32 +1165,36 @@ mod x86 {
     /// As [`pack_group_f64`].
     #[target_feature(enable = "avx2")]
     unsafe fn unpack_group_f32(n: usize, buf: &[f32], dsts: &mut [f32], lower: bool) {
-        let b = buf.as_ptr();
-        let d = dsts.as_mut_ptr();
-        let mm = n * n;
-        for j in 0..n {
-            let mut cols = [core::ptr::null_mut::<f32>(); 8];
-            for (l, c) in cols.iter_mut().enumerate() {
-                *c = d.add(l * mm + j * n);
-            }
-            let ib = b.add(j * n * 8);
-            let mut i = if lower { j & !7 } else { 0 };
-            while i + 8 <= n {
-                let mut v = [_mm256_setzero_ps(); 8];
-                for (k, vv) in v.iter_mut().enumerate() {
-                    *vv = _mm256_loadu_ps(ib.add((i + k) * 8));
+        // SAFETY: fn contract — mirror of `pack_group_f32` with loads and
+        // stores exchanged; same extent argument.
+        unsafe {
+            let b = buf.as_ptr();
+            let d = dsts.as_mut_ptr();
+            let mm = n * n;
+            for j in 0..n {
+                let mut cols = [core::ptr::null_mut::<f32>(); 8];
+                for (l, c) in cols.iter_mut().enumerate() {
+                    *c = d.add(l * mm + j * n);
                 }
-                let r = tr8(v);
-                for (l, c) in cols.iter().enumerate() {
-                    _mm256_storeu_ps(c.add(i), r[l]);
+                let ib = b.add(j * n * 8);
+                let mut i = if lower { j & !7 } else { 0 };
+                while i + 8 <= n {
+                    let mut v = [_mm256_setzero_ps(); 8];
+                    for (k, vv) in v.iter_mut().enumerate() {
+                        *vv = _mm256_loadu_ps(ib.add((i + k) * 8));
+                    }
+                    let r = tr8(v);
+                    for (l, c) in cols.iter().enumerate() {
+                        _mm256_storeu_ps(c.add(i), r[l]);
+                    }
+                    i += 8;
                 }
-                i += 8;
-            }
-            while i < n {
-                for (l, c) in cols.iter().enumerate() {
-                    *c.add(i) = *ib.add(i * 8 + l);
+                while i < n {
+                    for (l, c) in cols.iter().enumerate() {
+                        *c.add(i) = *ib.add(i * 8 + l);
+                    }
+                    i += 1;
                 }
-                i += 1;
             }
         }
     }
@@ -1222,11 +1253,17 @@ mod x86 {
                 ns: &[usize],
                 infos: &mut [i32],
             ) {
-                let gsz = n * n * $lanes;
-                for g in 0..groups {
-                    $pack(n, &src[g * gsz..], tile, true);
-                    $potrf(tile, n, ns, &mut infos[g * $lanes..]);
-                    $unpack(n, tile, &mut dst[g * gsz..], true);
+                // SAFETY: fn contract — the dispatching wrapper sized `src`/`dst`
+                // as `groups` interleaved groups, `tile` as one group and `infos`
+                // as one lane-set per group, so the per-group slices handed to the
+                // pack/factor/unpack callees satisfy their extent contracts.
+                unsafe {
+                    let gsz = n * n * $lanes;
+                    for g in 0..groups {
+                        $pack(n, &src[g * gsz..], tile, true);
+                        $potrf(tile, n, ns, &mut infos[g * $lanes..]);
+                        $unpack(n, tile, &mut dst[g * gsz..], true);
+                    }
                 }
             }
             /// # Safety
@@ -1234,220 +1271,226 @@ mod x86 {
             /// extents checked by the dispatching wrapper.
             #[target_feature(enable = "avx2,fma")]
             unsafe fn $potrf(buf: &mut [$ty], m: usize, ns: &[usize], infos: &mut [i32]) {
-                const L: usize = $lanes;
-                // All-lanes movemask: when a mask is FULL a blendv keyed
-                // on it returns its second operand unchanged, so the
-                // specialized no-blend loops below stay bit-identical.
-                const FULL: i32 = (1 << L) - 1;
-                // Stash for negated column multipliers at small orders
-                // (the one-time zero-init is a dozen stores).
-                const NWS: usize = 16;
-                let mut nws = [$setzero(); NWS];
-                let p = buf.as_mut_ptr();
-                let at = |i: usize, j: usize| (j * m + i) * L;
-                let zero = $setzero();
-                let neg0 = $set1(-0.0);
-                let inf = $set1(<$ty>::INFINITY);
-                let mut broken = [false; L];
-                let mut live = [0.0 as $ty; L];
-                // Columns at which a lane runs out of order (`j == ns[l]`)
-                // — the only place besides breakdown where the live mask
-                // changes, so it is rebuilt only there. Column indices
-                // above 63 always rebuild (never hit: the driver cutoff
-                // is far below).
-                let mut ends = if m < 64 { 0u64 } else { !0u64 };
-                if m < 64 {
-                    for &n in ns {
-                        ends |= 1u64 << n.min(63);
-                    }
-                }
-                let rebuild = |live: &mut [$ty; L], broken: &[bool; L], j: usize| {
-                    for (l, lv) in live.iter_mut().enumerate() {
-                        let alive = l < ns.len() && !broken[l] && j < ns[l];
-                        *lv = if alive { <$ty>::from_bits(!0) } else { 0.0 };
-                    }
-                };
-                rebuild(&mut live, &broken, 0);
-                let mut lm = $loadu(live.as_ptr());
-                for j in 0..m {
-                    if j > 0 && ends & (1u64 << j.min(63)) != 0 {
-                        rebuild(&mut live, &broken, j);
-                        lm = $loadu(live.as_ptr());
-                    }
-                    let mut lmk = $movemask(lm);
-                    if lmk == 0 {
-                        break;
-                    }
-                    // ajj ← a(j,j) − Σ a(j,t)² — sequential mul-then-sub,
-                    // the scalar tier's rounding sequence (no fused op).
-                    // The same loads are the row's multipliers, so the
-                    // fast path's nonzero test (and, at small orders,
-                    // its negated-multiplier stash) rides along here
-                    // instead of re-reading the row.
-                    let mut ajj = $loadu(p.add(at(j, j)));
-                    let mut nz = lm;
-                    if m <= NWS {
-                        for t in 0..j {
-                            let v = $loadu(p.add(at(j, t)));
-                            ajj = $sub(ajj, $mul(v, v));
-                            nz = $and(nz, $cmp::<_CMP_NEQ_UQ>(v, zero));
-                            nws[t] = $xor(v, neg0);
-                        }
-                    } else {
-                        for t in 0..j {
-                            let v = $loadu(p.add(at(j, t)));
-                            ajj = $sub(ajj, $mul(v, v));
-                            nz = $and(nz, $cmp::<_CMP_NEQ_UQ>(v, zero));
+                // SAFETY: fn contract — `buf` holds one interleaved m×m group
+                // (m·m·L elements), so every `at(i, j)` offset with i, j < m is an
+                // in-bounds L-wide access; `infos` holds one lane-set and `ns` at
+                // most L entries, bounds-checked where indexed.
+                unsafe {
+                    const L: usize = $lanes;
+                    // All-lanes movemask: when a mask is FULL a blendv keyed
+                    // on it returns its second operand unchanged, so the
+                    // specialized no-blend loops below stay bit-identical.
+                    const FULL: i32 = (1 << L) - 1;
+                    // Stash for negated column multipliers at small orders
+                    // (the one-time zero-init is a dozen stores).
+                    const NWS: usize = 16;
+                    let mut nws = [$setzero(); NWS];
+                    let p = buf.as_mut_ptr();
+                    let at = |i: usize, j: usize| (j * m + i) * L;
+                    let zero = $setzero();
+                    let neg0 = $set1(-0.0);
+                    let inf = $set1(<$ty>::INFINITY);
+                    let mut broken = [false; L];
+                    let mut live = [0.0 as $ty; L];
+                    // Columns at which a lane runs out of order (`j == ns[l]`)
+                    // — the only place besides breakdown where the live mask
+                    // changes, so it is rebuilt only there. Column indices
+                    // above 63 always rebuild (never hit: the driver cutoff
+                    // is far below).
+                    let mut ends = if m < 64 { 0u64 } else { !0u64 };
+                    if m < 64 {
+                        for &n in ns {
+                            ends |= 1u64 << n.min(63);
                         }
                     }
-                    // Same predicate as the scalar tier's
-                    // `ajj <= 0 || !ajj.is_finite()`: positive AND below
-                    // +∞ (NaN fails both ordered compares).
-                    let ok = $and($cmp::<_CMP_GT_OQ>(ajj, zero), $cmp::<_CMP_LT_OQ>(ajj, inf));
-                    let dead = $movemask($andnot(ok, lm));
-                    if dead != 0 {
-                        // Slow path: record breakdowns, freeze lanes.
-                        for (l, b) in broken.iter_mut().enumerate() {
-                            if dead & (1 << l) != 0 {
-                                infos[l] = (j + 1) as i32;
-                                *b = true;
-                            }
+                    let rebuild = |live: &mut [$ty; L], broken: &[bool; L], j: usize| {
+                        for (l, lv) in live.iter_mut().enumerate() {
+                            let alive = l < ns.len() && !broken[l] && j < ns[l];
+                            *lv = if alive { <$ty>::from_bits(!0) } else { 0.0 };
                         }
-                        lm = $and(lm, ok);
-                        $storeu(live.as_mut_ptr(), lm);
-                        lmk = $movemask(lm);
-                    }
-                    if lmk == 0 {
-                        continue;
-                    }
-                    let piv = $sqrt(ajj);
-                    if lmk == FULL {
-                        $storeu(p.add(at(j, j)), piv);
-                    } else {
-                        let old = $loadu(p.add(at(j, j)));
-                        $storeu(p.add(at(j, j)), $blendv(old, piv, lm));
-                    }
-                    if j + 1 == m {
-                        continue;
-                    }
-                    // Fast path: every lane live and every multiplier
-                    // a(j,t) nonzero in every lane — the steady state
-                    // for full SPD groups. Swapping to i-outer,
-                    // t-inner register accumulation (divide fused in)
-                    // keeps each element's operation sequence — and so
-                    // its rounding — exactly that of the scalar tier,
-                    // while touching the trailing column once instead
-                    // of j+1 times. Small orders stash the negated
-                    // multipliers during the nonzero pre-pass; larger
-                    // ones amortize the reload over 4-row blocks.
-                    let fast = lmk == FULL && $movemask(nz) == FULL;
-                    if fast && m < 12 {
-                        // Tiny orders: a single accumulator per row —
-                        // the 4-row blocking below costs more in code
-                        // than it saves in loads at this size.
-                        for i in (j + 1)..m {
-                            let mut acc = $loadu(p.add(at(i, j)));
+                    };
+                    rebuild(&mut live, &broken, 0);
+                    let mut lm = $loadu(live.as_ptr());
+                    for j in 0..m {
+                        if j > 0 && ends & (1u64 << j.min(63)) != 0 {
+                            rebuild(&mut live, &broken, j);
+                            lm = $loadu(live.as_ptr());
+                        }
+                        let mut lmk = $movemask(lm);
+                        if lmk == 0 {
+                            break;
+                        }
+                        // ajj ← a(j,j) − Σ a(j,t)² — sequential mul-then-sub,
+                        // the scalar tier's rounding sequence (no fused op).
+                        // The same loads are the row's multipliers, so the
+                        // fast path's nonzero test (and, at small orders,
+                        // its negated-multiplier stash) rides along here
+                        // instead of re-reading the row.
+                        let mut ajj = $loadu(p.add(at(j, j)));
+                        let mut nz = lm;
+                        if m <= NWS {
                             for t in 0..j {
-                                acc = $fmadd(nws[t], $loadu(p.add(at(i, t))), acc);
+                                let v = $loadu(p.add(at(j, t)));
+                                ajj = $sub(ajj, $mul(v, v));
+                                nz = $and(nz, $cmp::<_CMP_NEQ_UQ>(v, zero));
+                                nws[t] = $xor(v, neg0);
                             }
-                            $storeu(p.add(at(i, j)), $div(acc, piv));
-                        }
-                        continue;
-                    }
-                    if fast && m <= NWS {
-                        let mut i = j + 1;
-                        while i + 4 <= m {
-                            let mut a0 = $loadu(p.add(at(i, j)));
-                            let mut a1 = $loadu(p.add(at(i + 1, j)));
-                            let mut a2 = $loadu(p.add(at(i + 2, j)));
-                            let mut a3 = $loadu(p.add(at(i + 3, j)));
+                        } else {
                             for t in 0..j {
-                                let nw = nws[t];
-                                a0 = $fmadd(nw, $loadu(p.add(at(i, t))), a0);
-                                a1 = $fmadd(nw, $loadu(p.add(at(i + 1, t))), a1);
-                                a2 = $fmadd(nw, $loadu(p.add(at(i + 2, t))), a2);
-                                a3 = $fmadd(nw, $loadu(p.add(at(i + 3, t))), a3);
+                                let v = $loadu(p.add(at(j, t)));
+                                ajj = $sub(ajj, $mul(v, v));
+                                nz = $and(nz, $cmp::<_CMP_NEQ_UQ>(v, zero));
                             }
-                            $storeu(p.add(at(i, j)), $div(a0, piv));
-                            $storeu(p.add(at(i + 1, j)), $div(a1, piv));
-                            $storeu(p.add(at(i + 2, j)), $div(a2, piv));
-                            $storeu(p.add(at(i + 3, j)), $div(a3, piv));
-                            i += 4;
                         }
-                        while i < m {
-                            let mut acc = $loadu(p.add(at(i, j)));
-                            for t in 0..j {
-                                acc = $fmadd(nws[t], $loadu(p.add(at(i, t))), acc);
+                        // Same predicate as the scalar tier's
+                        // `ajj <= 0 || !ajj.is_finite()`: positive AND below
+                        // +∞ (NaN fails both ordered compares).
+                        let ok = $and($cmp::<_CMP_GT_OQ>(ajj, zero), $cmp::<_CMP_LT_OQ>(ajj, inf));
+                        let dead = $movemask($andnot(ok, lm));
+                        if dead != 0 {
+                            // Slow path: record breakdowns, freeze lanes.
+                            for (l, b) in broken.iter_mut().enumerate() {
+                                if dead & (1 << l) != 0 {
+                                    infos[l] = (j + 1) as i32;
+                                    *b = true;
+                                }
                             }
-                            $storeu(p.add(at(i, j)), $div(acc, piv));
-                            i += 1;
+                            lm = $and(lm, ok);
+                            $storeu(live.as_mut_ptr(), lm);
+                            lmk = $movemask(lm);
                         }
-                        continue;
-                    }
-                    if fast {
-                        let mut i = j + 1;
-                        while i + 4 <= m {
-                            let mut a0 = $loadu(p.add(at(i, j)));
-                            let mut a1 = $loadu(p.add(at(i + 1, j)));
-                            let mut a2 = $loadu(p.add(at(i + 2, j)));
-                            let mut a3 = $loadu(p.add(at(i + 3, j)));
-                            for t in 0..j {
-                                let nw = $xor($loadu(p.add(at(j, t))), neg0);
-                                a0 = $fmadd(nw, $loadu(p.add(at(i, t))), a0);
-                                a1 = $fmadd(nw, $loadu(p.add(at(i + 1, t))), a1);
-                                a2 = $fmadd(nw, $loadu(p.add(at(i + 2, t))), a2);
-                                a3 = $fmadd(nw, $loadu(p.add(at(i + 3, t))), a3);
-                            }
-                            $storeu(p.add(at(i, j)), $div(a0, piv));
-                            $storeu(p.add(at(i + 1, j)), $div(a1, piv));
-                            $storeu(p.add(at(i + 2, j)), $div(a2, piv));
-                            $storeu(p.add(at(i + 3, j)), $div(a3, piv));
-                            i += 4;
-                        }
-                        while i < m {
-                            let mut acc = $loadu(p.add(at(i, j)));
-                            for t in 0..j {
-                                let nw = $xor($loadu(p.add(at(j, t))), neg0);
-                                acc = $fmadd(nw, $loadu(p.add(at(i, t))), acc);
-                            }
-                            $storeu(p.add(at(i, j)), $div(acc, piv));
-                            i += 1;
-                        }
-                        continue;
-                    }
-                    for t in 0..j {
-                        let w = $loadu(p.add(at(j, t)));
-                        let wm = $and(lm, $cmp::<_CMP_NEQ_UQ>(w, zero));
-                        let mk = $movemask(wm);
-                        if mk == 0 {
+                        if lmk == 0 {
                             continue;
                         }
-                        let nw = $xor(w, neg0);
-                        if mk == FULL {
+                        let piv = $sqrt(ajj);
+                        if lmk == FULL {
+                            $storeu(p.add(at(j, j)), piv);
+                        } else {
+                            let old = $loadu(p.add(at(j, j)));
+                            $storeu(p.add(at(j, j)), $blendv(old, piv, lm));
+                        }
+                        if j + 1 == m {
+                            continue;
+                        }
+                        // Fast path: every lane live and every multiplier
+                        // a(j,t) nonzero in every lane — the steady state
+                        // for full SPD groups. Swapping to i-outer,
+                        // t-inner register accumulation (divide fused in)
+                        // keeps each element's operation sequence — and so
+                        // its rounding — exactly that of the scalar tier,
+                        // while touching the trailing column once instead
+                        // of j+1 times. Small orders stash the negated
+                        // multipliers during the nonzero pre-pass; larger
+                        // ones amortize the reload over 4-row blocks.
+                        let fast = lmk == FULL && $movemask(nz) == FULL;
+                        if fast && m < 12 {
+                            // Tiny orders: a single accumulator per row —
+                            // the 4-row blocking below costs more in code
+                            // than it saves in loads at this size.
+                            for i in (j + 1)..m {
+                                let mut acc = $loadu(p.add(at(i, j)));
+                                for t in 0..j {
+                                    acc = $fmadd(nws[t], $loadu(p.add(at(i, t))), acc);
+                                }
+                                $storeu(p.add(at(i, j)), $div(acc, piv));
+                            }
+                            continue;
+                        }
+                        if fast && m <= NWS {
+                            let mut i = j + 1;
+                            while i + 4 <= m {
+                                let mut a0 = $loadu(p.add(at(i, j)));
+                                let mut a1 = $loadu(p.add(at(i + 1, j)));
+                                let mut a2 = $loadu(p.add(at(i + 2, j)));
+                                let mut a3 = $loadu(p.add(at(i + 3, j)));
+                                for t in 0..j {
+                                    let nw = nws[t];
+                                    a0 = $fmadd(nw, $loadu(p.add(at(i, t))), a0);
+                                    a1 = $fmadd(nw, $loadu(p.add(at(i + 1, t))), a1);
+                                    a2 = $fmadd(nw, $loadu(p.add(at(i + 2, t))), a2);
+                                    a3 = $fmadd(nw, $loadu(p.add(at(i + 3, t))), a3);
+                                }
+                                $storeu(p.add(at(i, j)), $div(a0, piv));
+                                $storeu(p.add(at(i + 1, j)), $div(a1, piv));
+                                $storeu(p.add(at(i + 2, j)), $div(a2, piv));
+                                $storeu(p.add(at(i + 3, j)), $div(a3, piv));
+                                i += 4;
+                            }
+                            while i < m {
+                                let mut acc = $loadu(p.add(at(i, j)));
+                                for t in 0..j {
+                                    acc = $fmadd(nws[t], $loadu(p.add(at(i, t))), acc);
+                                }
+                                $storeu(p.add(at(i, j)), $div(acc, piv));
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        if fast {
+                            let mut i = j + 1;
+                            while i + 4 <= m {
+                                let mut a0 = $loadu(p.add(at(i, j)));
+                                let mut a1 = $loadu(p.add(at(i + 1, j)));
+                                let mut a2 = $loadu(p.add(at(i + 2, j)));
+                                let mut a3 = $loadu(p.add(at(i + 3, j)));
+                                for t in 0..j {
+                                    let nw = $xor($loadu(p.add(at(j, t))), neg0);
+                                    a0 = $fmadd(nw, $loadu(p.add(at(i, t))), a0);
+                                    a1 = $fmadd(nw, $loadu(p.add(at(i + 1, t))), a1);
+                                    a2 = $fmadd(nw, $loadu(p.add(at(i + 2, t))), a2);
+                                    a3 = $fmadd(nw, $loadu(p.add(at(i + 3, t))), a3);
+                                }
+                                $storeu(p.add(at(i, j)), $div(a0, piv));
+                                $storeu(p.add(at(i + 1, j)), $div(a1, piv));
+                                $storeu(p.add(at(i + 2, j)), $div(a2, piv));
+                                $storeu(p.add(at(i + 3, j)), $div(a3, piv));
+                                i += 4;
+                            }
+                            while i < m {
+                                let mut acc = $loadu(p.add(at(i, j)));
+                                for t in 0..j {
+                                    let nw = $xor($loadu(p.add(at(j, t))), neg0);
+                                    acc = $fmadd(nw, $loadu(p.add(at(i, t))), acc);
+                                }
+                                $storeu(p.add(at(i, j)), $div(acc, piv));
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        for t in 0..j {
+                            let w = $loadu(p.add(at(j, t)));
+                            let wm = $and(lm, $cmp::<_CMP_NEQ_UQ>(w, zero));
+                            let mk = $movemask(wm);
+                            if mk == 0 {
+                                continue;
+                            }
+                            let nw = $xor(w, neg0);
+                            if mk == FULL {
+                                for i in (j + 1)..m {
+                                    let cv = $loadu(p.add(at(i, j)));
+                                    let av = $loadu(p.add(at(i, t)));
+                                    $storeu(p.add(at(i, j)), $fmadd(nw, av, cv));
+                                }
+                            } else {
+                                for i in (j + 1)..m {
+                                    let cv = $loadu(p.add(at(i, j)));
+                                    let av = $loadu(p.add(at(i, t)));
+                                    let r = $fmadd(nw, av, cv);
+                                    $storeu(p.add(at(i, j)), $blendv(cv, r, wm));
+                                }
+                            }
+                        }
+                        if lmk == FULL {
                             for i in (j + 1)..m {
                                 let cv = $loadu(p.add(at(i, j)));
-                                let av = $loadu(p.add(at(i, t)));
-                                $storeu(p.add(at(i, j)), $fmadd(nw, av, cv));
+                                $storeu(p.add(at(i, j)), $div(cv, piv));
                             }
                         } else {
                             for i in (j + 1)..m {
                                 let cv = $loadu(p.add(at(i, j)));
-                                let av = $loadu(p.add(at(i, t)));
-                                let r = $fmadd(nw, av, cv);
-                                $storeu(p.add(at(i, j)), $blendv(cv, r, wm));
+                                let r = $div(cv, piv);
+                                $storeu(p.add(at(i, j)), $blendv(cv, r, lm));
                             }
-                        }
-                    }
-                    if lmk == FULL {
-                        for i in (j + 1)..m {
-                            let cv = $loadu(p.add(at(i, j)));
-                            $storeu(p.add(at(i, j)), $div(cv, piv));
-                        }
-                    } else {
-                        for i in (j + 1)..m {
-                            let cv = $loadu(p.add(at(i, j)));
-                            let r = $div(cv, piv);
-                            $storeu(p.add(at(i, j)), $blendv(cv, r, lm));
                         }
                     }
                 }
@@ -1467,36 +1510,41 @@ mod x86 {
                 beta: $ty,
                 c: &mut [$ty],
             ) {
-                const L: usize = $lanes;
-                let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
-                let zero = $setzero();
-                let alv = $set1(alpha);
-                let bev = $set1(beta);
-                for j in 0..n {
-                    if beta == 0.0 {
-                        for i in 0..m {
-                            $storeu(cp.add((j * m + i) * L), zero);
+                // SAFETY: fn contract — `a`, `b`, `c` are interleaved m×k, k×n,
+                // m×n groups, so each `(col·rows + row)·L` offset below is an
+                // in-bounds L-wide access.
+                unsafe {
+                    const L: usize = $lanes;
+                    let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+                    let zero = $setzero();
+                    let alv = $set1(alpha);
+                    let bev = $set1(beta);
+                    for j in 0..n {
+                        if beta == 0.0 {
+                            for i in 0..m {
+                                $storeu(cp.add((j * m + i) * L), zero);
+                            }
+                        } else if beta != 1.0 {
+                            for i in 0..m {
+                                let v = $loadu(cp.add((j * m + i) * L));
+                                $storeu(cp.add((j * m + i) * L), $mul(v, bev));
+                            }
                         }
-                    } else if beta != 1.0 {
-                        for i in 0..m {
-                            let v = $loadu(cp.add((j * m + i) * L));
-                            $storeu(cp.add((j * m + i) * L), $mul(v, bev));
-                        }
-                    }
-                    if alpha == 0.0 {
-                        continue;
-                    }
-                    for t in 0..k {
-                        let w = $mul(alv, $loadu(bp.add((t * n + j) * L)));
-                        let wm = $cmp::<_CMP_NEQ_UQ>(w, zero);
-                        if $movemask(wm) == 0 {
+                        if alpha == 0.0 {
                             continue;
                         }
-                        for i in 0..m {
-                            let cv = $loadu(cp.add((j * m + i) * L));
-                            let av = $loadu(ap.add((t * m + i) * L));
-                            let r = $fmadd(w, av, cv);
-                            $storeu(cp.add((j * m + i) * L), $blendv(cv, r, wm));
+                        for t in 0..k {
+                            let w = $mul(alv, $loadu(bp.add((t * n + j) * L)));
+                            let wm = $cmp::<_CMP_NEQ_UQ>(w, zero);
+                            if $movemask(wm) == 0 {
+                                continue;
+                            }
+                            for i in 0..m {
+                                let cv = $loadu(cp.add((j * m + i) * L));
+                                let av = $loadu(ap.add((t * m + i) * L));
+                                let r = $fmadd(w, av, cv);
+                                $storeu(cp.add((j * m + i) * L), $blendv(cv, r, wm));
+                            }
                         }
                     }
                 }
@@ -1506,38 +1554,43 @@ mod x86 {
             /// As the potrf kernel.
             #[target_feature(enable = "avx2,fma")]
             unsafe fn $syrk(n: usize, k: usize, alpha: $ty, a: &[$ty], beta: $ty, c: &mut [$ty]) {
-                const L: usize = $lanes;
-                let (ap, cp) = (a.as_ptr(), c.as_mut_ptr());
-                let zero = $setzero();
-                let alv = $set1(alpha);
-                let bev = $set1(beta);
-                for j in 0..n {
-                    if beta == 0.0 {
-                        for i in j..n {
-                            $storeu(cp.add((j * n + i) * L), zero);
-                        }
-                    } else if beta != 1.0 {
-                        for i in j..n {
-                            let v = $loadu(cp.add((j * n + i) * L));
-                            $storeu(cp.add((j * n + i) * L), $mul(v, bev));
+                // SAFETY: fn contract — `a` is an interleaved n×k group and `c` an
+                // n×n group; all offsets `(j·n + i)·L` with i, j < n (and `(t·n +
+                // j)·L` with t < k) are in-bounds L-wide accesses.
+                unsafe {
+                    const L: usize = $lanes;
+                    let (ap, cp) = (a.as_ptr(), c.as_mut_ptr());
+                    let zero = $setzero();
+                    let alv = $set1(alpha);
+                    let bev = $set1(beta);
+                    for j in 0..n {
+                        if beta == 0.0 {
+                            for i in j..n {
+                                $storeu(cp.add((j * n + i) * L), zero);
+                            }
+                        } else if beta != 1.0 {
+                            for i in j..n {
+                                let v = $loadu(cp.add((j * n + i) * L));
+                                $storeu(cp.add((j * n + i) * L), $mul(v, bev));
+                            }
                         }
                     }
-                }
-                if alpha == 0.0 || k == 0 {
-                    return;
-                }
-                for t in 0..k {
-                    for j in 0..n {
-                        let w = $mul(alv, $loadu(ap.add((t * n + j) * L)));
-                        let wm = $cmp::<_CMP_NEQ_UQ>(w, zero);
-                        if $movemask(wm) == 0 {
-                            continue;
-                        }
-                        for i in j..n {
-                            let cv = $loadu(cp.add((j * n + i) * L));
-                            let av = $loadu(ap.add((t * n + i) * L));
-                            let r = $fmadd(w, av, cv);
-                            $storeu(cp.add((j * n + i) * L), $blendv(cv, r, wm));
+                    if alpha == 0.0 || k == 0 {
+                        return;
+                    }
+                    for t in 0..k {
+                        for j in 0..n {
+                            let w = $mul(alv, $loadu(ap.add((t * n + j) * L)));
+                            let wm = $cmp::<_CMP_NEQ_UQ>(w, zero);
+                            if $movemask(wm) == 0 {
+                                continue;
+                            }
+                            for i in j..n {
+                                let cv = $loadu(cp.add((j * n + i) * L));
+                                let av = $loadu(ap.add((t * n + i) * L));
+                                let r = $fmadd(w, av, cv);
+                                $storeu(cp.add((j * n + i) * L), $blendv(cv, r, wm));
+                            }
                         }
                     }
                 }
@@ -1547,29 +1600,34 @@ mod x86 {
             /// As the potrf kernel.
             #[target_feature(enable = "avx2,fma")]
             unsafe fn $trsm(m: usize, n: usize, a: &[$ty], b: &mut [$ty]) {
-                const L: usize = $lanes;
-                let (ap, bp) = (a.as_ptr(), b.as_mut_ptr());
-                let zero = $setzero();
-                let neg0 = $set1(-0.0);
-                for j in 0..n {
-                    for t in 0..j {
-                        let w = $loadu(ap.add((t * n + j) * L));
-                        let wm = $cmp::<_CMP_NEQ_UQ>(w, zero);
-                        if $movemask(wm) == 0 {
-                            continue;
+                // SAFETY: fn contract — `a` is an interleaved n×n group and `b` an
+                // m×n group; offsets `(j·n + j)·L` and `(j·m + i)·L` with the loop
+                // bounds below are in-bounds L-wide accesses.
+                unsafe {
+                    const L: usize = $lanes;
+                    let (ap, bp) = (a.as_ptr(), b.as_mut_ptr());
+                    let zero = $setzero();
+                    let neg0 = $set1(-0.0);
+                    for j in 0..n {
+                        for t in 0..j {
+                            let w = $loadu(ap.add((t * n + j) * L));
+                            let wm = $cmp::<_CMP_NEQ_UQ>(w, zero);
+                            if $movemask(wm) == 0 {
+                                continue;
+                            }
+                            let nw = $xor(w, neg0);
+                            for i in 0..m {
+                                let cv = $loadu(bp.add((j * m + i) * L));
+                                let av = $loadu(bp.add((t * m + i) * L));
+                                let r = $fmadd(nw, av, cv);
+                                $storeu(bp.add((j * m + i) * L), $blendv(cv, r, wm));
+                            }
                         }
-                        let nw = $xor(w, neg0);
+                        let ajj = $loadu(ap.add((j * n + j) * L));
                         for i in 0..m {
                             let cv = $loadu(bp.add((j * m + i) * L));
-                            let av = $loadu(bp.add((t * m + i) * L));
-                            let r = $fmadd(nw, av, cv);
-                            $storeu(bp.add((j * m + i) * L), $blendv(cv, r, wm));
+                            $storeu(bp.add((j * m + i) * L), $div(cv, ajj));
                         }
-                    }
-                    let ajj = $loadu(ap.add((j * n + j) * L));
-                    for i in 0..m {
-                        let cv = $loadu(bp.add((j * m + i) * L));
-                        $storeu(bp.add((j * m + i) * L), $div(cv, ajj));
                     }
                 }
             }

@@ -409,7 +409,7 @@ fn microkernel<T: Scalar>(
 /// scalar fma intrinsic blocks that and serializes the tile.
 #[inline]
 fn accumulate_tile<T: Scalar>(pa: &[T], pb: &[T], acc: &mut [[T; MR]; NR]) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if x86::accumulate_tile(pa, pb, acc) {
         return;
     }
@@ -429,7 +429,7 @@ fn accumulate_tile<T: Scalar>(pa: &[T], pb: &[T], acc: &mut [[T; MR]; NR]) {
 /// vectorization), so the two primitive precisions get explicit
 /// `_mm256_fmadd` kernels, selected per call by `TypeId` after a
 /// runtime CPU-feature check.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod x86 {
     use super::{Scalar, MR, NR};
     use core::any::TypeId;
@@ -480,23 +480,29 @@ mod x86 {
     /// Caller must have verified AVX2+FMA support.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn accumulate_f64(pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
-        let kc = pa.len() / MR;
-        let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
-        let mut c: [[__m256d; 2]; NR] = [[_mm256_setzero_pd(); 2]; NR];
-        for p in 0..kc {
-            let a0 = _mm256_loadu_pd(pa.add(p * MR));
-            let a1 = _mm256_loadu_pd(pa.add(p * MR + 4));
-            for (jr, cj) in c.iter_mut().enumerate() {
-                let b = _mm256_set1_pd(*pb.add(p * NR + jr));
-                cj[0] = _mm256_fmadd_pd(a0, b, cj[0]);
-                cj[1] = _mm256_fmadd_pd(a1, b, cj[1]);
+        // SAFETY: fn contract — `pa` holds kc packed MR-rows and `pb` kc
+        // packed NR-rows (debug-asserted by the dispatcher), so offsets
+        // `p·MR + 0..8` and `p·NR + jr` stay in bounds; `acc` rows are
+        // MR = 8 wide, covering both 4-wide halves.
+        unsafe {
+            let kc = pa.len() / MR;
+            let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+            let mut c: [[__m256d; 2]; NR] = [[_mm256_setzero_pd(); 2]; NR];
+            for p in 0..kc {
+                let a0 = _mm256_loadu_pd(pa.add(p * MR));
+                let a1 = _mm256_loadu_pd(pa.add(p * MR + 4));
+                for (jr, cj) in c.iter_mut().enumerate() {
+                    let b = _mm256_set1_pd(*pb.add(p * NR + jr));
+                    cj[0] = _mm256_fmadd_pd(a0, b, cj[0]);
+                    cj[1] = _mm256_fmadd_pd(a1, b, cj[1]);
+                }
             }
-        }
-        for (accj, cj) in acc.iter_mut().zip(&c) {
-            let lo = _mm256_add_pd(_mm256_loadu_pd(accj.as_ptr()), cj[0]);
-            let hi = _mm256_add_pd(_mm256_loadu_pd(accj.as_ptr().add(4)), cj[1]);
-            _mm256_storeu_pd(accj.as_mut_ptr(), lo);
-            _mm256_storeu_pd(accj.as_mut_ptr().add(4), hi);
+            for (accj, cj) in acc.iter_mut().zip(&c) {
+                let lo = _mm256_add_pd(_mm256_loadu_pd(accj.as_ptr()), cj[0]);
+                let hi = _mm256_add_pd(_mm256_loadu_pd(accj.as_ptr().add(4)), cj[1]);
+                _mm256_storeu_pd(accj.as_mut_ptr(), lo);
+                _mm256_storeu_pd(accj.as_mut_ptr().add(4), hi);
+            }
         }
     }
 
@@ -508,33 +514,38 @@ mod x86 {
     /// Caller must have verified AVX2+FMA support.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn accumulate_f32(pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
-        let kc = pa.len() / MR;
-        let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
-        let mut c0: [__m256; NR] = [_mm256_setzero_ps(); NR];
-        let mut c1: [__m256; NR] = [_mm256_setzero_ps(); NR];
-        let mut p = 0;
-        while p + 2 <= kc {
-            let a0 = _mm256_loadu_ps(pa.add(p * MR));
-            let a1 = _mm256_loadu_ps(pa.add((p + 1) * MR));
-            for jr in 0..NR {
-                let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
-                let b1 = _mm256_set1_ps(*pb.add((p + 1) * NR + jr));
-                c0[jr] = _mm256_fmadd_ps(a0, b0, c0[jr]);
-                c1[jr] = _mm256_fmadd_ps(a1, b1, c1[jr]);
+        // SAFETY: fn contract — as `accumulate_f64`: packed panel offsets
+        // `p·MR + 0..8` / `p·NR + jr` are in bounds for kc packed rows,
+        // and each `acc` row is MR = 8 wide (one full 8-lane register).
+        unsafe {
+            let kc = pa.len() / MR;
+            let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+            let mut c0: [__m256; NR] = [_mm256_setzero_ps(); NR];
+            let mut c1: [__m256; NR] = [_mm256_setzero_ps(); NR];
+            let mut p = 0;
+            while p + 2 <= kc {
+                let a0 = _mm256_loadu_ps(pa.add(p * MR));
+                let a1 = _mm256_loadu_ps(pa.add((p + 1) * MR));
+                for jr in 0..NR {
+                    let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
+                    let b1 = _mm256_set1_ps(*pb.add((p + 1) * NR + jr));
+                    c0[jr] = _mm256_fmadd_ps(a0, b0, c0[jr]);
+                    c1[jr] = _mm256_fmadd_ps(a1, b1, c1[jr]);
+                }
+                p += 2;
             }
-            p += 2;
-        }
-        if p < kc {
-            let a0 = _mm256_loadu_ps(pa.add(p * MR));
-            for (jr, c0j) in c0.iter_mut().enumerate() {
-                let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
-                *c0j = _mm256_fmadd_ps(a0, b0, *c0j);
+            if p < kc {
+                let a0 = _mm256_loadu_ps(pa.add(p * MR));
+                for (jr, c0j) in c0.iter_mut().enumerate() {
+                    let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
+                    *c0j = _mm256_fmadd_ps(a0, b0, *c0j);
+                }
             }
-        }
-        for (jr, accj) in acc.iter_mut().enumerate() {
-            let sum = _mm256_add_ps(c0[jr], c1[jr]);
-            let prev = _mm256_loadu_ps(accj.as_ptr());
-            _mm256_storeu_ps(accj.as_mut_ptr(), _mm256_add_ps(prev, sum));
+            for (jr, accj) in acc.iter_mut().enumerate() {
+                let sum = _mm256_add_ps(c0[jr], c1[jr]);
+                let prev = _mm256_loadu_ps(accj.as_ptr());
+                _mm256_storeu_ps(accj.as_mut_ptr(), _mm256_add_ps(prev, sum));
+            }
         }
     }
 }

@@ -20,9 +20,14 @@
 //! loops; they are deliberately simple so that the simulated thread blocks
 //! executing them remain easy to cost-model.
 //!
-//! The only `unsafe` code lives in the raw-view constructors in
-//! [`matrix`], which carry the CUDA-like contract that concurrently
-//! executing thread blocks touch disjoint elements.
+//! `unsafe` code is confined to the raw-view constructors in [`matrix`]
+//! (which carry the CUDA-like contract that concurrently executing
+//! thread blocks touch disjoint elements) and the AVX2 paths in
+//! [`level3`] and [`interleave`]; every unsafe operation sits in an
+//! explicit block behind its own `SAFETY:` comment (enforced by
+//! `unsafe_op_in_unsafe_fn` below plus the workspace `vbatch-analyze`
+//! pass and its `analyze.toml` budget).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod error;
 pub mod flops;

@@ -47,6 +47,11 @@
 //! assert_eq!(buf.read_to_host()[0], 2.0);
 //! ```
 
+// Every unsafe operation (DeviceBuffer casts, Send/Sync assertions,
+// fault-injection pokes) must sit in an explicit block with its own
+// SAFETY comment — checked by `cargo analyze` against analyze.toml.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod cost;
 pub mod device;

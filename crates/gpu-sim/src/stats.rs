@@ -5,7 +5,7 @@
 //! every launch is recorded under its kernel name with cumulative counts
 //! and simulated time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::grid::LaunchConfig;
 use crate::occupancy::Occupancy;
@@ -56,10 +56,13 @@ pub struct ProfileEntry {
 
 /// Device-wide launch profiler keyed by (interned) kernel name. Keys
 /// are `&'static str`, so the steady-state record path allocates only
-/// the first time a name is seen (the hash-map entry itself).
+/// the first time a name is seen (the map node itself). A `BTreeMap`
+/// keeps iteration (and thus every sum derived from it) in name order,
+/// independent of insertion history — the determinism lint (VBA201)
+/// bans unordered maps on this path.
 #[derive(Clone, Debug, Default)]
 pub struct Profiler {
-    entries: HashMap<&'static str, ProfileEntry>,
+    entries: BTreeMap<&'static str, ProfileEntry>,
 }
 
 impl Profiler {

@@ -1,0 +1,84 @@
+//! `analyze.toml` — the unsafe budget file.
+//!
+//! Minimal hand parser for the one shape the pass needs (no TOML crate
+//! in the offline container):
+//!
+//! ```toml
+//! [unsafe_budget]
+//! dense = 42     # max `unsafe` occurrences outside tests
+//! gpu-sim = 12
+//! ```
+//!
+//! Crates not listed have a budget of **zero**, so a new crate cannot
+//! introduce `unsafe` without an explicit, reviewable budget entry.
+
+use std::collections::BTreeMap;
+
+/// Parsed budget file.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Crate directory name (e.g. `dense`) → max allowed `unsafe`
+    /// occurrences outside `#[cfg(test)]`.
+    pub unsafe_budget: BTreeMap<String, u32>,
+}
+
+impl Config {
+    /// Budget for a crate directory; unlisted crates get zero.
+    #[must_use]
+    pub fn budget_for(&self, crate_dir: &str) -> u32 {
+        self.unsafe_budget.get(crate_dir).copied().unwrap_or(0)
+    }
+}
+
+/// Parses the budget file. Lines outside `[unsafe_budget]` are
+/// ignored; malformed lines inside it are reported as errors so a typo
+/// cannot silently zero a budget.
+pub fn parse(src: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut in_budget = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_budget = line == "[unsafe_budget]";
+            continue;
+        }
+        if !in_budget {
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(format!("analyze.toml:{}: expected `crate = N`", idx + 1));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let val: u32 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("analyze.toml:{}: budget must be an integer", idx + 1))?;
+        cfg.unsafe_budget.insert(key, val);
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_budget_section() {
+        let cfg = parse(
+            "# comment\n[unsafe_budget]\ndense = 40 # inline\n\"gpu-sim\" = 12\n\n[other]\nx = y\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.budget_for("dense"), 40);
+        assert_eq!(cfg.budget_for("gpu-sim"), 12);
+        assert_eq!(cfg.budget_for("unlisted"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_budget_lines() {
+        assert!(parse("[unsafe_budget]\ndense 40\n").is_err());
+        assert!(parse("[unsafe_budget]\ndense = lots\n").is_err());
+    }
+}

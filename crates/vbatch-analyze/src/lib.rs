@@ -1,0 +1,127 @@
+//! Repo-specific static analysis for the vbatch workspace.
+//!
+//! `cargo run -p vbatch-analyze -- check` (or `cargo analyze`) walks
+//! every `crates/*/src/**/*.rs` file, runs the four lints in
+//! [`lints`], checks per-crate `unsafe` counts against the budgets in
+//! `analyze.toml`, prints human-readable diagnostics and writes the
+//! machine-readable `ANALYZE.json` ([`report`]). See DESIGN.md §6f for
+//! the lint catalog and the allowlist convention.
+
+pub mod config;
+pub mod lex;
+pub mod lints;
+pub mod report;
+
+use std::path::{Path, PathBuf};
+
+use lints::{codes, Finding};
+use report::{CrateStats, Report};
+
+/// Runs the full pass over the workspace at `root`.
+///
+/// # Errors
+/// Returns `Err` on I/O failures or a malformed `analyze.toml`; lint
+/// findings are *not* errors at this level (they live in the report).
+pub fn run_check(root: &Path) -> Result<Report, String> {
+    let budget_path = root.join("analyze.toml");
+    let cfg = match std::fs::read_to_string(&budget_path) {
+        Ok(src) => config::parse(&src)?,
+        Err(_) => config::Config::default(),
+    };
+
+    let mut rep = Report::default();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))
+        .map_err(|e| format!("cannot read {}/crates: {e}", root.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files)?;
+        files.sort();
+        let mut counts = lints::UnsafeCounts::default();
+        for f in files {
+            let rel = rel_path(root, &f);
+            let src = std::fs::read_to_string(&f)
+                .map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+            let file_rep = lints::analyze_source(&rel, &src);
+            counts.blocks += file_rep.counts.blocks;
+            counts.fns += file_rep.counts.fns;
+            counts.impls += file_rep.counts.impls;
+            counts.safety_comments += file_rep.counts.safety_comments;
+            rep.findings.extend(file_rep.findings);
+            rep.files_scanned += 1;
+        }
+        let budget = cfg.budget_for(&crate_name);
+        if counts.total() > budget {
+            rep.findings.push(Finding {
+                code: codes::UNSAFE_OVER_BUDGET,
+                lint: "unsafe-audit",
+                file: "analyze.toml".to_string(),
+                line: 1,
+                message: format!(
+                    "crate `{crate_name}` has {} unsafe occurrences but a budget of \
+                     {budget}; if the new unsafe is justified, raise the budget in \
+                     analyze.toml in the same change that adds it",
+                    counts.total()
+                ),
+                allowed: None,
+            });
+        }
+        rep.crates.insert(crate_name, CrateStats { counts, budget });
+    }
+
+    rep.findings
+        .sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    Ok(rep)
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, f: &Path) -> String {
+    f.strip_prefix(root)
+        .unwrap_or(f)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory containing both `Cargo.toml` and `crates/`.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(d) = cur {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        cur = d.parent();
+    }
+    None
+}

@@ -1,0 +1,200 @@
+//! Fixture-driven tests for the analyzer: one failing fixture per lint
+//! (asserting the exact diagnostic codes), one clean fixture, an
+//! end-to-end run of the compiled binary against throwaway workspace
+//! trees (exit-code contract), and an `ANALYZE.json` schema snapshot.
+
+use std::path::{Path, PathBuf};
+
+use vbatch_analyze::lints::{self, analyze_source};
+use vbatch_analyze::report::parse_json;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Analyzes a fixture under a virtual workspace path and returns the
+/// `(code, line)` pairs of its findings, in report order.
+fn codes_at(virtual_path: &str, name: &str) -> Vec<(&'static str, u32)> {
+    let rep = analyze_source(virtual_path, &fixture(name));
+    rep.findings.iter().map(|f| (f.code, f.line)).collect()
+}
+
+#[test]
+fn l1_fixture_flags_every_undocumented_unsafe() {
+    let got = codes_at("crates/demo/src/l1_unsafe.rs", "l1_unsafe.rs");
+    assert_eq!(
+        got,
+        vec![("VBA001", 5), ("VBA001", 9), ("VBA001", 10)],
+        "one per unsafe block and one for the unsafe fn"
+    );
+}
+
+#[test]
+fn l2_fixture_flags_heap_alloc_and_unwrap_in_kernel() {
+    let got = codes_at("crates/demo/src/l2_purity.rs", "l2_purity.rs");
+    let codes: Vec<&str> = got.iter().map(|(c, _)| *c).collect();
+    assert_eq!(
+        codes,
+        vec!["VBA101", "VBA101"],
+        "vec! and .unwrap() inside the launch body; got {got:?}"
+    );
+}
+
+#[test]
+fn l3_fixture_flags_nondeterminism_only_in_scope() {
+    // Under a gpu-sim path the clock and hash-order sins are errors.
+    let got = codes_at("crates/gpu-sim/src/l3_determinism.rs", "l3_determinism.rs");
+    assert!(
+        !got.is_empty() && got.iter().all(|(c, _)| *c == "VBA201"),
+        "expected only VBA201 in scope; got {got:?}"
+    );
+    // The same source outside the determinism scope is fine.
+    let out = codes_at("crates/baselines/src/free.rs", "l3_determinism.rs");
+    assert!(out.is_empty(), "out of scope must not fire; got {out:?}");
+}
+
+#[test]
+fn l4_fixture_flags_raw_kernel_name_literal() {
+    let got = codes_at("crates/demo/src/l4_intern.rs", "l4_intern.rs");
+    assert_eq!(got, vec![("VBA301", 6)]);
+}
+
+#[test]
+fn clean_fixture_has_no_findings_even_in_scope() {
+    let rep = analyze_source("crates/gpu-sim/src/clean.rs", &fixture("clean.rs"));
+    assert!(
+        rep.findings.is_empty(),
+        "clean fixture must pass all lints; got {:?}",
+        rep.findings
+    );
+    assert_eq!(rep.counts.blocks, 1);
+    assert_eq!(rep.counts.safety_comments, 1);
+}
+
+#[test]
+fn allow_directive_without_reason_is_its_own_error() {
+    let src = "fn f(dev: &Device) {\n\
+               // analyze:allow(kernel-purity)\n\
+               dev.launch(name, cfg, move |ctx| { let v = vec![0u8; 4]; })\n\
+               }\n";
+    let rep = analyze_source("crates/demo/src/lib.rs", src);
+    let codes: Vec<&str> = rep.findings.iter().map(|f| f.code).collect();
+    assert!(
+        codes.contains(&lints::codes::ALLOW_NO_REASON),
+        "reasonless allow must raise VBA901; got {codes:?}"
+    );
+}
+
+/// Builds a throwaway single-crate workspace under the target temp dir.
+fn mini_tree(tag: &str, lib_fixture: &str, analyze_toml: Option<&str>) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("vbatch-analyze-{}-{tag}", std::process::id()));
+    let src = root.join("crates/demo/src");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(src.join("lib.rs"), fixture(lib_fixture)).unwrap();
+    if let Some(toml) = analyze_toml {
+        std::fs::write(root.join("analyze.toml"), toml).unwrap();
+    }
+    root
+}
+
+/// Runs the real binary (`CARGO_BIN_EXE_*` is set for integration
+/// tests) and returns (exit code, stdout).
+fn run_binary(root: &Path) -> (i32, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_vbatch-analyze"))
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn vbatch-analyze");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn binary_exits_nonzero_on_failing_tree_and_zero_on_clean() {
+    let bad = mini_tree("bad", "l1_unsafe.rs", None);
+    let (code, stdout) = run_binary(&bad);
+    assert_eq!(code, 1, "findings must fail the run; stdout:\n{stdout}");
+    assert!(stdout.contains("VBA001"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("VBA002"),
+        "3 unsafe > default budget 0; stdout:\n{stdout}"
+    );
+
+    let good = mini_tree("good", "clean.rs", Some("[unsafe_budget]\ndemo = 1\n"));
+    let (code, stdout) = run_binary(&good);
+    assert_eq!(code, 0, "clean tree must pass; stdout:\n{stdout}");
+    let json = std::fs::read_to_string(good.join("ANALYZE.json")).expect("ANALYZE.json written");
+    assert!(parse_json(&json).is_ok());
+
+    let _ = std::fs::remove_dir_all(&bad);
+    let _ = std::fs::remove_dir_all(&good);
+}
+
+#[test]
+fn analyze_json_schema_snapshot() {
+    let root = mini_tree("schema", "l1_unsafe.rs", None);
+    let rep = vbatch_analyze::run_check(&root).unwrap();
+    let json = parse_json(&rep.to_json()).unwrap();
+
+    // Top level.
+    assert_eq!(json.get("version").and_then(|v| v.as_num()), Some(1.0));
+    assert_eq!(
+        json.get("tool").and_then(|v| v.as_str()),
+        Some("vbatch-analyze")
+    );
+    assert_eq!(
+        json.get("files_scanned").and_then(|v| v.as_num()),
+        Some(1.0)
+    );
+
+    // Per-crate stats carry all five numeric fields.
+    let demo = json
+        .get("crates")
+        .and_then(|c| c.get("demo"))
+        .expect("crates.demo present");
+    for key in [
+        "unsafe_blocks",
+        "unsafe_fns",
+        "unsafe_impls",
+        "unsafe_total",
+        "unsafe_budget",
+        "safety_comments",
+    ] {
+        assert!(
+            demo.get(key).and_then(|v| v.as_num()).is_some(),
+            "crates.demo.{key} must be a number"
+        );
+    }
+
+    // Findings: every entry has the full field set; the fixture yields
+    // three VBA001 plus one VBA002 budget breach.
+    let findings = json
+        .get("findings")
+        .and_then(|f| f.as_arr())
+        .expect("findings array");
+    assert_eq!(findings.len(), 4);
+    for f in findings {
+        for key in ["code", "lint", "file", "line", "allowed", "message"] {
+            assert!(f.get(key).is_some(), "finding missing key {key}");
+        }
+    }
+    let codes: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.get("code").and_then(|c| c.as_str()))
+        .collect();
+    assert_eq!(codes, vec!["VBA002", "VBA001", "VBA001", "VBA001"]);
+
+    // Summary mirrors Report::errors/allowed.
+    let summary = json.get("summary").expect("summary present");
+    assert_eq!(summary.get("errors").and_then(|v| v.as_num()), Some(4.0));
+    assert_eq!(summary.get("allowed").and_then(|v| v.as_num()), Some(0.0));
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,11 @@
+//! Fixture: unsafe without `// SAFETY:` justification (VBA001).
+//! Never compiled — consumed as text by the analyzer's tests.
+
+pub fn read_first(p: *const u32) -> u32 {
+    let v = unsafe { *p };
+    v
+}
+
+pub unsafe fn undocumented(p: *mut u32) {
+    unsafe { *p = 0 };
+}

@@ -1,0 +1,14 @@
+//! Fixture: impure kernel closure (VBA101).
+//! Never compiled — consumed as text by the analyzer's tests.
+
+pub fn launch_bad(dev: &Device, name: &'static str) -> Result<(), Error> {
+    let cfg = LaunchConfig::grid_1d(4, 128);
+    dev.launch(name, cfg, move |ctx| {
+        // Heap allocation inside a kernel body: banned.
+        let mut scratch = vec![0.0f64; 16];
+        scratch[0] = ctx.block_idx().x as f64;
+        // Panicking result handling inside a kernel body: banned.
+        let v = scratch.first().unwrap();
+        ctx.gmem_write(*v as usize);
+    })
+}

@@ -1,0 +1,16 @@
+//! Fixture: nondeterminism in a simulation-scope file (VBA201).
+//! Never compiled — consumed as text by the analyzer's tests; analyzed
+//! under a virtual `crates/gpu-sim/src/` path so the scope rule fires.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timed_histogram(samples: &[u32]) -> usize {
+    let t0 = Instant::now();
+    let mut hist = HashMap::new();
+    for &s in samples {
+        *hist.entry(s).or_insert(0usize) += 1;
+    }
+    let _elapsed = t0.elapsed();
+    hist.len()
+}

@@ -1,0 +1,9 @@
+//! Fixture: raw string literal as a kernel name (VBA301).
+//! Never compiled — consumed as text by the analyzer's tests.
+
+pub fn launch_unregistered(dev: &Device) -> Result<(), Error> {
+    let cfg = LaunchConfig::grid_1d(1, 32);
+    dev.launch("rogue_kernel_name", cfg, move |ctx| {
+        ctx.sync();
+    })
+}

@@ -28,6 +28,14 @@ use crate::sep::trsm::trsm_left_vbatched;
 use crate::sep::VView;
 use crate::VBatch;
 
+/// Registered name of the LU per-step metadata kernel (see
+/// [`vbatch_gpu_sim::intern::literal`]; lint VBA301 — constant kernel
+/// names still register into the enumerable vocabulary).
+fn lu_step_kname() -> &'static str {
+    static NAME: std::sync::OnceLock<&'static str> = std::sync::OnceLock::new();
+    NAME.get_or_init(|| vbatch_gpu_sim::intern::literal("vbatch_aux_lu_step"))
+}
+
 /// Device-resident pivot storage: `max_k` slots per matrix.
 pub struct PivotArray {
     arena: DeviceBuffer<i32>,
@@ -180,7 +188,7 @@ impl<T: Scalar> LuStep<T> {
         let (djb, dtr, dtc) = (self.d_jb.ptr(), self.d_trows.ptr(), self.d_tcols.ptr());
         let blocks = count.div_ceil(256).max(1) as u32;
         dev.launch(
-            "vbatch_aux_lu_step",
+            lu_step_kname(),
             LaunchConfig::grid_1d(blocks, 256),
             move |ctx| {
                 let b = ctx.block_idx().x as usize;
@@ -445,6 +453,10 @@ fn getf2_panel<T: Scalar>(
         let ld = d_ld.get(i).max(1) as usize;
         let rows = m - j;
         let panel = mat_mut(base.get(i).offset(j * ld + j), rows, jb, ld);
+        // Per-block pivot scratch sized by the runtime panel width nb — the
+        // host analog of the nb*nb shared memory this launch declares in
+        // its LaunchConfig; pooling it would need per-block aliasing unsafe.
+        // analyze:allow(kernel-purity): panel scratch = declared shared memory analog
         let mut local = vec![0usize; jb];
         let res = vbatch_dense::getf2(panel, &mut local);
         let p = piv.get(i);

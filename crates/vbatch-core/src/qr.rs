@@ -256,6 +256,10 @@ fn geqr2_larft_panel<T: Scalar>(
         let ld = d_ld.get(i).max(1) as usize;
         let rows = m - j;
         let panel = mat_mut(base.get(i).offset(j * ld + j), rows, jb, ld);
+        // Per-block tau scratch sized by the runtime panel width nb — host
+        // analog of this launch's declared shared memory; a fixed-size
+        // array would cap the user-set nb_panel.
+        // analyze:allow(kernel-purity): panel scratch = declared shared memory analog
         let mut local_tau = vec![T::ZERO; jb];
         vbatch_dense::geqr2(panel, &mut local_tau);
         let tp = tau_ptrs.get(i);
@@ -266,6 +270,9 @@ fn geqr2_larft_panel<T: Scalar>(
         // columns exist, but forming it unconditionally matches the
         // fixed-shape kernel a GPU would compile).
         let v = mat_ref(base.get(i).offset(j * ld + j), rows, jb, ld);
+        // nb*nb block-reflector T factor, the same declared-shared-memory
+        // analog as the tau scratch above.
+        // analyze:allow(kernel-purity): panel scratch = declared shared memory analog
         let mut t_local = vec![T::ZERO; jb * jb];
         vbatch_dense::larft(v, &local_tau, &mut t_local);
         let t_out = t_ptrs.get(i);

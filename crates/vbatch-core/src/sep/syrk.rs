@@ -213,7 +213,11 @@ pub fn syrk_general_vbatched<T: Scalar>(
         };
         let c_tile = mat_mut(c.ptrs.get(i), n, n, ldc).sub(r0, c0, mt, nt);
         if bi == bj {
-            let mut tmp = vec![T::ZERO; mt * nt];
+            // Stack tile (mt, nt ≤ SYRK_TILE) staging the full product
+            // so only the stored triangle of C is written back —
+            // kernel-purity (VBA101) bans heap allocation in launch
+            // bodies, and this is the simulated analog of shared memory.
+            let mut tmp = [T::ZERO; SYRK_TILE * SYRK_TILE];
             vbatch_dense::gemm(
                 op.0,
                 op.1,
@@ -221,7 +225,7 @@ pub fn syrk_general_vbatched<T: Scalar>(
                 a_bi,
                 a_bj,
                 T::ZERO,
-                vbatch_dense::MatMut::from_slice(&mut tmp, mt, nt, mt),
+                vbatch_dense::MatMut::from_slice(&mut tmp[..mt * nt], mt, nt, mt),
             );
             let mut c_tile = c_tile;
             for jj in 0..nt {

@@ -30,7 +30,9 @@ pub fn fill_spd_batch<T: Scalar>(
         .map(|(i, &n)| {
             let m = spd_vec::<T>(rng, n);
             if n > 0 {
-                batch.upload_matrix(i, &m).unwrap();
+                batch
+                    .upload_matrix(i, &m)
+                    .expect("matrix i fits the batch it was sized for");
             }
             m
         })
@@ -48,7 +50,9 @@ pub fn fill_general_batch<T: Scalar>(
         .map(|(i, &(m, n))| {
             let a = diag_dominant_vec::<T>(rng, m, n);
             if m * n > 0 {
-                batch.upload_matrix(i, &a).unwrap();
+                batch
+                    .upload_matrix(i, &a)
+                    .expect("matrix i fits the batch it was sized for");
             }
             a
         })

@@ -208,6 +208,21 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count actually run: `cases`, capped by the
+    /// `PROPTEST_CASES` environment variable when it is set to a valid
+    /// number. Mirrors upstream's env override closely enough for CI to
+    /// shrink property runs (e.g. `PROPTEST_CASES=8` under Miri, where
+    /// each case costs seconds instead of microseconds).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(cap) => self.cases.min(cap.max(1)),
+                Err(_) => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -281,7 +296,7 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            for __case in 0..__cfg.effective_cases() {
                 // Announced only if this iteration panics (deterministic
                 // streams make the case number enough to reproduce).
                 let __note = $crate::CaseNote(__case);
@@ -346,6 +361,25 @@ mod tests {
                 prop_assert!((1.0..2.0).contains(x));
             }
         }
+    }
+
+    #[test]
+    fn env_caps_cases() {
+        let cfg = ProptestConfig::with_cases(64);
+        // No env var (or garbage): configured count wins. The set/remove
+        // window only ever *lowers* concurrent property runs, which
+        // keeps them valid.
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cfg.effective_cases(), 64);
+        std::env::set_var("PROPTEST_CASES", "8");
+        assert_eq!(cfg.effective_cases(), 8);
+        std::env::set_var("PROPTEST_CASES", "1000");
+        assert_eq!(cfg.effective_cases(), 64, "env can only cap, not raise");
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(cfg.effective_cases(), 1, "floor of one case");
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(cfg.effective_cases(), 64);
+        std::env::remove_var("PROPTEST_CASES");
     }
 
     #[test]
