@@ -22,6 +22,7 @@ use vbatch_core::{
 };
 use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
 use vbatch_dense::level3::{tier, uses_blocked};
+use vbatch_dense::tune::{self, TileScheme};
 use vbatch_dense::{
     flops, gemm, interleave, potf2, potrf_blocked, MatMut, MatRef, Scalar, Trans, Uplo,
 };
@@ -227,9 +228,12 @@ fn probe_batched_small<T: Scalar>(out: &mut Vec<BatchedSmallRow>) {
         });
 
         // BATCH is divisible by both lane widths: every group is full.
+        // The full-width tile (`group_tile_len`) lets the dispatcher
+        // fuse f64 group pairs into 8-lane AVX-512 sweeps where the
+        // host supports them.
         assert_eq!(BATCH % lanes, 0);
         let mut infos = vec![0i32; BATCH];
-        let mut tile = vec![T::ZERO; interleave::interleaved_len(n, n, lanes)];
+        let mut tile = vec![T::ZERO; interleave::group_tile_len(n)];
         let interleaved = time_best(|| {
             interleave::potrf_group(n, &pristine, &mut work, &mut tile, &mut infos);
             assert!(infos.iter().all(|&i| i == 0));
@@ -251,6 +255,103 @@ fn probe_batched_small<T: Scalar>(out: &mut Vec<BatchedSmallRow>) {
     }
 }
 
+struct TuningGemmRow {
+    prec: &'static str,
+    n: usize,
+    gflops_hand_picked: f64,
+    gflops_tuned: f64,
+}
+
+/// Hand-picked defaults versus the active (possibly `TUNE.json`) scheme
+/// on the blocked tier — the autotuner's acceptance evidence.
+fn probe_tuning_gemm<T: Scalar>(out: &mut Vec<TuningGemmRow>) {
+    let tuned = tune::active::<T>();
+    for &n in &[128usize, 256, 512] {
+        let mut rng = seeded_rng(5);
+        let a = rand_mat::<T>(&mut rng, n * n);
+        let b = rand_mat::<T>(&mut rng, n * n);
+        let mut c = vec![T::ZERO; n * n];
+        let gf = flops::gemm(n, n, n) / 1e9;
+        let one = T::ONE;
+        let mut run = |ts: &TileScheme| {
+            time_best(|| {
+                tier::gemm_blocked_scheme(
+                    ts,
+                    Trans::NoTrans,
+                    Trans::Trans,
+                    -one,
+                    MatRef::from_slice(&a, n, n, n),
+                    MatRef::from_slice(&b, n, n, n),
+                    one,
+                    MatMut::from_slice(&mut c, n, n, n),
+                );
+            })
+        };
+        let hand = run(&TileScheme::DEFAULT);
+        let tuned_s = run(&tuned);
+        out.push(TuningGemmRow {
+            prec: T::PREFIX,
+            n,
+            gflops_hand_picked: gf / hand,
+            gflops_tuned: gf / tuned_s,
+        });
+        eprintln!(
+            "  {}gemm n={n:3}: hand-picked {:7.2} | tuned {:7.2} Gflop/s ({:.2}x)",
+            T::PREFIX,
+            gf / hand,
+            gf / tuned_s,
+            hand / tuned_s,
+        );
+    }
+}
+
+struct TuningSmallRow {
+    prec: &'static str,
+    n: usize,
+    gflops_narrow_tile: f64,
+    gflops_wide_tile: f64,
+}
+
+/// Narrow (4-lane `f64`) versus full-width interleave staging tile: on
+/// AVX-512 hosts the wide tile unlocks the fused 8-lane group-pair
+/// sweep; elsewhere both tiles take the same path and the rows tie.
+fn probe_tuning_small<T: Scalar>(out: &mut Vec<TuningSmallRow>) {
+    const BATCH: usize = 1000;
+    let lanes = interleave::lane_count::<T>();
+    for &n in &[4usize, 8, 16, 32] {
+        let mut rng = seeded_rng(6);
+        let mut pristine = Vec::with_capacity(BATCH * n * n);
+        for _ in 0..BATCH {
+            pristine.extend_from_slice(&spd_vec::<T>(&mut rng, n));
+        }
+        let mut work = pristine.clone();
+        let mut infos = vec![0i32; BATCH];
+        let gf = BATCH as f64 * flops::potrf(n) / 1e9;
+        let mut run = |tile_len: usize| {
+            let mut tile = vec![T::ZERO; tile_len];
+            time_best(|| {
+                interleave::potrf_group(n, &pristine, &mut work, &mut tile, &mut infos);
+                assert!(infos.iter().all(|&i| i == 0));
+            })
+        };
+        let narrow = run(interleave::interleaved_len(n, n, lanes));
+        let wide = run(interleave::group_tile_len(n));
+        out.push(TuningSmallRow {
+            prec: T::PREFIX,
+            n,
+            gflops_narrow_tile: gf / narrow,
+            gflops_wide_tile: gf / wide,
+        });
+        eprintln!(
+            "  {}potrf n={n:2} x{BATCH}: narrow tile {:6.2} | wide tile {:6.2} Gflop/s ({:.2}x)",
+            T::PREFIX,
+            gf / narrow,
+            gf / wide,
+            narrow / wide,
+        );
+    }
+}
+
 fn main() {
     let wall = Instant::now();
     let mut gemm_rows = Vec::new();
@@ -265,6 +366,14 @@ fn main() {
     let mut small_rows = Vec::new();
     probe_batched_small::<f32>(&mut small_rows);
     probe_batched_small::<f64>(&mut small_rows);
+    eprintln!("probing tuning A/B (hand-picked vs tuned scheme) ...");
+    let mut tuning_gemm_rows = Vec::new();
+    probe_tuning_gemm::<f32>(&mut tuning_gemm_rows);
+    probe_tuning_gemm::<f64>(&mut tuning_gemm_rows);
+    eprintln!("probing tuning A/B (narrow vs wide interleave tile) ...");
+    let mut tuning_small_rows = Vec::new();
+    probe_tuning_small::<f32>(&mut tuning_small_rows);
+    probe_tuning_small::<f64>(&mut tuning_small_rows);
 
     // Simulated headline: fused vbatched DPOTRF on a uniform
     // variable-size batch (paper fig. 8 shape, scaled-down count).
@@ -325,8 +434,40 @@ fn main() {
         "  fused dpotrf b=3000 Nmax=128: cold {driver_cold:.4}s | warm {driver_warm:.4}s host, {driver_sim_gflops:.3} simulated Gflop/s"
     );
 
+    let scheme_json = |ts: &TileScheme| {
+        format!(
+            "{{\"mr\": {}, \"nr\": {}, \"mc\": {}, \"kc\": {}, \"ilv_cutoff\": {}}}",
+            ts.mr, ts.nr, ts.mc, ts.kc, ts.ilv_cutoff
+        )
+    };
+    let cpu = tune::CpuFeatures::detect();
+    let active = tune::active_info();
+
     let mut j = String::new();
     j.push_str("{\n  \"schema\": 1,\n");
+    j.push_str("  \"meta\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"cpu\": {{\"avx2\": {}, \"fma\": {}, \"avx512f\": {}, \"avx512vl\": {}}},",
+        cpu.avx2, cpu.fma, cpu.avx512f, cpu.avx512vl
+    );
+    let _ = writeln!(
+        j,
+        "    \"cores\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    let _ = writeln!(j, "    \"tune_source\": {:?},", active.source);
+    let _ = writeln!(
+        j,
+        "    \"tile_scheme_f64\": {},",
+        scheme_json(&active.f64_scheme)
+    );
+    let _ = writeln!(
+        j,
+        "    \"tile_scheme_f32\": {}",
+        scheme_json(&active.f32_scheme)
+    );
+    j.push_str("  },\n");
     j.push_str(
         "  \"note\": \"seed_style baseline is the seed's element-wise kernel rebuilt \
          with this PR's -Ctarget-cpu=native flag; the seed as shipped built without it \
@@ -383,7 +524,41 @@ fn main() {
             "\n"
         });
     }
-    j.push_str("  ],\n");
+    j.push_str("  ],\n  \"tuning\": {\n    \"gemm_blocked\": [\n");
+    for (i, r) in tuning_gemm_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"prec\": \"{}\", \"n\": {}, \"gflops_hand_picked\": {:.3}, \"gflops_tuned\": {:.3}, \"speedup\": {:.2}}}",
+            r.prec,
+            r.n,
+            r.gflops_hand_picked,
+            r.gflops_tuned,
+            r.gflops_tuned / r.gflops_hand_picked
+        );
+        j.push_str(if i + 1 < tuning_gemm_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("    ],\n    \"batched_small_interleave\": [\n");
+    for (i, r) in tuning_small_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"prec\": \"{}\", \"n\": {}, \"batch\": 1000, \"gflops_narrow_tile\": {:.3}, \"gflops_wide_tile\": {:.3}, \"speedup\": {:.2}}}",
+            r.prec,
+            r.n,
+            r.gflops_narrow_tile,
+            r.gflops_wide_tile,
+            r.gflops_wide_tile / r.gflops_narrow_tile
+        );
+        j.push_str(if i + 1 < tuning_small_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("    ]\n  },\n");
     let _ = writeln!(
         j,
         "  \"simulated_headline\": {{\"workload\": \"fused dpotrf, {} matrices, uniform max 512\", \"sim_gflops\": {:.3}, \"host_seconds\": {:.3}}},",

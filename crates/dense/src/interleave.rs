@@ -60,6 +60,19 @@ pub fn interleaved_len(m: usize, n: usize, lanes: usize) -> usize {
     m * n * lanes
 }
 
+/// Host-side staging-tile length (in elements) for one order-`n` sweep
+/// through [`potrf_group`]: room for the widest lane grouping the
+/// dispatcher may choose — [`MAX_LANES`] lanes, i.e. two 4-lane `f64`
+/// groups fused into one 8-lane AVX-512 sweep (for `f32` this equals
+/// one ordinary group). Deliberately independent of the running host's
+/// features, so buffer shapes — like the AoSoA layout itself — are
+/// identical everywhere; a host without AVX-512 simply uses the front
+/// of the tile.
+#[must_use]
+pub fn group_tile_len(n: usize) -> usize {
+    interleaved_len(n, n, MAX_LANES)
+}
+
 /// Offset of element `(i, j)` of lane `l` in an `m`-row group of
 /// `lanes` matrices.
 #[inline]
@@ -233,6 +246,13 @@ pub fn unpack_group_portable<T: Scalar>(n: usize, buf: &[T], dsts: &mut [T]) {
 /// upper triangle is **unspecified** (the AVX2 path leaves `dst`'s
 /// prior contents, the portable path copies `src`'s). Pre-fill `dst`
 /// with `src` to get `potf2`'s exact in-place result.
+///
+/// Size `tile` with [`group_tile_len`]`(n)` to enable the widest
+/// dispatch the host supports — on AVX-512F machines the `f64` path
+/// then fuses consecutive 4-lane group pairs into 8-lane sweeps. A
+/// tile of only [`interleaved_len`]`(n, n, L)` still works everywhere
+/// but pins `f64` to the 4-lane path. Results are bit-identical either
+/// way.
 ///
 /// # Panics
 /// If `src` holds less than one full group, `dst` is shorter than
@@ -611,6 +631,11 @@ mod x86 {
         is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
     }
 
+    #[inline]
+    fn wide_f64_available() -> bool {
+        is_x86_feature_detected!("avx512f")
+    }
+
     pub(super) fn potrf<T: Scalar>(
         buf: &mut [T],
         m: usize,
@@ -789,27 +814,41 @@ mod x86 {
             return false;
         }
         if TypeId::of::<T>() == TypeId::of::<f64>() {
-            // Safety: `T` is exactly `f64` and AVX2+FMA were detected.
+            // Safety: `T` is exactly `f64` and AVX2+FMA were detected;
+            // the wide path additionally checks AVX-512F at runtime.
             unsafe {
+                let src = cast::<T, f64>(src);
+                let dst = cast_mut::<T, f64>(dst);
+                let tile = cast_mut::<T, f64>(tile);
                 if n == 4 {
-                    potrf_group4_f64(
-                        groups,
-                        cast::<T, f64>(src),
-                        cast_mut::<T, f64>(dst),
-                        cast_mut::<T, f64>(tile),
-                        ns,
-                        infos,
-                    );
+                    potrf_group4_f64(groups, src, dst, tile, ns, infos);
                 } else {
-                    potrf_group_f64(
-                        n,
-                        groups,
-                        cast::<T, f64>(src),
-                        cast_mut::<T, f64>(dst),
-                        cast_mut::<T, f64>(tile),
-                        ns,
-                        infos,
-                    );
+                    // Fuse consecutive 4-lane groups into 8-lane
+                    // AVX-512 sweeps when the host supports them and
+                    // the caller staged a full-width tile
+                    // ([`super::group_tile_len`]); narrow hosts and
+                    // narrow tiles keep the 4-lane path unchanged.
+                    let pairs = if wide_f64_available() && tile.len() >= n * n * 8 {
+                        groups / 2
+                    } else {
+                        0
+                    };
+                    if pairs > 0 {
+                        potrf_group_f64_w8(n, pairs, src, dst, tile, infos);
+                    }
+                    let g = pairs * 2;
+                    if g < groups {
+                        let gsz = n * n * 4;
+                        potrf_group_f64(
+                            n,
+                            groups - g,
+                            &src[g * gsz..],
+                            &mut dst[g * gsz..],
+                            tile,
+                            ns,
+                            &mut infos[g * 4..],
+                        );
+                    }
                 }
             }
             true
@@ -1118,6 +1157,342 @@ mod x86 {
                     *c3.add(i) = *ib.add(i * 4 + 3);
                     i += 1;
                 }
+            }
+        }
+    }
+
+    /// Stride-8 variant of [`pack_group_f64`]: register-transposes the
+    /// eight matrices of two consecutive 4-lane groups into one 8-lane
+    /// tile so a single AVX-512 sweep factors both. Two `tr4` half
+    /// transposes per 4-row block (one per group) rather than an 8-row
+    /// f64 tr8 — deliberately, so the block-aligned lower-triangle
+    /// restriction stays `i ≥ j & !3` and the set of elements moved
+    /// (and therefore the bytes written back to `dst` on unpack) is
+    /// exactly the narrow path's.
+    ///
+    /// # Safety
+    /// AVX2 detected; `srcs` holds 8 n×n matrices and `buf` one 8-lane
+    /// interleaved group (n·n·8 elements).
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack_pair_f64_w8(n: usize, srcs: &[f64], buf: &mut [f64]) {
+        // SAFETY: fn contract — lane bases `l·n² + j·n` for l < 8 plus
+        // 4-wide row accesses at `i ≤ n−4` (scalar tail below n) stay
+        // inside the 8·n² source; tile offsets reach at most
+        // `(n−1)·8 + (n−1)·n·8 + 7 < n·n·8`.
+        unsafe {
+            let s = srcs.as_ptr();
+            let o = buf.as_mut_ptr();
+            let mm = n * n;
+            for j in 0..n {
+                let mut cols = [core::ptr::null::<f64>(); 8];
+                for (l, c) in cols.iter_mut().enumerate() {
+                    *c = s.add(l * mm + j * n);
+                }
+                let ob = o.add(j * n * 8);
+                let mut i = j & !3;
+                while i + 4 <= n {
+                    for h in 0..2 {
+                        let (r0, r1, r2, r3) = tr4(
+                            _mm256_loadu_pd(cols[4 * h].add(i)),
+                            _mm256_loadu_pd(cols[4 * h + 1].add(i)),
+                            _mm256_loadu_pd(cols[4 * h + 2].add(i)),
+                            _mm256_loadu_pd(cols[4 * h + 3].add(i)),
+                        );
+                        _mm256_storeu_pd(ob.add(i * 8 + h * 4), r0);
+                        _mm256_storeu_pd(ob.add((i + 1) * 8 + h * 4), r1);
+                        _mm256_storeu_pd(ob.add((i + 2) * 8 + h * 4), r2);
+                        _mm256_storeu_pd(ob.add((i + 3) * 8 + h * 4), r3);
+                    }
+                    i += 4;
+                }
+                while i < n {
+                    for (l, c) in cols.iter().enumerate() {
+                        *ob.add(i * 8 + l) = *c.add(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// As [`pack_pair_f64_w8`], with `buf` read and `dsts` written.
+    #[target_feature(enable = "avx2")]
+    unsafe fn unpack_pair_f64_w8(n: usize, buf: &[f64], dsts: &mut [f64]) {
+        // SAFETY: fn contract — mirror of `pack_pair_f64_w8` with loads
+        // and stores exchanged; same in-bounds offset argument.
+        unsafe {
+            let b = buf.as_ptr();
+            let d = dsts.as_mut_ptr();
+            let mm = n * n;
+            for j in 0..n {
+                let mut cols = [core::ptr::null_mut::<f64>(); 8];
+                for (l, c) in cols.iter_mut().enumerate() {
+                    *c = d.add(l * mm + j * n);
+                }
+                let ib = b.add(j * n * 8);
+                let mut i = j & !3;
+                while i + 4 <= n {
+                    for h in 0..2 {
+                        let (r0, r1, r2, r3) = tr4(
+                            _mm256_loadu_pd(ib.add(i * 8 + h * 4)),
+                            _mm256_loadu_pd(ib.add((i + 1) * 8 + h * 4)),
+                            _mm256_loadu_pd(ib.add((i + 2) * 8 + h * 4)),
+                            _mm256_loadu_pd(ib.add((i + 3) * 8 + h * 4)),
+                        );
+                        _mm256_storeu_pd(cols[4 * h].add(i), r0);
+                        _mm256_storeu_pd(cols[4 * h + 1].add(i), r1);
+                        _mm256_storeu_pd(cols[4 * h + 2].add(i), r2);
+                        _mm256_storeu_pd(cols[4 * h + 3].add(i), r3);
+                    }
+                    i += 4;
+                }
+                while i < n {
+                    for (l, c) in cols.iter().enumerate() {
+                        *c.add(i) = *ib.add(i * 8 + l);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// 8-lane AVX-512 port of the 4-lane `f64` lane kernel
+    /// (`potrf_f64`), specialized to the uniform groups `potrf_group`
+    /// builds: all eight lanes share one order `m`, so the per-lane
+    /// end-of-order tracking drops out and the live mask starts full.
+    /// Lane predicates live in `__mmask8` registers instead of
+    /// sign-bit vectors, with masked stores replacing blends — the
+    /// bytes written are the same. Every arithmetic operation and its
+    /// order is exactly the 4-lane kernel's (lane width never enters
+    /// the value computation), so surviving lanes stay bit-identical
+    /// to `potf2`. Sign flips go through an integer-domain xor because
+    /// `_mm512_xor_pd` would need AVX-512DQ and only AVX-512F is
+    /// required here.
+    ///
+    /// # Safety
+    /// AVX-512F detected; `buf` holds one 8-lane interleaved m×m group
+    /// (m·m·8 elements) and `infos` at least 8 entries.
+    // Indexed `0..j` loops mirror the column recurrence (and the macro
+    // kernel's shape); `nws[t]` rides along with `at(i, t)` loads.
+    #[allow(clippy::needless_range_loop)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn potrf8_f64(buf: &mut [f64], m: usize, infos: &mut [i32]) {
+        // SAFETY: fn contract — every `at(i, j)` offset with i, j < m
+        // is an in-bounds 8-wide access into the m·m·8 tile; `infos`
+        // is indexed by lane bits l < 8.
+        unsafe {
+            const FULL: u8 = 0xFF;
+            const NWS: usize = 16;
+            let mut nws = [_mm512_setzero_pd(); NWS];
+            let p = buf.as_mut_ptr();
+            let at = |i: usize, j: usize| (j * m + i) * 8;
+            let zero = _mm512_setzero_pd();
+            let neg0 = _mm512_set1_pd(-0.0);
+            let inf = _mm512_set1_pd(f64::INFINITY);
+            let neg = |v: __m512d| {
+                _mm512_castsi512_pd(_mm512_xor_epi64(
+                    _mm512_castpd_si512(v),
+                    _mm512_castpd_si512(neg0),
+                ))
+            };
+            let mut lm: u8 = FULL;
+            for j in 0..m {
+                if lm == 0 {
+                    break;
+                }
+                // ajj ← a(j,j) − Σ a(j,t)² — sequential mul-then-sub,
+                // the scalar tier's rounding sequence (no fused op);
+                // the fast path's nonzero test and, at small orders,
+                // its negated-multiplier stash ride along.
+                let mut ajj = _mm512_loadu_pd(p.add(at(j, j)));
+                let mut nz: u8 = lm;
+                if m <= NWS {
+                    for t in 0..j {
+                        let v = _mm512_loadu_pd(p.add(at(j, t)));
+                        ajj = _mm512_sub_pd(ajj, _mm512_mul_pd(v, v));
+                        nz &= _mm512_cmp_pd_mask::<_CMP_NEQ_UQ>(v, zero);
+                        nws[t] = neg(v);
+                    }
+                } else {
+                    for t in 0..j {
+                        let v = _mm512_loadu_pd(p.add(at(j, t)));
+                        ajj = _mm512_sub_pd(ajj, _mm512_mul_pd(v, v));
+                        nz &= _mm512_cmp_pd_mask::<_CMP_NEQ_UQ>(v, zero);
+                    }
+                }
+                // Same predicate as the scalar tier's
+                // `ajj <= 0 || !ajj.is_finite()`: positive AND below
+                // +∞ (NaN fails both ordered compares).
+                let ok = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(ajj, zero)
+                    & _mm512_cmp_pd_mask::<_CMP_LT_OQ>(ajj, inf);
+                let dead = !ok & lm;
+                if dead != 0 {
+                    for (l, info) in infos.iter_mut().enumerate().take(8) {
+                        if dead & (1 << l) != 0 {
+                            *info = (j + 1) as i32;
+                        }
+                    }
+                    lm &= ok;
+                    if lm == 0 {
+                        continue;
+                    }
+                }
+                let piv = _mm512_sqrt_pd(ajj);
+                if lm == FULL {
+                    _mm512_storeu_pd(p.add(at(j, j)), piv);
+                } else {
+                    _mm512_mask_storeu_pd(p.add(at(j, j)), lm, piv);
+                }
+                if j + 1 == m {
+                    continue;
+                }
+                // Fast path: every lane live, every multiplier
+                // nonzero — same i-outer register accumulation (and
+                // rounding sequence) as the 4-lane kernel.
+                let fast = lm == FULL && nz == FULL;
+                if fast && m < 12 {
+                    for i in (j + 1)..m {
+                        let mut acc = _mm512_loadu_pd(p.add(at(i, j)));
+                        for t in 0..j {
+                            acc = _mm512_fmadd_pd(nws[t], _mm512_loadu_pd(p.add(at(i, t))), acc);
+                        }
+                        _mm512_storeu_pd(p.add(at(i, j)), _mm512_div_pd(acc, piv));
+                    }
+                    continue;
+                }
+                if fast && m <= NWS {
+                    let mut i = j + 1;
+                    while i + 4 <= m {
+                        let mut a0 = _mm512_loadu_pd(p.add(at(i, j)));
+                        let mut a1 = _mm512_loadu_pd(p.add(at(i + 1, j)));
+                        let mut a2 = _mm512_loadu_pd(p.add(at(i + 2, j)));
+                        let mut a3 = _mm512_loadu_pd(p.add(at(i + 3, j)));
+                        for t in 0..j {
+                            let nw = nws[t];
+                            a0 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i, t))), a0);
+                            a1 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i + 1, t))), a1);
+                            a2 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i + 2, t))), a2);
+                            a3 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i + 3, t))), a3);
+                        }
+                        _mm512_storeu_pd(p.add(at(i, j)), _mm512_div_pd(a0, piv));
+                        _mm512_storeu_pd(p.add(at(i + 1, j)), _mm512_div_pd(a1, piv));
+                        _mm512_storeu_pd(p.add(at(i + 2, j)), _mm512_div_pd(a2, piv));
+                        _mm512_storeu_pd(p.add(at(i + 3, j)), _mm512_div_pd(a3, piv));
+                        i += 4;
+                    }
+                    while i < m {
+                        let mut acc = _mm512_loadu_pd(p.add(at(i, j)));
+                        for t in 0..j {
+                            acc = _mm512_fmadd_pd(nws[t], _mm512_loadu_pd(p.add(at(i, t))), acc);
+                        }
+                        _mm512_storeu_pd(p.add(at(i, j)), _mm512_div_pd(acc, piv));
+                        i += 1;
+                    }
+                    continue;
+                }
+                if fast {
+                    let mut i = j + 1;
+                    while i + 4 <= m {
+                        let mut a0 = _mm512_loadu_pd(p.add(at(i, j)));
+                        let mut a1 = _mm512_loadu_pd(p.add(at(i + 1, j)));
+                        let mut a2 = _mm512_loadu_pd(p.add(at(i + 2, j)));
+                        let mut a3 = _mm512_loadu_pd(p.add(at(i + 3, j)));
+                        for t in 0..j {
+                            let nw = neg(_mm512_loadu_pd(p.add(at(j, t))));
+                            a0 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i, t))), a0);
+                            a1 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i + 1, t))), a1);
+                            a2 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i + 2, t))), a2);
+                            a3 = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i + 3, t))), a3);
+                        }
+                        _mm512_storeu_pd(p.add(at(i, j)), _mm512_div_pd(a0, piv));
+                        _mm512_storeu_pd(p.add(at(i + 1, j)), _mm512_div_pd(a1, piv));
+                        _mm512_storeu_pd(p.add(at(i + 2, j)), _mm512_div_pd(a2, piv));
+                        _mm512_storeu_pd(p.add(at(i + 3, j)), _mm512_div_pd(a3, piv));
+                        i += 4;
+                    }
+                    while i < m {
+                        let mut acc = _mm512_loadu_pd(p.add(at(i, j)));
+                        for t in 0..j {
+                            let nw = neg(_mm512_loadu_pd(p.add(at(j, t))));
+                            acc = _mm512_fmadd_pd(nw, _mm512_loadu_pd(p.add(at(i, t))), acc);
+                        }
+                        _mm512_storeu_pd(p.add(at(i, j)), _mm512_div_pd(acc, piv));
+                        i += 1;
+                    }
+                    continue;
+                }
+                // General masked path: skip exactly-zero multipliers
+                // per lane (the scalar tier's `w == 0` skip), then the
+                // masked divide.
+                for t in 0..j {
+                    let w = _mm512_loadu_pd(p.add(at(j, t)));
+                    let wm = lm & _mm512_cmp_pd_mask::<_CMP_NEQ_UQ>(w, zero);
+                    if wm == 0 {
+                        continue;
+                    }
+                    let nw = neg(w);
+                    if wm == FULL {
+                        for i in (j + 1)..m {
+                            let cv = _mm512_loadu_pd(p.add(at(i, j)));
+                            let av = _mm512_loadu_pd(p.add(at(i, t)));
+                            _mm512_storeu_pd(p.add(at(i, j)), _mm512_fmadd_pd(nw, av, cv));
+                        }
+                    } else {
+                        for i in (j + 1)..m {
+                            let cv = _mm512_loadu_pd(p.add(at(i, j)));
+                            let av = _mm512_loadu_pd(p.add(at(i, t)));
+                            let r = _mm512_fmadd_pd(nw, av, cv);
+                            _mm512_mask_storeu_pd(p.add(at(i, j)), wm, r);
+                        }
+                    }
+                }
+                if lm == FULL {
+                    for i in (j + 1)..m {
+                        let cv = _mm512_loadu_pd(p.add(at(i, j)));
+                        _mm512_storeu_pd(p.add(at(i, j)), _mm512_div_pd(cv, piv));
+                    }
+                } else {
+                    for i in (j + 1)..m {
+                        let cv = _mm512_loadu_pd(p.add(at(i, j)));
+                        let r = _mm512_div_pd(cv, piv);
+                        _mm512_mask_storeu_pd(p.add(at(i, j)), lm, r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pack → factor → unpack for two consecutive 4-lane groups fused
+    /// into one 8-lane AVX-512 sweep. Lane `l` of the wide tile is
+    /// matrix `l` of the pair, so each pair's `infos` slots stay
+    /// contiguous. The per-lane value computation is the 4-lane
+    /// kernel's exactly, so the factors (and breakdown columns) are
+    /// bit-identical to the narrow path — and therefore to `potf2`.
+    ///
+    /// # Safety
+    /// AVX2+FMA+AVX-512F detected; `src`/`dst` hold `2·pairs`
+    /// interleaved 4-lane groups of order `n`, `tile` holds n·n·8
+    /// elements, and `infos` holds 8 entries per pair.
+    #[target_feature(enable = "avx2,fma,avx512f")]
+    unsafe fn potrf_group_f64_w8(
+        n: usize,
+        pairs: usize,
+        src: &[f64],
+        dst: &mut [f64],
+        tile: &mut [f64],
+        infos: &mut [i32],
+    ) {
+        // SAFETY: fn contract — each pair consumes 8·n² source and
+        // destination elements plus 8 info slots, in bounds by the
+        // extent contract; the callees' contracts are met by
+        // construction.
+        unsafe {
+            let gsz = n * n * 4;
+            for h in 0..pairs {
+                pack_pair_f64_w8(n, &src[h * 2 * gsz..], tile);
+                potrf8_f64(tile, n, &mut infos[h * 8..]);
+                unpack_pair_f64_w8(n, tile, &mut dst[h * 2 * gsz..]);
             }
         }
     }
@@ -1814,6 +2189,76 @@ mod tests {
     fn fused_group_factor_matches_staged_path() {
         fused_group_matches_staged::<f64>();
         fused_group_matches_staged::<f32>();
+    }
+
+    /// Multi-group sweeps with a full-width tile ([`group_tile_len`]):
+    /// on AVX-512F hosts the `f64` path fuses group pairs into 8-lane
+    /// sweeps (odd tails through the 4-lane path); everywhere else the
+    /// same call re-checks the narrow path. Either way every lane must
+    /// stay bit-identical to the staged per-group oracle — breakdown
+    /// lanes, exactly-zero multipliers and non-multiple-of-4 orders
+    /// included.
+    fn wide_group_matches_staged<T: Scalar>() {
+        let mut rng = seeded_rng(31);
+        let lanes = lane_count::<T>();
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 11, 13, 16, 24] {
+            for groups in [1usize, 2, 3, 5] {
+                let mut flat = Vec::with_capacity(groups * n * n * lanes);
+                for _ in 0..groups * lanes {
+                    flat.extend_from_slice(&spd_vec::<T>(&mut rng, n));
+                }
+                if n >= 3 && groups >= 2 {
+                    // Poison a diagonal in the second group — the high
+                    // lanes of a fused pair — so per-lane breakdown
+                    // freezing is exercised across the pair boundary.
+                    let g1 = n * n * lanes;
+                    flat[g1 + n * n + 2 * n + 2] = T::from_f64(-1.0);
+                }
+                if n >= 2 {
+                    // Exactly-zero multiplier in the first group (the
+                    // scalar tier skips zero-w column updates).
+                    flat[1] = T::ZERO;
+                }
+                let mut tile = vec![T::ZERO; group_tile_len(n)];
+                let mut dst = flat.clone();
+                let mut infos = vec![0i32; groups * lanes];
+                potrf_group(n, &flat, &mut dst, &mut tile, &mut infos);
+
+                let sizes = vec![n; lanes];
+                for g in 0..groups {
+                    let gsz = n * n * lanes;
+                    let gmats: Vec<Vec<T>> = flat[g * gsz..(g + 1) * gsz]
+                        .chunks_exact(n * n)
+                        .map(<[T]>::to_vec)
+                        .collect();
+                    let mut want_buf = pack_square(n, &gmats, &sizes);
+                    let mut want_infos = vec![0i32; lanes];
+                    potrf_lanes(&mut want_buf, n, &sizes, &mut want_infos);
+                    assert_eq!(
+                        &infos[g * lanes..(g + 1) * lanes],
+                        &want_infos[..],
+                        "info mismatch at n = {n}, group {g} of {groups}"
+                    );
+                    for l in 0..lanes {
+                        let mut want = vec![T::ZERO; n * n];
+                        unpack_lane(&want_buf, n, l, MatMut::from_slice(&mut want, n, n, n));
+                        let got = &dst[(g * lanes + l) * n * n..(g * lanes + l + 1) * n * n];
+                        assert!(
+                            got.iter()
+                                .zip(&want)
+                                .all(|(a, b)| a.to_f64().to_bits() == b.to_f64().to_bits()),
+                            "lane {l} diverged at n = {n}, group {g} of {groups}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_tile_group_factor_matches_staged_path() {
+        wide_group_matches_staged::<f64>();
+        wide_group_matches_staged::<f32>();
     }
 
     #[test]

@@ -27,17 +27,32 @@
 //! [`uses_blocked`] exposes the dispatch predicate and the [`tier`]
 //! module exposes both tiers directly so tests and benches can pin a
 //! path regardless of operand size.
+//!
+//! # Runtime tile schemes
+//!
+//! The tiling parameters are no longer compile-time-only: the blocked
+//! tier reads its `(mr, nr, mc, kc)` from [`crate::tune::active`] — the
+//! per-precision [`crate::tune::TileScheme`] resolved from a committed
+//! `TUNE.json` (or the defaults below when none applies). Register-tile
+//! shapes with a hand-written microkernel — 8×4 on AVX2+FMA, plus 16×4
+//! f64/f32, 8×8 f64 and 16×8 f32 on AVX-512F — dispatch to it at
+//! runtime; any other valid shape runs on the portable loop.
 
 use crate::matrix::{Diag, MatMut, MatRef, Side, Trans, Uplo};
 use crate::scalar::Scalar;
+use crate::tune::{self, TileScheme, MR_MAX, NR_MAX};
 
-/// Rows per register tile of the blocked microkernel.
+/// Default rows per register tile of the blocked microkernel
+/// (equals [`TileScheme::DEFAULT`]`.mr`).
 pub const MR: usize = 8;
-/// Columns per register tile of the blocked microkernel.
+/// Default columns per register tile of the blocked microkernel
+/// (equals [`TileScheme::DEFAULT`]`.nr`).
 pub const NR: usize = 4;
-/// Row-panel height cached per packed `op(A)` block (multiple of `MR`).
+/// Default row-panel height cached per packed `op(A)` block
+/// (multiple of `MR`; equals [`TileScheme::DEFAULT`]`.mc`).
 pub const MC: usize = 64;
-/// Depth of one packed panel pair (the shared `k` extent per sweep).
+/// Default depth of one packed panel pair (the shared `k` extent per
+/// sweep; equals [`TileScheme::DEFAULT`]`.kc`).
 pub const KC: usize = 256;
 
 /// Minimum inner extent `k` for the blocked tier: packing `op(A)` and
@@ -87,7 +102,16 @@ pub fn gemm<T: Scalar>(
     if uses_blocked(m, n, k) {
         // β folds into the first panel sweep's writeback — no separate
         // pass over C.
-        gemm_blocked_acc(transa, transb, alpha, a, b, beta, &mut c);
+        gemm_blocked_acc(
+            &tune::active::<T>(),
+            transa,
+            transb,
+            alpha,
+            a,
+            b,
+            beta,
+            &mut c,
+        );
     } else {
         scale(&mut c, beta);
         gemm_small_acc(transa, transb, alpha, a, b, &mut c);
@@ -223,8 +247,12 @@ fn gemm_small_acc<T: Scalar>(
 // Blocked tier: packed panels + register-tiled microkernel.
 // ---------------------------------------------------------------------
 
-/// `C ← C + α·op(A)·op(B)` (β already applied) via MC×KC×NR tiling.
+/// `C ← C + α·op(A)·op(B)` (β already applied) via mc×kc×nr tiling
+/// under the given [`TileScheme`] (callers pass a validated scheme —
+/// [`tune::active`] or one vetted by [`TileScheme::validate`]).
+#[allow(clippy::too_many_arguments)]
 fn gemm_blocked_acc<T: Scalar>(
+    ts: &TileScheme,
     transa: Trans,
     transb: Trans,
     alpha: T,
@@ -233,32 +261,35 @@ fn gemm_blocked_acc<T: Scalar>(
     beta: T,
     c: &mut MatMut<'_, T>,
 ) {
+    let (tmr, tnr, mc_blk, kc_blk) = (ts.mr, ts.nr, ts.mc, ts.kc);
     let m = c.nrows();
     let n = c.ncols();
     let k = match transa {
         Trans::NoTrans => a.ncols(),
         Trans::Trans => a.nrows(),
     };
-    let kc_max = KC.min(k);
-    let pa_len = MC * kc_max;
-    let pb_len = n.div_ceil(NR) * NR * kc_max;
+    // A kc larger than the operand's inner extent clamps — the scheme
+    // is a ceiling, not a demand.
+    let kc_max = kc_blk.min(k);
+    let pa_len = mc_blk * kc_max;
+    let pb_len = n.div_ceil(tnr) * tnr * kc_max;
     T::with_scratch(pa_len + pb_len, |scratch| {
         let (pa_buf, pb_buf) = scratch.split_at_mut(pa_len);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
+        for pc in (0..k).step_by(kc_blk) {
+            let kc = kc_blk.min(k - pc);
             // Every C tile is written exactly once per panel sweep, so
             // the first sweep applies β and later sweeps accumulate.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
-            pack_b(transb, b, pc, kc, n, pb_buf);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(transa, a, ic, mc, pc, kc, pa_buf);
-                for jr0 in (0..n).step_by(NR) {
-                    let nr = NR.min(n - jr0);
-                    let pb_panel = &pb_buf[(jr0 / NR) * (NR * kc)..][..NR * kc];
-                    for ir0 in (0..mc).step_by(MR) {
-                        let mr = MR.min(mc - ir0);
-                        let pa_panel = &pa_buf[(ir0 / MR) * (MR * kc)..][..MR * kc];
+            pack_b(transb, b, pc, kc, n, tnr, pb_buf);
+            for ic in (0..m).step_by(mc_blk) {
+                let mc = mc_blk.min(m - ic);
+                pack_a(transa, a, ic, mc, pc, kc, tmr, pa_buf);
+                for jr0 in (0..n).step_by(tnr) {
+                    let nr = tnr.min(n - jr0);
+                    let pb_panel = &pb_buf[(jr0 / tnr) * (tnr * kc)..][..tnr * kc];
+                    for ir0 in (0..mc).step_by(tmr) {
+                        let mr = tmr.min(mc - ir0);
+                        let pa_panel = &pa_buf[(ir0 / tmr) * (tmr * kc)..][..tmr * kc];
                         microkernel(
                             alpha,
                             pa_panel,
@@ -269,6 +300,8 @@ fn gemm_blocked_acc<T: Scalar>(
                             jr0,
                             mr,
                             nr,
+                            tmr,
+                            tnr,
                         );
                     }
                 }
@@ -277,9 +310,10 @@ fn gemm_blocked_acc<T: Scalar>(
     });
 }
 
-/// Packs `op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-row micro-panels:
-/// element `(ir0+r, pc+p)` lands at `(ir0/MR)·MR·kc + p·MR + r`, with
+/// Packs `op(A)[ic..ic+mc, pc..pc+kc]` into `tmr`-row micro-panels:
+/// element `(ir0+r, pc+p)` lands at `(ir0/tmr)·tmr·kc + p·tmr + r`, with
 /// rows past `mc` zero-padded so the microkernel needs no row masking.
+#[allow(clippy::too_many_arguments)]
 fn pack_a<T: Scalar>(
     transa: Trans,
     a: MatRef<'_, T>,
@@ -287,16 +321,17 @@ fn pack_a<T: Scalar>(
     mc: usize,
     pc: usize,
     kc: usize,
+    tmr: usize,
     buf: &mut [T],
 ) {
-    for ir0 in (0..mc).step_by(MR) {
-        let mr = MR.min(mc - ir0);
-        let panel = &mut buf[(ir0 / MR) * (MR * kc)..][..MR * kc];
+    for ir0 in (0..mc).step_by(tmr) {
+        let mr = tmr.min(mc - ir0);
+        let panel = &mut buf[(ir0 / tmr) * (tmr * kc)..][..tmr * kc];
         match transa {
             Trans::NoTrans => {
                 for p in 0..kc {
                     let col = &a.col_as_slice(pc + p)[ic + ir0..];
-                    let dst = &mut panel[p * MR..p * MR + MR];
+                    let dst = &mut panel[p * tmr..p * tmr + tmr];
                     dst[..mr].copy_from_slice(&col[..mr]);
                     dst[mr..].fill(T::ZERO);
                 }
@@ -306,12 +341,12 @@ fn pack_a<T: Scalar>(
                 for r in 0..mr {
                     let col = &a.col_as_slice(ic + ir0 + r)[pc..];
                     for p in 0..kc {
-                        panel[p * MR + r] = col[p];
+                        panel[p * tmr + r] = col[p];
                     }
                 }
-                for r in mr..MR {
+                for r in mr..tmr {
                     for p in 0..kc {
-                        panel[p * MR + r] = T::ZERO;
+                        panel[p * tmr + r] = T::ZERO;
                     }
                 }
             }
@@ -319,8 +354,8 @@ fn pack_a<T: Scalar>(
     }
 }
 
-/// Packs `op(B)[pc..pc+kc, 0..n]` into `NR`-column micro-panels:
-/// element `(pc+p, jr0+j)` lands at `(jr0/NR)·NR·kc + p·NR + j`, with
+/// Packs `op(B)[pc..pc+kc, 0..n]` into `tnr`-column micro-panels:
+/// element `(pc+p, jr0+j)` lands at `(jr0/tnr)·tnr·kc + p·tnr + j`, with
 /// columns past `n` zero-padded.
 fn pack_b<T: Scalar>(
     transb: Trans,
@@ -328,22 +363,23 @@ fn pack_b<T: Scalar>(
     pc: usize,
     kc: usize,
     n: usize,
+    tnr: usize,
     buf: &mut [T],
 ) {
-    for jr0 in (0..n).step_by(NR) {
-        let nr = NR.min(n - jr0);
-        let panel = &mut buf[(jr0 / NR) * (NR * kc)..][..NR * kc];
+    for jr0 in (0..n).step_by(tnr) {
+        let nr = tnr.min(n - jr0);
+        let panel = &mut buf[(jr0 / tnr) * (tnr * kc)..][..tnr * kc];
         match transb {
             Trans::NoTrans => {
                 for j in 0..nr {
                     let col = &b.col_as_slice(jr0 + j)[pc..];
                     for p in 0..kc {
-                        panel[p * NR + j] = col[p];
+                        panel[p * tnr + j] = col[p];
                     }
                 }
-                for j in nr..NR {
+                for j in nr..tnr {
                     for p in 0..kc {
-                        panel[p * NR + j] = T::ZERO;
+                        panel[p * tnr + j] = T::ZERO;
                     }
                 }
             }
@@ -351,7 +387,7 @@ fn pack_b<T: Scalar>(
                 // op(B)(p,j) = B(j,p): column pc+p of B is contiguous.
                 for p in 0..kc {
                     let col = &b.col_as_slice(pc + p)[jr0..];
-                    let dst = &mut panel[p * NR..p * NR + NR];
+                    let dst = &mut panel[p * tnr..p * tnr + tnr];
                     dst[..nr].copy_from_slice(&col[..nr]);
                     dst[nr..].fill(T::ZERO);
                 }
@@ -360,10 +396,10 @@ fn pack_b<T: Scalar>(
     }
 }
 
-/// Register-tiled `MR × NR` microkernel: accumulates one packed
+/// Register-tiled `tmr × tnr` microkernel: accumulates one packed
 /// `op(A)`-panel × `op(B)`-panel product over the shared `kc` extent in
-/// an `MR × NR` accumulator block, then writes
-/// `C ← α·acc + β·C` on the live `mr × nr` corner of `C`
+/// a `tmr × tnr` corner of an `MR_MAX × NR_MAX` accumulator block, then
+/// writes `C ← α·acc + β·C` on the live `mr × nr` corner of `C`
 /// (β = 0 overwrites without reading, BLAS-style).
 #[inline]
 #[allow(clippy::too_many_arguments)]
@@ -377,9 +413,11 @@ fn microkernel<T: Scalar>(
     j0: usize,
     mr: usize,
     nr: usize,
+    tmr: usize,
+    tnr: usize,
 ) {
-    let mut acc = [[T::ZERO; MR]; NR];
-    accumulate_tile(pa, pb, &mut acc);
+    let mut acc = [[T::ZERO; MR_MAX]; NR_MAX];
+    accumulate_tile(pa, pb, &mut acc, tmr, tnr);
     for (jr, accj) in acc.iter().enumerate().take(nr) {
         let col = &mut c.col_as_mut_slice(j0 + jr)[i0..i0 + mr];
         if beta == T::ONE {
@@ -398,73 +436,132 @@ fn microkernel<T: Scalar>(
     }
 }
 
-/// `acc[jr][r] += Σ_p pa[p·MR + r] · pb[p·NR + jr]` over packed panels
-/// (`pa.len() == MR·kc`, `pb.len() == NR·kc`).
+/// `acc[jr][r] += Σ_p pa[p·tmr + r] · pb[p·tnr + jr]` over packed panels
+/// (`pa.len() == tmr·kc`, `pb.len() == tnr·kc`).
 ///
-/// On x86-64 hosts with AVX2+FMA (runtime-detected) and `T` ∈
-/// {`f32`, `f64`}, this routes to hand-written fused-multiply-add
-/// kernels; everywhere else it falls back to the portable loop below.
-/// The portable loop deliberately uses `mul` + `add` rather than
-/// `mul_add`: LLVM SLP-vectorizes this register-tile shape, while the
-/// scalar fma intrinsic blocks that and serializes the tile.
+/// On x86-64 hosts with AVX2+FMA (runtime-detected), `T` ∈
+/// {`f32`, `f64`} and a kernel-backed tile shape, this routes to a
+/// hand-written fused-multiply-add kernel (AVX-512F shapes included
+/// when the host has them); everywhere else it falls back to the
+/// portable loop. The portable loop is monomorphized per known tile
+/// shape and deliberately uses `mul` + `add` rather than `mul_add`:
+/// LLVM SLP-vectorizes these register-tile shapes, while the scalar fma
+/// intrinsic blocks that and serializes the tile.
 #[inline]
-fn accumulate_tile<T: Scalar>(pa: &[T], pb: &[T], acc: &mut [[T; MR]; NR]) {
+fn accumulate_tile<T: Scalar>(
+    pa: &[T],
+    pb: &[T],
+    acc: &mut [[T; MR_MAX]; NR_MAX],
+    tmr: usize,
+    tnr: usize,
+) {
     #[cfg(all(target_arch = "x86_64", not(miri)))]
-    if x86::accumulate_tile(pa, pb, acc) {
+    if x86::accumulate_tile(pa, pb, acc, tmr, tnr) {
         return;
     }
-    for (av, bv) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
-        for (jr, accj) in acc.iter_mut().enumerate() {
+    match (tmr, tnr) {
+        (8, 4) => portable_tile::<T, 8, 4>(pa, pb, acc),
+        (16, 4) => portable_tile::<T, 16, 4>(pa, pb, acc),
+        (8, 8) => portable_tile::<T, 8, 8>(pa, pb, acc),
+        (16, 8) => portable_tile::<T, 16, 8>(pa, pb, acc),
+        _ => {
+            for (av, bv) in pa.chunks_exact(tmr).zip(pb.chunks_exact(tnr)) {
+                for (jr, accj) in acc.iter_mut().enumerate().take(tnr) {
+                    let b = bv[jr];
+                    for (r, slot) in accj.iter_mut().enumerate().take(tmr) {
+                        *slot += av[r] * b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Portable tile accumulation monomorphized on the tile shape, so the
+/// inner loops have compile-time trip counts and SLP-vectorize.
+#[inline]
+fn portable_tile<T: Scalar, const TMR: usize, const TNR: usize>(
+    pa: &[T],
+    pb: &[T],
+    acc: &mut [[T; MR_MAX]; NR_MAX],
+) {
+    for (av, bv) in pa.chunks_exact(TMR).zip(pb.chunks_exact(TNR)) {
+        for (jr, accj) in acc.iter_mut().enumerate().take(TNR) {
             let b = bv[jr];
-            for (r, slot) in accj.iter_mut().enumerate() {
+            for (r, slot) in accj.iter_mut().enumerate().take(TMR) {
                 *slot += av[r] * b;
             }
         }
     }
 }
 
-/// Hand-written AVX2+FMA microkernel accumulators. The generic tile loop
-/// tops out without fused multiply-adds (Rust never contracts
-/// `a*b + c`, and the scalar `mul_add` intrinsic defeats SLP
+/// Hand-written AVX2+FMA and AVX-512F microkernel accumulators. The
+/// generic tile loop tops out without fused multiply-adds (Rust never
+/// contracts `a*b + c`, and the scalar `mul_add` intrinsic defeats SLP
 /// vectorization), so the two primitive precisions get explicit
-/// `_mm256_fmadd` kernels, selected per call by `TypeId` after a
-/// runtime CPU-feature check.
+/// `_mm256_fmadd` / `_mm512_fmadd` kernels, selected per call by
+/// `(TypeId, tile shape)` after a runtime CPU-feature check. Tile
+/// shapes without a matching kernel (or hosts without the feature the
+/// kernel needs) return `false` and run the portable loop — that is the
+/// zero-regression path for AVX2-only machines handed an AVX-512 tuned
+/// scheme.
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 mod x86 {
-    use super::{Scalar, MR, NR};
+    use super::{Scalar, MR_MAX, NR_MAX};
     use core::any::TypeId;
     use std::arch::x86_64::*;
+
+    /// Accumulator block shared by every kernel: each of the `NR_MAX`
+    /// rows is `MR_MAX` = 16 scalars wide, so an 8-wide f64 kernel
+    /// touches elements `0..8` and a 16-wide one `0..16` — always in
+    /// bounds.
+    type Acc<F> = [[F; MR_MAX]; NR_MAX];
 
     /// Returns `true` when the tile was handled by an FMA kernel,
     /// `false` when the caller must run the portable loop.
     #[inline]
-    pub(super) fn accumulate_tile<T: Scalar>(pa: &[T], pb: &[T], acc: &mut [[T; MR]; NR]) -> bool {
+    pub(super) fn accumulate_tile<T: Scalar>(
+        pa: &[T],
+        pb: &[T],
+        acc: &mut [[T; MR_MAX]; NR_MAX],
+        tmr: usize,
+        tnr: usize,
+    ) -> bool {
         // `is_x86_feature_detected!` caches its answer in an atomic, so
-        // the per-call cost is two relaxed loads.
+        // the per-call cost is a couple of relaxed loads.
         if !(is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")) {
             return false;
         }
-        debug_assert_eq!(pa.len() / MR, pb.len() / NR);
+        let wide = is_x86_feature_detected!("avx512f");
+        debug_assert_eq!(pa.len() / tmr, pb.len() / tnr);
         if TypeId::of::<T>() == TypeId::of::<f64>() {
             // Safety: `T` is exactly `f64` (TypeId match above), so the
-            // pointer casts only re-state the slice types; AVX2+FMA was
-            // just detected.
+            // pointer casts only re-state the slice types; the features
+            // each kernel enables were just detected.
             unsafe {
-                accumulate_f64(
-                    core::slice::from_raw_parts(pa.as_ptr().cast::<f64>(), pa.len()),
-                    core::slice::from_raw_parts(pb.as_ptr().cast::<f64>(), pb.len()),
-                    &mut *(acc as *mut [[T; MR]; NR]).cast::<[[f64; MR]; NR]>(),
-                );
+                let pa = core::slice::from_raw_parts(pa.as_ptr().cast::<f64>(), pa.len());
+                let pb = core::slice::from_raw_parts(pb.as_ptr().cast::<f64>(), pb.len());
+                let acc = &mut *(acc as *mut [[T; MR_MAX]; NR_MAX]).cast::<Acc<f64>>();
+                match (tmr, tnr) {
+                    (8, 4) => accumulate_f64(pa, pb, acc),
+                    (16, 4) if wide => accumulate_f64_16x4(pa, pb, acc),
+                    (8, 8) if wide => accumulate_f64_8x8(pa, pb, acc),
+                    _ => return false,
+                }
             }
             true
         } else if TypeId::of::<T>() == TypeId::of::<f32>() {
             // Safety: as above with `T` == `f32`.
             unsafe {
-                accumulate_f32(
-                    core::slice::from_raw_parts(pa.as_ptr().cast::<f32>(), pa.len()),
-                    core::slice::from_raw_parts(pb.as_ptr().cast::<f32>(), pb.len()),
-                    &mut *(acc as *mut [[T; MR]; NR]).cast::<[[f32; MR]; NR]>(),
-                );
+                let pa = core::slice::from_raw_parts(pa.as_ptr().cast::<f32>(), pa.len());
+                let pb = core::slice::from_raw_parts(pb.as_ptr().cast::<f32>(), pb.len());
+                let acc = &mut *(acc as *mut [[T; MR_MAX]; NR_MAX]).cast::<Acc<f32>>();
+                match (tmr, tnr) {
+                    (8, 4) => accumulate_f32(pa, pb, acc),
+                    (16, 4) if wide => accumulate_f32_16x4(pa, pb, acc),
+                    (16, 8) if wide => accumulate_f32_16x8(pa, pb, acc),
+                    _ => return false,
+                }
             }
             true
         } else {
@@ -479,20 +576,22 @@ mod x86 {
     /// # Safety
     /// Caller must have verified AVX2+FMA support.
     #[target_feature(enable = "avx2,fma")]
-    unsafe fn accumulate_f64(pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
-        // SAFETY: fn contract — `pa` holds kc packed MR-rows and `pb` kc
-        // packed NR-rows (debug-asserted by the dispatcher), so offsets
-        // `p·MR + 0..8` and `p·NR + jr` stay in bounds; `acc` rows are
-        // MR = 8 wide, covering both 4-wide halves.
+    unsafe fn accumulate_f64(pa: &[f64], pb: &[f64], acc: &mut Acc<f64>) {
+        // SAFETY: fn contract — `pa` holds kc packed 8-rows and `pb` kc
+        // packed 4-rows (debug-asserted by the dispatcher), so offsets
+        // `p·8 + 0..8` and `p·4 + jr` stay in bounds; `acc` rows are
+        // MR_MAX = 16 wide, covering both 4-wide halves.
         unsafe {
-            let kc = pa.len() / MR;
+            const TMR: usize = 8;
+            const TNR: usize = 4;
+            let kc = pa.len() / TMR;
             let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
-            let mut c: [[__m256d; 2]; NR] = [[_mm256_setzero_pd(); 2]; NR];
+            let mut c: [[__m256d; 2]; TNR] = [[_mm256_setzero_pd(); 2]; TNR];
             for p in 0..kc {
-                let a0 = _mm256_loadu_pd(pa.add(p * MR));
-                let a1 = _mm256_loadu_pd(pa.add(p * MR + 4));
+                let a0 = _mm256_loadu_pd(pa.add(p * TMR));
+                let a1 = _mm256_loadu_pd(pa.add(p * TMR + 4));
                 for (jr, cj) in c.iter_mut().enumerate() {
-                    let b = _mm256_set1_pd(*pb.add(p * NR + jr));
+                    let b = _mm256_set1_pd(*pb.add(p * TNR + jr));
                     cj[0] = _mm256_fmadd_pd(a0, b, cj[0]);
                     cj[1] = _mm256_fmadd_pd(a1, b, cj[1]);
                 }
@@ -513,38 +612,187 @@ mod x86 {
     /// # Safety
     /// Caller must have verified AVX2+FMA support.
     #[target_feature(enable = "avx2,fma")]
-    unsafe fn accumulate_f32(pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    unsafe fn accumulate_f32(pa: &[f32], pb: &[f32], acc: &mut Acc<f32>) {
         // SAFETY: fn contract — as `accumulate_f64`: packed panel offsets
-        // `p·MR + 0..8` / `p·NR + jr` are in bounds for kc packed rows,
-        // and each `acc` row is MR = 8 wide (one full 8-lane register).
+        // `p·8 + 0..8` / `p·4 + jr` are in bounds for kc packed rows,
+        // and each `acc` row is MR_MAX = 16 wide (≥ one 8-lane register).
         unsafe {
-            let kc = pa.len() / MR;
+            const TMR: usize = 8;
+            const TNR: usize = 4;
+            let kc = pa.len() / TMR;
             let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
-            let mut c0: [__m256; NR] = [_mm256_setzero_ps(); NR];
-            let mut c1: [__m256; NR] = [_mm256_setzero_ps(); NR];
+            let mut c0: [__m256; TNR] = [_mm256_setzero_ps(); TNR];
+            let mut c1: [__m256; TNR] = [_mm256_setzero_ps(); TNR];
             let mut p = 0;
             while p + 2 <= kc {
-                let a0 = _mm256_loadu_ps(pa.add(p * MR));
-                let a1 = _mm256_loadu_ps(pa.add((p + 1) * MR));
-                for jr in 0..NR {
-                    let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
-                    let b1 = _mm256_set1_ps(*pb.add((p + 1) * NR + jr));
+                let a0 = _mm256_loadu_ps(pa.add(p * TMR));
+                let a1 = _mm256_loadu_ps(pa.add((p + 1) * TMR));
+                for jr in 0..TNR {
+                    let b0 = _mm256_set1_ps(*pb.add(p * TNR + jr));
+                    let b1 = _mm256_set1_ps(*pb.add((p + 1) * TNR + jr));
                     c0[jr] = _mm256_fmadd_ps(a0, b0, c0[jr]);
                     c1[jr] = _mm256_fmadd_ps(a1, b1, c1[jr]);
                 }
                 p += 2;
             }
             if p < kc {
-                let a0 = _mm256_loadu_ps(pa.add(p * MR));
+                let a0 = _mm256_loadu_ps(pa.add(p * TMR));
                 for (jr, c0j) in c0.iter_mut().enumerate() {
-                    let b0 = _mm256_set1_ps(*pb.add(p * NR + jr));
+                    let b0 = _mm256_set1_ps(*pb.add(p * TNR + jr));
                     *c0j = _mm256_fmadd_ps(a0, b0, *c0j);
                 }
             }
-            for (jr, accj) in acc.iter_mut().enumerate() {
+            for (jr, accj) in acc.iter_mut().enumerate().take(TNR) {
                 let sum = _mm256_add_ps(c0[jr], c1[jr]);
                 let prev = _mm256_loadu_ps(accj.as_ptr());
                 _mm256_storeu_ps(accj.as_mut_ptr(), _mm256_add_ps(prev, sum));
+            }
+        }
+    }
+
+    /// 16×4 f64 tile: two 8-lane ZMM registers per C column, eight
+    /// independent fma chains over a register footprint of 8 ZMM
+    /// accumulators + 2 A loads + 1 broadcast — comfortably inside the
+    /// 32-register AVX-512 file.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn accumulate_f64_16x4(pa: &[f64], pb: &[f64], acc: &mut Acc<f64>) {
+        // SAFETY: fn contract — `pa` holds kc packed 16-rows and `pb` kc
+        // packed 4-rows (debug-asserted by the dispatcher), so offsets
+        // `p·16 + 0..16` and `p·4 + jr` stay in bounds; `acc` rows are
+        // MR_MAX = 16 wide, covering both 8-wide halves.
+        unsafe {
+            const TMR: usize = 16;
+            const TNR: usize = 4;
+            let kc = pa.len() / TMR;
+            let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+            let mut c: [[__m512d; 2]; TNR] = [[_mm512_setzero_pd(); 2]; TNR];
+            for p in 0..kc {
+                let a0 = _mm512_loadu_pd(pa.add(p * TMR));
+                let a1 = _mm512_loadu_pd(pa.add(p * TMR + 8));
+                for (jr, cj) in c.iter_mut().enumerate() {
+                    let b = _mm512_set1_pd(*pb.add(p * TNR + jr));
+                    cj[0] = _mm512_fmadd_pd(a0, b, cj[0]);
+                    cj[1] = _mm512_fmadd_pd(a1, b, cj[1]);
+                }
+            }
+            for (accj, cj) in acc.iter_mut().zip(&c) {
+                let lo = _mm512_add_pd(_mm512_loadu_pd(accj.as_ptr()), cj[0]);
+                let hi = _mm512_add_pd(_mm512_loadu_pd(accj.as_ptr().add(8)), cj[1]);
+                _mm512_storeu_pd(accj.as_mut_ptr(), lo);
+                _mm512_storeu_pd(accj.as_mut_ptr().add(8), hi);
+            }
+        }
+    }
+
+    /// 8×8 f64 tile: one 8-lane ZMM register per C column, eight
+    /// independent fma chains. Narrower A panel than 16×4 — wins when
+    /// `m` tails would leave half a 16-row panel padded.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn accumulate_f64_8x8(pa: &[f64], pb: &[f64], acc: &mut Acc<f64>) {
+        // SAFETY: fn contract — `pa` holds kc packed 8-rows and `pb` kc
+        // packed 8-rows (debug-asserted by the dispatcher), so offsets
+        // `p·8 + 0..8` and `p·8 + jr` stay in bounds; `acc` rows are
+        // MR_MAX = 16 wide (≥ one 8-lane register).
+        unsafe {
+            const TMR: usize = 8;
+            const TNR: usize = 8;
+            let kc = pa.len() / TMR;
+            let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+            let mut c: [__m512d; TNR] = [_mm512_setzero_pd(); TNR];
+            for p in 0..kc {
+                let a0 = _mm512_loadu_pd(pa.add(p * TMR));
+                for (jr, cj) in c.iter_mut().enumerate() {
+                    let b = _mm512_set1_pd(*pb.add(p * TNR + jr));
+                    *cj = _mm512_fmadd_pd(a0, b, *cj);
+                }
+            }
+            for (accj, cj) in acc.iter_mut().zip(&c) {
+                let sum = _mm512_add_pd(_mm512_loadu_pd(accj.as_ptr()), *cj);
+                _mm512_storeu_pd(accj.as_mut_ptr(), sum);
+            }
+        }
+    }
+
+    /// 16×8 f32 tile: one 16-lane ZMM register per C column, eight
+    /// independent fma chains.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn accumulate_f32_16x8(pa: &[f32], pb: &[f32], acc: &mut Acc<f32>) {
+        // SAFETY: fn contract — `pa` holds kc packed 16-rows and `pb` kc
+        // packed 8-rows (debug-asserted by the dispatcher), so offsets
+        // `p·16 + 0..16` and `p·8 + jr` stay in bounds; `acc` rows are
+        // MR_MAX = 16 wide (exactly one 16-lane register).
+        unsafe {
+            const TMR: usize = 16;
+            const TNR: usize = 8;
+            let kc = pa.len() / TMR;
+            let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+            let mut c: [__m512; TNR] = [_mm512_setzero_ps(); TNR];
+            for p in 0..kc {
+                let a0 = _mm512_loadu_ps(pa.add(p * TMR));
+                for (jr, cj) in c.iter_mut().enumerate() {
+                    let b = _mm512_set1_ps(*pb.add(p * TNR + jr));
+                    *cj = _mm512_fmadd_ps(a0, b, *cj);
+                }
+            }
+            for (accj, cj) in acc.iter_mut().zip(&c) {
+                let sum = _mm512_add_ps(_mm512_loadu_ps(accj.as_ptr()), *cj);
+                _mm512_storeu_ps(accj.as_mut_ptr(), sum);
+            }
+        }
+    }
+
+    /// 16×4 f32 tile: one 16-lane ZMM register per C column. Four
+    /// columns give only four fma chains, so the k loop runs two steps
+    /// at a time into separate partial sums (eight chains) that merge
+    /// at the end — same schedule as the AVX2 8×4 f32 kernel.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn accumulate_f32_16x4(pa: &[f32], pb: &[f32], acc: &mut Acc<f32>) {
+        // SAFETY: fn contract — `pa` holds kc packed 16-rows and `pb` kc
+        // packed 4-rows (debug-asserted by the dispatcher), so offsets
+        // `p·16 + 0..16` and `p·4 + jr` stay in bounds; `acc` rows are
+        // MR_MAX = 16 wide (exactly one 16-lane register).
+        unsafe {
+            const TMR: usize = 16;
+            const TNR: usize = 4;
+            let kc = pa.len() / TMR;
+            let (pa, pb) = (pa.as_ptr(), pb.as_ptr());
+            let mut c0: [__m512; TNR] = [_mm512_setzero_ps(); TNR];
+            let mut c1: [__m512; TNR] = [_mm512_setzero_ps(); TNR];
+            let mut p = 0;
+            while p + 2 <= kc {
+                let a0 = _mm512_loadu_ps(pa.add(p * TMR));
+                let a1 = _mm512_loadu_ps(pa.add((p + 1) * TMR));
+                for jr in 0..TNR {
+                    let b0 = _mm512_set1_ps(*pb.add(p * TNR + jr));
+                    let b1 = _mm512_set1_ps(*pb.add((p + 1) * TNR + jr));
+                    c0[jr] = _mm512_fmadd_ps(a0, b0, c0[jr]);
+                    c1[jr] = _mm512_fmadd_ps(a1, b1, c1[jr]);
+                }
+                p += 2;
+            }
+            if p < kc {
+                let a0 = _mm512_loadu_ps(pa.add(p * TMR));
+                for (jr, c0j) in c0.iter_mut().enumerate() {
+                    let b0 = _mm512_set1_ps(*pb.add(p * TNR + jr));
+                    *c0j = _mm512_fmadd_ps(a0, b0, *c0j);
+                }
+            }
+            for (jr, accj) in acc.iter_mut().enumerate().take(TNR) {
+                let sum = _mm512_add_ps(c0[jr], c1[jr]);
+                let prev = _mm512_loadu_ps(accj.as_ptr());
+                _mm512_storeu_ps(accj.as_mut_ptr(), _mm512_add_ps(prev, sum));
             }
         }
     }
@@ -1175,8 +1423,31 @@ pub mod tier {
         }
     }
 
-    /// Packed/blocked-tier `gemm` (`C ← α·op(A)·op(B) + β·C`), any size.
+    /// Packed/blocked-tier `gemm` (`C ← α·op(A)·op(B) + β·C`), any
+    /// size, under the active [`TileScheme`].
     pub fn gemm_blocked<T: Scalar>(
+        transa: Trans,
+        transb: Trans,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        c: MatMut<'_, T>,
+    ) {
+        gemm_blocked_scheme(&tune::active::<T>(), transa, transb, alpha, a, b, beta, c);
+    }
+
+    /// Packed/blocked-tier `gemm` under an explicit [`TileScheme`],
+    /// bypassing the process-wide tuning state — the entry point the
+    /// autotuner and the scheme-sweep tests use to race candidate
+    /// schemes inside one process.
+    ///
+    /// # Panics
+    /// When `ts` fails [`TileScheme::validate`] (the packing layout
+    /// depends on its invariants) or on dimension mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_blocked_scheme<T: Scalar>(
+        ts: &TileScheme,
         transa: Trans,
         transb: Trans,
         alpha: T,
@@ -1185,9 +1456,12 @@ pub mod tier {
         beta: T,
         mut c: MatMut<'_, T>,
     ) {
+        if let Err(why) = ts.validate() {
+            panic!("gemm_blocked_scheme: invalid tile scheme: {why}");
+        }
         let (m, n, k) = check_gemm_dims(transa, transb, a, b, &c);
         if alpha != T::ZERO && m > 0 && n > 0 && k > 0 {
-            gemm_blocked_acc(transa, transb, alpha, a, b, beta, &mut c);
+            gemm_blocked_acc(ts, transa, transb, alpha, a, b, beta, &mut c);
         } else {
             scale(&mut c, beta);
         }
@@ -1286,6 +1560,105 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Every register-tile shape with a hand-written kernel (plus one
+    /// portable-only shape) against the naive oracle, across mc/kc
+    /// variants including kc > k (clamping) and non-default mc.
+    #[test]
+    fn gemm_blocked_scheme_sweep_matches_naive() {
+        fn run<T: Scalar>(tol: f64) {
+            let mut rng = seeded_rng(31);
+            let shapes = [(8usize, 4usize), (16, 4), (8, 8), (16, 8), (4, 2)];
+            let blocks = [(64usize, 256usize), (32, 64), (48, 4096)];
+            for &(mr, nr) in &shapes {
+                for &(mc, kc) in &blocks {
+                    let ts = TileScheme {
+                        mr,
+                        nr,
+                        mc: mc.div_ceil(mr) * mr,
+                        kc,
+                        ilv_cutoff: 32,
+                    };
+                    ts.validate().expect("sweep schemes are valid");
+                    let (m, n, k) = (65usize, 39usize, 70usize);
+                    let a: Vec<T> = rand_mat::<f64>(&mut rng, m * k)
+                        .iter()
+                        .map(|&v| T::from_f64(v))
+                        .collect();
+                    let b: Vec<T> = rand_mat::<f64>(&mut rng, k * n)
+                        .iter()
+                        .map(|&v| T::from_f64(v))
+                        .collect();
+                    let c0: Vec<T> = rand_mat::<f64>(&mut rng, m * n)
+                        .iter()
+                        .map(|&v| T::from_f64(v))
+                        .collect();
+                    let mut c = c0.clone();
+                    tier::gemm_blocked_scheme(
+                        &ts,
+                        Trans::NoTrans,
+                        Trans::NoTrans,
+                        T::from_f64(1.5),
+                        MatRef::from_slice(&a, m, k, m),
+                        MatRef::from_slice(&b, k, n, k),
+                        T::from_f64(-0.5),
+                        MatMut::from_slice(&mut c, m, n, m),
+                    );
+                    let want = naive::gemm_ref(
+                        Trans::NoTrans,
+                        Trans::NoTrans,
+                        T::from_f64(1.5),
+                        &a,
+                        m,
+                        k,
+                        &b,
+                        k,
+                        n,
+                        T::from_f64(-0.5),
+                        &c0,
+                        m,
+                        n,
+                    );
+                    let err = c
+                        .iter()
+                        .zip(&want)
+                        .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
+                        .fold(0.0f64, f64::max);
+                    assert!(
+                        err < tol,
+                        "scheme {ts:?} {} err {err}",
+                        std::any::type_name::<T>()
+                    );
+                }
+            }
+        }
+        run::<f64>(1e-10);
+        run::<f32>(1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tile scheme")]
+    fn gemm_blocked_scheme_rejects_invalid() {
+        let a = [1.0f64; 4];
+        let mut c = [0.0f64; 4];
+        let ts = TileScheme {
+            mr: 8,
+            nr: 4,
+            mc: 4, // mc < mr
+            kc: 256,
+            ilv_cutoff: 32,
+        };
+        tier::gemm_blocked_scheme(
+            &ts,
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            mat(&a, 2, 2),
+            mat(&a, 2, 2),
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, 2),
+        );
     }
 
     #[test]

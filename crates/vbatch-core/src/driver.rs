@@ -14,9 +14,7 @@ use vbatch_gpu_sim::{Device, DevicePtr};
 
 use crate::aux::compute_imax_pooled;
 use crate::etm::EtmPolicy;
-use crate::fused::{
-    fused_feasible, potrf_fused_step, potrf_interleaved_window, tuned_nb, INTERLEAVE_CUTOFF,
-};
+use crate::fused::{fused_feasible, potrf_fused_step, potrf_interleaved_window, tuned_nb};
 use crate::recover::{
     fault_events_start, finish_recovery, scrub_batch, with_retry, RecoveryPolicy, RecoveryReport,
 };
@@ -51,11 +49,18 @@ pub struct FusedOpts {
     pub nb: Option<usize>,
     /// Implicit-sorting window width in multiples of `nb`.
     pub window_factor: usize,
-    /// Route `Lower` windows whose largest matrix is at or below
-    /// [`crate::fused::INTERLEAVE_CUTOFF`] through the lane-interleaved
-    /// batched-small kernel ([`crate::fused::potrf_interleaved_window`])
-    /// instead of the per-matrix step loop.
+    /// Route `Lower` windows whose largest matrix is at or below the
+    /// interleave cutoff (see [`FusedOpts::interleave_cutoff`]) through
+    /// the lane-interleaved batched-small kernel
+    /// ([`crate::fused::potrf_interleaved_window`]) instead of the
+    /// per-matrix step loop.
     pub batched_small: bool,
+    /// Largest window maximum that takes the batched-small path. `None`
+    /// resolves the active [`vbatch_dense::tune::TileScheme`]'s
+    /// `ilv_cutoff` at dispatch time — the autotuner's `TUNE.json` can
+    /// retune it per precision; without a tuning file it equals
+    /// [`crate::fused::INTERLEAVE_CUTOFF`].
+    pub interleave_cutoff: Option<usize>,
 }
 
 impl Default for FusedOpts {
@@ -66,7 +71,21 @@ impl Default for FusedOpts {
             nb: None,
             window_factor: 4,
             batched_small: true,
+            interleave_cutoff: None,
         }
+    }
+}
+
+impl FusedOpts {
+    /// The effective batched-small cutoff for element type `T`: the
+    /// explicit override when set, else the active tile scheme's
+    /// `ilv_cutoff`. Both the fused window router and anything that
+    /// needs to predict its routing (sizing, tests) must go through
+    /// this one resolver so they cannot disagree.
+    #[must_use]
+    pub fn resolved_interleave_cutoff<T: Scalar>(&self) -> usize {
+        self.interleave_cutoff
+            .unwrap_or_else(|| vbatch_dense::tune::active::<T>().ilv_cutoff)
     }
 }
 
@@ -397,7 +416,10 @@ fn fused_window_once<T: Scalar>(
         return Ok(());
     }
     let pol = &opts.recovery;
-    if opts.fused.batched_small && uplo == Uplo::Lower && wmax <= INTERLEAVE_CUTOFF {
+    if opts.fused.batched_small
+        && uplo == Uplo::Lower
+        && wmax <= opts.fused.resolved_interleave_cutoff::<T>()
+    {
         // Batched-small path: the whole window factorizes in one
         // cross-matrix interleaved launch instead of a per-step
         // loop. Lane-group scratch is pooled like every other
@@ -717,6 +739,75 @@ mod tests {
             let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
             assert!(report.all_ok());
             verify_all(&batch, &origs, &sizes);
+        }
+    }
+
+    /// The interleave cutoff is one `TileScheme` value resolved through
+    /// one place ([`FusedOpts::resolved_interleave_cutoff`]), so the
+    /// fused router and anything predicting it cannot disagree. Probe
+    /// the boundary with uniform batches at `cutoff − 1`, `cutoff`,
+    /// `cutoff + 1` under an explicit override: at or below the cutoff
+    /// the window collapses into fewer launches than the per-step loop
+    /// (the interleaved route), strictly above it both configurations
+    /// issue identical launch sequences — and every variant, the
+    /// separated approach included, agrees numerically.
+    #[test]
+    fn interleave_cutoff_boundary_routing() {
+        let d = dev();
+        let defaults = FusedOpts::default();
+        assert_eq!(
+            defaults.resolved_interleave_cutoff::<f64>(),
+            vbatch_dense::tune::active::<f64>().ilv_cutoff,
+            "None must resolve the active scheme's cutoff"
+        );
+        assert_eq!(
+            FusedOpts {
+                interleave_cutoff: Some(7),
+                ..Default::default()
+            }
+            .resolved_interleave_cutoff::<f32>(),
+            7,
+            "an explicit override must win"
+        );
+        let ilv_launches =
+            |d: &Device| d.with_profiler(|p| p.get("dpotrf_ilv_batch").map_or(0, |e| e.launches));
+        for c in [16usize, 32] {
+            for (n, expect_interleaved) in [(c - 1, true), (c, true), (c + 1, false)] {
+                let sizes = vec![n; 8];
+                let opts = PotrfOptions {
+                    strategy: Strategy::Fused,
+                    fused: FusedOpts {
+                        interleave_cutoff: Some(c),
+                        sorting: false,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let (mut batch, origs) = make_batch::<f64>(&d, &sizes, 300 + n as u64);
+                let before = ilv_launches(&d);
+                let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
+                let routed = ilv_launches(&d) - before;
+                assert!(report.all_ok(), "n={n}: {:?}", report.failures());
+                verify_all(&batch, &origs, &sizes);
+                if expect_interleaved {
+                    assert_eq!(
+                        routed, 1,
+                        "n={n} ≤ cutoff {c} must be one interleaved launch"
+                    );
+                } else {
+                    assert_eq!(routed, 0, "n={n} > cutoff {c} must run the per-step loop");
+                }
+                // The separated approach must agree numerically at the
+                // same boundary sizes.
+                let (mut batch, origs) = make_batch::<f64>(&d, &sizes, 300 + n as u64);
+                let opts = PotrfOptions {
+                    strategy: Strategy::Separated,
+                    ..Default::default()
+                };
+                let report = potrf_vbatched(&d, &mut batch, &opts).unwrap();
+                assert!(report.all_ok());
+                verify_all(&batch, &origs, &sizes);
+            }
         }
     }
 

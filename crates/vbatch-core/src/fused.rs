@@ -317,15 +317,22 @@ pub fn potrf_fused_step<T: Scalar>(
     Ok(stats)
 }
 
-/// Windows whose largest matrix is at or below this order take the
-/// interleaved batched-small path ([`potrf_interleaved_window`]) instead
-/// of the per-matrix fused step loop. At 32 the per-matrix tiers still
-/// cannot fill SIMD lanes (the whole matrix is smaller than one register
-/// tile), the `m² · L` lane-group tile stays within one block's shared
-/// memory in both precisions, and the host A/B in
+/// Default cutoff: windows whose largest matrix is at or below this
+/// order take the interleaved batched-small path
+/// ([`potrf_interleaved_window`]) instead of the per-matrix fused step
+/// loop. At 32 the per-matrix tiers still cannot fill SIMD lanes (the
+/// whole matrix is smaller than one register tile), the `m² · L`
+/// lane-group tile stays within one block's shared memory in both
+/// precisions, and the host A/B in
 /// `BENCH_kernels.json["batched_small"]` shows the cross-matrix path
 /// ahead across the whole range.
-pub const INTERLEAVE_CUTOFF: usize = 32;
+///
+/// This is the single source of truth only as a *default*: the value
+/// lives in [`vbatch_dense::tune::TileScheme::DEFAULT`] (`ilv_cutoff`)
+/// and the driver resolves the active, possibly `TUNE.json`-retuned
+/// scheme per precision through
+/// [`crate::FusedOpts::resolved_interleave_cutoff`].
+pub const INTERLEAVE_CUTOFF: usize = vbatch_dense::tune::TileScheme::DEFAULT.ilv_cutoff;
 
 /// Interleaved batched-small Cholesky over one sorting window: each
 /// thread block packs up to `L` = [`interleave::lane_count`] matrices of
