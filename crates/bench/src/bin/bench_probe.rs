@@ -17,8 +17,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use vbatch_core::{
-    potrf_vbatched_max, potrf_vbatched_max_ws, DriverWorkspace, FusedOpts, PotrfOptions, Strategy,
-    VBatch,
+    potrf_sharded, potrf_vbatched_max, potrf_vbatched_max_ws, DriverWorkspace, FusedOpts,
+    PotrfOptions, ShardOpts, ShardedState, Strategy, VBatch,
 };
 use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
 use vbatch_dense::level3::{tier, uses_blocked};
@@ -26,10 +26,89 @@ use vbatch_dense::tune::{self, TileScheme};
 use vbatch_dense::{
     flops, gemm, interleave, potf2, potrf_blocked, MatMut, MatRef, Scalar, Trans, Uplo,
 };
+use vbatch_gpu_sim::{DeviceConfig, DeviceGroup};
 use vbatch_workload::{fill_spd_batch, SizeDist};
 
 /// Sizes probed for both kernels.
 const SIZES: [usize; 5] = [32, 64, 128, 256, 512];
+
+/// Device counts probed by the multi-device sharding section.
+const SHARD_DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One sharding-scaling row: a full sharded dpotrf run at one group
+/// size, all metrics in simulated units (deterministic across hosts).
+struct ShardRow {
+    devices: usize,
+    sim_gflops: f64,
+    scaling_x: f64,
+    makespan_s: f64,
+    energy_j: f64,
+    steals: u32,
+    overlap_efficiency: f64,
+    per_device: Vec<(usize, f64, usize)>, // (device, gflops, pool high-water bytes)
+}
+
+/// Probes sim-Gflop/s scaling of the sharded driver at 1/2/4/8
+/// homogeneous vK40c devices on a mixed-size dpotrf workload
+/// (Gaussian sizes, transfer-heavy enough that overlap matters).
+fn probe_sharding() -> Vec<ShardRow> {
+    let mut rng = seeded_rng(0x5AD);
+    let sizes = SizeDist::Gaussian { max: 384 }.sample_batch(&mut rng, 512);
+    let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect();
+    let useful = flops::potrf_batch(&sizes);
+    let shard_opts = ShardOpts {
+        shards_per_device: 4,
+        steal: true,
+    };
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for &devices in &SHARD_DEVICE_COUNTS {
+        let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), devices);
+        let mut state = ShardedState::new();
+        let mut work = mats.clone();
+        let report = potrf_sharded(
+            &group,
+            &sizes,
+            &mut work,
+            &PotrfOptions::default(),
+            &shard_opts,
+            &mut state,
+        )
+        .expect("sharded probe run");
+        assert!(report.info.iter().all(|&i| i == 0));
+        let sim_gflops = useful / report.makespan_s / 1e9;
+        let base = rows.first().map_or(sim_gflops, |r: &ShardRow| r.sim_gflops);
+        let per_device = report
+            .per_device
+            .iter()
+            .map(|r| {
+                let g = if r.compute_s > 0.0 {
+                    r.flops / r.compute_s / 1e9
+                } else {
+                    0.0
+                };
+                (r.device, g, r.pool_high_water_bytes)
+            })
+            .collect();
+        eprintln!(
+            "  {devices} device(s): {sim_gflops:.2} sim Gflop/s ({:.2}x), {:.4} J, {} steals, overlap {:.2}",
+            sim_gflops / base,
+            report.energy_j,
+            report.steals,
+            report.overlap_efficiency
+        );
+        rows.push(ShardRow {
+            devices,
+            sim_gflops,
+            scaling_x: sim_gflops / base,
+            makespan_s: report.makespan_s,
+            energy_j: report.energy_j,
+            steals: report.steals,
+            overlap_efficiency: report.overlap_efficiency,
+            per_device,
+        });
+    }
+    rows
+}
 
 /// Times `f` by running it repeatedly until the total exceeds a small
 /// budget, returning the best (minimum) single-run seconds — the usual
@@ -434,6 +513,9 @@ fn main() {
         "  fused dpotrf b=3000 Nmax=128: cold {driver_cold:.4}s | warm {driver_warm:.4}s host, {driver_sim_gflops:.3} simulated Gflop/s"
     );
 
+    eprintln!("probing multi-device sharding (dpotrf, gaussian max 384, batch 512) ...");
+    let shard_rows = probe_sharding();
+
     let scheme_json = |ts: &TileScheme| {
         format!(
             "{{\"mr\": {}, \"nr\": {}, \"mc\": {}, \"kc\": {}, \"ilv_cutoff\": {}}}",
@@ -457,6 +539,28 @@ fn main() {
         std::thread::available_parallelism().map_or(1, usize::from)
     );
     let _ = writeln!(j, "    \"tune_source\": {:?},", active.source);
+    // Simulated-device inventory: the config every simulated section of
+    // this file ran on, and how many devices each section used.
+    let sim_cfg = DeviceConfig::k40c();
+    let _ = writeln!(
+        j,
+        "    \"sim_device\": {{\"name\": {:?}, \"clock_mhz\": {}, \"num_sms\": {}, \"warp_size\": {}, \"max_blocks_per_sm\": {}, \"max_threads_per_sm\": {}, \"shared_mem_per_sm\": {}, \"launch_overhead_us\": {}, \"pcie_gbs\": {}, \"pcie_latency_us\": {}}},",
+        sim_cfg.name,
+        sim_cfg.clock_mhz,
+        sim_cfg.num_sms,
+        sim_cfg.warp_size,
+        sim_cfg.max_blocks_per_sm,
+        sim_cfg.max_threads_per_sm,
+        sim_cfg.shared_mem_per_sm,
+        sim_cfg.kernel_launch_overhead_us,
+        sim_cfg.pcie_bandwidth_gbs,
+        sim_cfg.pcie_latency_us
+    );
+    let _ = writeln!(
+        j,
+        "    \"sim_device_counts\": {{\"simulated_headline\": 1, \"driver\": 1, \"sharding\": {:?}}},",
+        SHARD_DEVICE_COUNTS
+    );
     let _ = writeln!(
         j,
         "    \"tile_scheme_f64\": {},",
@@ -566,6 +670,43 @@ fn main() {
         sim_gflops,
         headline_host_s
     );
+    j.push_str("  \"sharding\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"workload\": \"sharded dpotrf, 512 matrices, gaussian max 384\",\n    \"shards_per_device\": 4,\n    \"steal\": true,\n    \"scaling\": ["
+    );
+    for (i, r) in shard_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"devices\": {}, \"sim_gflops\": {:.3}, \"scaling_x\": {:.3}, \"makespan_s\": {:.6}, \"energy_j\": {:.6}, \"steals\": {}, \"overlap_efficiency\": {:.3}, \"per_device\": [",
+            r.devices,
+            r.sim_gflops,
+            r.scaling_x,
+            r.makespan_s,
+            r.energy_j,
+            r.steals,
+            r.overlap_efficiency
+        );
+        for (k, &(d, g, hw)) in r.per_device.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{{\"device\": {}, \"clock_mhz\": {}, \"num_sms\": {}, \"gflops\": {:.3}, \"pool_high_water_bytes\": {}}}{}",
+                d,
+                sim_cfg.clock_mhz,
+                sim_cfg.num_sms,
+                g,
+                hw,
+                if k + 1 < r.per_device.len() { ", " } else { "" }
+            );
+        }
+        j.push_str("]}");
+        j.push_str(if i + 1 < shard_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("    ]\n  },\n");
     let _ = writeln!(
         j,
         "  \"driver\": {{\"workload\": \"fused dpotrf, batch 3000, uniform max 128\", \"sim_gflops\": {driver_sim_gflops:.3}, \"host_seconds_cold\": {driver_cold:.4}, \"host_seconds_warm\": {driver_warm:.4}, \"note\": \"cold = fresh DriverWorkspace per call, warm = reused workspace; compare host seconds across PRs only via interleaved A/B runs of both builds on one machine (sequential runs on this host drift up to ~20%)\"}}"

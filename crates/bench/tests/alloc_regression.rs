@@ -8,12 +8,13 @@ use vbatch_bench::fresh_device;
 use vbatch_core::lu::{getrf_vbatched_ws, GetrfOptions};
 use vbatch_core::qr::{geqrf_vbatched_ws, GeqrfOptions};
 use vbatch_core::{
-    potrf_vbatched_max_ws, potrf_vbatched_ws, DriverWorkspace, PotrfOptions, SepOpts, Strategy,
-    VBatch,
+    getrf_sharded, potrf_sharded, potrf_vbatched_max_ws, potrf_vbatched_ws, DriverWorkspace,
+    PotrfOptions, SepOpts, ShardOpts, ShardedState, Strategy, VBatch,
 };
-use vbatch_dense::gen::seeded_rng;
+use vbatch_dense::gen::{diag_dominant_vec, seeded_rng, spd_vec};
 use vbatch_dense::Scalar;
-use vbatch_workload::fill_spd_batch;
+use vbatch_gpu_sim::{DeviceConfig, DeviceGroup};
+use vbatch_workload::{fill_spd_batch, SizeDist};
 
 const SIZES: [usize; 10] = [33, 7, 150, 64, 1, 0, 90, 12, 128, 45];
 
@@ -181,6 +182,112 @@ fn qr_warm_allocates_only_the_tau_arena() {
     assert!(report.all_ok());
     assert_eq!(dev.alloc_count(), allocs + 2);
     drop(tau);
+}
+
+fn sharded_potrf_steady_state_is_alloc_free(devices: usize) {
+    let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), devices);
+    let mut rng = seeded_rng(0x5A);
+    let sizes = SizeDist::Gaussian { max: 150 }.sample_batch(&mut rng, 64);
+    let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect();
+    let opts = PotrfOptions::default();
+    let shard_opts = ShardOpts::default();
+    let mut state = ShardedState::new();
+
+    // Cold pass: primes workspaces and per-device pools.
+    let mut work = mats.clone();
+    potrf_sharded(&group, &sizes, &mut work, &opts, &shard_opts, &mut state).unwrap();
+    let allocs: Vec<u64> = group.devices().iter().map(|d| d.alloc_count()).collect();
+    let frees: Vec<u64> = group.devices().iter().map(|d| d.free_count()).collect();
+    assert!(allocs.iter().sum::<u64>() > 0, "cold pass must allocate");
+
+    // Warm passes: zero device allocations and zero frees, per device.
+    for pass in 0..2 {
+        let mut work = mats.clone();
+        let report =
+            potrf_sharded(&group, &sizes, &mut work, &opts, &shard_opts, &mut state).unwrap();
+        assert!(report.info.iter().all(|&i| i == 0));
+        for (d, dev) in group.devices().iter().enumerate() {
+            assert_eq!(
+                dev.alloc_count(),
+                allocs[d],
+                "{devices}-device warm pass {pass}: device {d} allocated"
+            );
+            assert_eq!(
+                dev.free_count(),
+                frees[d],
+                "{devices}-device warm pass {pass}: device {d} freed"
+            );
+        }
+        // Pool high-water marks are reported per device and only cover
+        // devices that actually got work.
+        for rec in &report.per_device {
+            if rec.matrices > 0 {
+                assert!(
+                    rec.pool_high_water_bytes > 0,
+                    "device {} ran {} matrices but reports no pool usage",
+                    rec.device,
+                    rec.matrices
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_potrf_warm_zero_device_allocs_2_devices() {
+    sharded_potrf_steady_state_is_alloc_free(2);
+}
+
+#[test]
+fn sharded_potrf_warm_zero_device_allocs_4_devices() {
+    sharded_potrf_steady_state_is_alloc_free(4);
+}
+
+fn sharded_getrf_steady_state_is_alloc_free(devices: usize) {
+    let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), devices);
+    let mut rng = seeded_rng(0x5B);
+    let sizes = SizeDist::Uniform { max: 120 }.sample_batch(&mut rng, 48);
+    let mats: Vec<Vec<f64>> = sizes
+        .iter()
+        .map(|&n| diag_dominant_vec::<f64>(&mut rng, n, n))
+        .collect();
+    let opts = GetrfOptions::default();
+    let shard_opts = ShardOpts::default();
+    let mut state = ShardedState::new();
+
+    let mut work = mats.clone();
+    getrf_sharded(&group, &sizes, &mut work, &opts, &shard_opts, &mut state).unwrap();
+    let allocs: Vec<u64> = group.devices().iter().map(|d| d.alloc_count()).collect();
+    let frees: Vec<u64> = group.devices().iter().map(|d| d.free_count()).collect();
+
+    for pass in 0..2 {
+        let mut work = mats.clone();
+        let (report, _pivots) =
+            getrf_sharded(&group, &sizes, &mut work, &opts, &shard_opts, &mut state).unwrap();
+        assert!(report.info.iter().all(|&i| i == 0));
+        for (d, dev) in group.devices().iter().enumerate() {
+            assert_eq!(
+                dev.alloc_count(),
+                allocs[d],
+                "{devices}-device warm getrf pass {pass}: device {d} allocated"
+            );
+            assert_eq!(
+                dev.free_count(),
+                frees[d],
+                "{devices}-device warm getrf pass {pass}: device {d} freed"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_getrf_warm_zero_device_allocs_2_devices() {
+    sharded_getrf_steady_state_is_alloc_free(2);
+}
+
+#[test]
+fn sharded_getrf_warm_zero_device_allocs_4_devices() {
+    sharded_getrf_steady_state_is_alloc_free(4);
 }
 
 #[test]

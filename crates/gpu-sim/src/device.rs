@@ -330,6 +330,9 @@ impl Device {
             name,
             pending: Vec::new(),
             launches: 0,
+            copy_done_s: 0.0,
+            compute_ready_s: 0.0,
+            dtoh_bytes: Vec::new(),
         }
     }
 
@@ -343,9 +346,18 @@ impl Device {
         self.transfer(bytes)
     }
 
+    /// Duration of a PCIe transfer of `bytes` without charging the
+    /// clock — the building block for overlap schedules
+    /// ([`crate::group::CopyComputeTimeline`], [`StreamGroup::upload`])
+    /// that account transfer time against a DMA engine instead of the
+    /// serial timeline.
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.cfg.pcie_latency_us * 1e-6 + bytes as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9)
+    }
+
     fn transfer(&self, bytes: usize) -> f64 {
-        let t =
-            self.cfg.pcie_latency_us * 1e-6 + bytes as f64 / (self.cfg.pcie_bandwidth_gbs * 1e9);
+        let t = self.transfer_seconds(bytes);
         let mut inner = self.inner.lock();
         inner.clock_s += t;
         inner.energy.add_interval(t, 0.0);
@@ -399,11 +411,24 @@ impl Device {
 /// A group of kernels issued on separate streams and executed
 /// concurrently. Obtain via [`Device::stream_group`]; call
 /// [`StreamGroup::sync`] to schedule the group and advance the clock.
+///
+/// Besides kernels, a group carries explicit *transfer phases*: an
+/// [`StreamGroup::upload`] occupies the group's DMA engine and gates
+/// every kernel launched after it, while a [`StreamGroup::download`]
+/// drains after the compute finishes. Phases let one group express the
+/// classic double-buffered shard schedule — upload *i+1* overlapping
+/// compute *i* — with the clock charged once at [`StreamGroup::sync`].
 pub struct StreamGroup<'d> {
     dev: &'d Device,
     name: &'static str,
     pending: Vec<(BlockCost, Occupancy, f64)>,
     launches: u64,
+    /// DMA engine busy-until, relative to the group's opening.
+    copy_done_s: f64,
+    /// Earliest release for kernels issued after the last upload.
+    compute_ready_s: f64,
+    /// Download phases, scheduled after the compute drains at sync.
+    dtoh_bytes: Vec<usize>,
 }
 
 impl StreamGroup<'_> {
@@ -423,12 +448,33 @@ impl StreamGroup<'_> {
         }
         let costs = self.dev.run_blocks(&cfg, &kernel);
         // The host issues launches serially: kernel k's blocks release
-        // only after k+1 launch overheads have elapsed.
+        // only after k+1 launch overheads have elapsed — and never
+        // before the uploads they depend on have landed.
         self.launches += 1;
-        let release = self.launches as f64 * self.dev.launch_overhead_s();
+        let release =
+            (self.launches as f64 * self.dev.launch_overhead_s()).max(self.compute_ready_s);
         self.pending
             .extend(costs.into_iter().map(|c| (c, occ, release)));
         Ok(())
+    }
+
+    /// Upload phase: `bytes` host→device on the group's DMA engine.
+    /// Transfers within a group serialize on that engine; kernels
+    /// launched *after* this call release only once the copy has
+    /// landed, while kernels already issued keep running — upload
+    /// *i+1* overlaps compute *i*. Returns the engine's busy-until
+    /// time relative to the group's opening.
+    pub fn upload(&mut self, bytes: usize) -> f64 {
+        self.copy_done_s += self.dev.transfer_seconds(bytes);
+        self.compute_ready_s = self.compute_ready_s.max(self.copy_done_s);
+        self.copy_done_s
+    }
+
+    /// Download phase: `bytes` device→host, scheduled on the DMA engine
+    /// after every pending kernel has drained (at
+    /// [`StreamGroup::sync`]).
+    pub fn download(&mut self, bytes: usize) {
+        self.dtoh_bytes.push(bytes);
     }
 
     /// Number of kernels issued into the group so far.
@@ -438,12 +484,21 @@ impl StreamGroup<'_> {
     }
 
     /// Schedules all pending blocks together (respecting per-kernel
-    /// issue times), advances the device clock once, and returns the
-    /// group timing.
+    /// issue times and upload dependencies), appends the download
+    /// phases, advances the device clock once, and returns the group
+    /// timing. The time any transfer phase adds beyond the compute
+    /// makespan is charged at idle activity, like a plain PCIe copy.
     pub fn sync(self) -> KernelTiming {
         // Launch overhead is encoded in the release times; the group
         // itself adds none on top.
-        let timing = schedule_blocks(&self.dev.cfg, &self.pending, 0.0);
+        let mut timing = schedule_blocks(&self.dev.cfg, &self.pending, 0.0);
+        let mut dma_free = self.copy_done_s.max(timing.total_s);
+        for &bytes in &self.dtoh_bytes {
+            dma_free += self.dev.transfer_seconds(bytes);
+        }
+        let end = timing.total_s.max(self.copy_done_s).max(dma_free);
+        timing.launch_s += end - timing.total_s;
+        timing.total_s = end;
         self.dev.commit(self.name, &timing, self.launches);
         if self.dev.fault_on.load(Ordering::Relaxed) {
             self.dev.fault_after_launch();
@@ -598,6 +653,53 @@ mod tests {
             streamed < serial,
             "streamed {streamed} should beat serial {serial}"
         );
+    }
+
+    #[test]
+    fn stream_phases_overlap_transfers_with_compute() {
+        // Reference: serial copies around the same kernels.
+        let work = |blk: &mut BlockCtx| blk.dp_flops(32, 5e5);
+        let d1 = dev();
+        d1.copy_htod_bytes(500_000);
+        d1.launch("k", LaunchConfig::grid_1d(2, 32), work).unwrap();
+        d1.copy_htod_bytes(500_000);
+        d1.launch("k", LaunchConfig::grid_1d(2, 32), work).unwrap();
+        d1.copy_dtoh_bytes(500_000);
+        d1.copy_dtoh_bytes(500_000);
+        let serial = d1.now();
+
+        // Phased group: the second upload overlaps the first kernel.
+        let d2 = dev();
+        let mut g = d2.stream_group("k_phased");
+        g.upload(500_000);
+        g.launch(LaunchConfig::grid_1d(2, 32), work).unwrap();
+        g.upload(500_000);
+        g.launch(LaunchConfig::grid_1d(2, 32), work).unwrap();
+        g.download(500_000);
+        g.download(500_000);
+        let timing = g.sync();
+        let phased = d2.now();
+        assert!(
+            phased < serial,
+            "phased {phased} should beat serial {serial}"
+        );
+        // The first upload still gates the first kernel, and the
+        // downloads still drain after compute: no free lunch.
+        let up = d2.transfer_seconds(500_000);
+        assert!(phased >= 2.0 * up + timing.exec_s - up);
+    }
+
+    #[test]
+    fn upload_gates_later_kernels() {
+        let d = dev();
+        let mut g = d.stream_group("gated");
+        // A huge upload: the kernel launched after it cannot start
+        // before the copy lands, so the group takes at least that long.
+        g.upload(10_000_000);
+        let gate = d.transfer_seconds(10_000_000);
+        g.launch(LaunchConfig::grid_1d(1, 32), |_blk| {}).unwrap();
+        g.sync();
+        assert!(d.now() >= gate);
     }
 
     #[test]

@@ -58,9 +58,11 @@ pub mod device;
 pub mod energy;
 pub mod fault;
 pub mod grid;
+pub mod group;
 pub mod intern;
 pub mod mem;
 pub mod occupancy;
+pub mod pool;
 pub mod sched;
 pub mod stats;
 
@@ -70,6 +72,8 @@ pub use device::{Device, LaunchError, StreamGroup};
 pub use energy::{EnergyMeter, PowerModel};
 pub use fault::{Corruption, Fault, FaultPlan, InjectionEvent};
 pub use grid::{Dim3, LaunchConfig};
+pub use group::{CopyComputeTimeline, DeviceGroup};
 pub use mem::{DeviceBuffer, DevicePtr, OomError};
 pub use occupancy::Occupancy;
+pub use pool::MemoryPool;
 pub use stats::{KernelStats, ProfileEntry};

@@ -9,9 +9,76 @@
 //! information (what the caller of a real vbatched API would also know).
 
 use vbatch_dense::Scalar;
-use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr};
+use vbatch_gpu_sim::{Device, DeviceBuffer, DevicePtr, MemoryPool};
 
 use crate::report::VbatchError;
+
+/// The metadata buffers of one batch: rows, cols, leading dimensions,
+/// `info`, and the pointer array.
+type MetaBuffers<T> = (
+    DeviceBuffer<i32>,
+    DeviceBuffer<i32>,
+    DeviceBuffer<i32>,
+    DeviceBuffer<i32>,
+    DeviceBuffer<DevicePtr<T>>,
+);
+
+/// The pool bundle a pooled batch draws from — one per device on the
+/// sharded path ([`crate::shard`]): element storage, `i32` metadata
+/// (sizes, leading dimensions, `info`) and pointer arrays each recycle
+/// through their own size-class free lists, so building and retiring a
+/// shard's batch touches the device allocator only on cold classes.
+pub struct BatchPools<T> {
+    /// Matrix element storage.
+    pub mats: MemoryPool<T>,
+    /// `i32` metadata arrays (rows/cols/ld/info).
+    pub meta: MemoryPool<i32>,
+    /// Matrix pointer arrays.
+    pub ptrs: MemoryPool<DevicePtr<T>>,
+}
+
+impl<T> Default for BatchPools<T> {
+    fn default() -> Self {
+        Self {
+            mats: MemoryPool::default(),
+            meta: MemoryPool::default(),
+            ptrs: MemoryPool::default(),
+        }
+    }
+}
+
+impl<T: Scalar> BatchPools<T> {
+    /// Empty pools.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// High-water mark of bytes checked out across the three pools.
+    #[must_use]
+    pub fn high_water_bytes(&self) -> usize {
+        self.mats.high_water_bytes() + self.meta.high_water_bytes() + self.ptrs.high_water_bytes()
+    }
+
+    /// Total pool misses (requests that hit the device allocator).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.mats.misses() + self.meta.misses() + self.ptrs.misses()
+    }
+
+    /// Bytes currently parked on the free lists across the three pools.
+    #[must_use]
+    pub fn held_bytes(&self) -> usize {
+        self.mats.held_bytes() + self.meta.held_bytes() + self.ptrs.held_bytes()
+    }
+
+    /// Drops every parked buffer, returning its memory to the device.
+    pub fn trim(&mut self) {
+        self.mats.trim();
+        self.meta.trim();
+        self.ptrs.trim();
+    }
+}
 
 /// A device-resident batch of matrices with independent shapes.
 pub struct VBatch<T> {
@@ -102,6 +169,95 @@ impl<T: Scalar> VBatch<T> {
         })
     }
 
+    /// Allocates a batch of square matrices drawing every buffer from
+    /// `pools` instead of the device allocator (zero device
+    /// allocations once the pools are warm). Pooled buffers are
+    /// size-class rounded and their contents are **stale**: the caller
+    /// must upload each matrix's full extent before reading anything
+    /// back — which the sharded drivers do — and the metadata arrays
+    /// are fully rewritten here.
+    ///
+    /// # Errors
+    /// [`VbatchError::Oom`] when a cold class cannot be served; buffers
+    /// taken before the failure are returned to the pools.
+    pub fn alloc_square_pooled(
+        dev: &Device,
+        sizes: &[usize],
+        pools: &mut BatchPools<T>,
+    ) -> Result<Self, VbatchError> {
+        let count = sizes.len();
+        let mut storage: Vec<DeviceBuffer<T>> = Vec::with_capacity(count);
+        let mut ptrs = Vec::with_capacity(count);
+        let build = |storage: &mut Vec<DeviceBuffer<T>>,
+                     ptrs: &mut Vec<DevicePtr<T>>,
+                     pools: &mut BatchPools<T>|
+         -> Result<MetaBuffers<T>, VbatchError> {
+            for &n in sizes {
+                let elems = extent(n, n, n);
+                let buf = pools.mats.take(dev, elems)?;
+                // Truncated to the extent, exactly like the fresh path.
+                ptrs.push(buf.ptr().truncate(elems));
+                storage.push(buf);
+            }
+            let d_rows = pools.meta.take(dev, count)?;
+            let d_cols = pools.meta.take(dev, count)?;
+            let d_ld = pools.meta.take(dev, count)?;
+            let d_info = pools.meta.take(dev, count)?;
+            let d_ptrs = pools.ptrs.take(dev, count)?;
+            Ok((d_rows, d_cols, d_ld, d_info, d_ptrs))
+        };
+        match build(&mut storage, &mut ptrs, pools) {
+            Ok((d_rows, d_cols, d_ld, d_info, d_ptrs)) => {
+                let ns: Vec<i32> = sizes.iter().map(|&n| n as i32).collect();
+                d_rows.fill_from_host(&ns);
+                d_cols.fill_from_host(&ns);
+                d_ld.fill_from_host(&ns);
+                d_ptrs.fill_from_host(&ptrs);
+                Ok(Self {
+                    count,
+                    d_rows,
+                    d_cols,
+                    d_ld,
+                    d_ptrs,
+                    d_info,
+                    storage,
+                    rows: sizes.to_vec(),
+                    cols: sizes.to_vec(),
+                    ld: sizes.to_vec(),
+                })
+            }
+            Err(e) => {
+                for buf in storage {
+                    pools.mats.reclaim(buf);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Retires the batch into `pools`: every buffer moves to a free
+    /// list instead of being dropped, so no device frees occur and a
+    /// subsequent [`VBatch::alloc_square_pooled`] of similar shape
+    /// recycles everything.
+    pub fn reclaim(self, pools: &mut BatchPools<T>) {
+        let Self {
+            d_rows,
+            d_cols,
+            d_ld,
+            d_ptrs,
+            d_info,
+            storage,
+            ..
+        } = self;
+        for buf in storage {
+            pools.mats.reclaim(buf);
+        }
+        for buf in [d_rows, d_cols, d_ld, d_info] {
+            pools.meta.reclaim(buf);
+        }
+        pools.ptrs.reclaim(d_ptrs);
+    }
+
     /// Number of matrices in the batch.
     #[must_use]
     pub fn count(&self) -> usize {
@@ -139,34 +295,38 @@ impl<T: Scalar> VBatch<T> {
         self.cols.iter().copied().max().unwrap_or(0)
     }
 
+    // Metadata pointers are truncated to `count`: pooled buffers are
+    // size-class rounded, and the logical batch ends at `count` no
+    // matter how much capacity backs it.
+
     /// Device array of row counts.
     #[must_use]
     pub fn d_rows(&self) -> DevicePtr<i32> {
-        self.d_rows.ptr()
+        self.d_rows.ptr().truncate(self.count)
     }
 
     /// Device array of column counts.
     #[must_use]
     pub fn d_cols(&self) -> DevicePtr<i32> {
-        self.d_cols.ptr()
+        self.d_cols.ptr().truncate(self.count)
     }
 
     /// Device array of leading dimensions.
     #[must_use]
     pub fn d_ld(&self) -> DevicePtr<i32> {
-        self.d_ld.ptr()
+        self.d_ld.ptr().truncate(self.count)
     }
 
     /// Device array of matrix base pointers.
     #[must_use]
     pub fn d_ptrs(&self) -> DevicePtr<DevicePtr<T>> {
-        self.d_ptrs.ptr()
+        self.d_ptrs.ptr().truncate(self.count)
     }
 
     /// Device array of per-matrix LAPACK `info` codes.
     #[must_use]
     pub fn d_info(&self) -> DevicePtr<i32> {
-        self.d_info.ptr()
+        self.d_info.ptr().truncate(self.count)
     }
 
     /// Clears the `info` array to zero (host-side reset before a
@@ -178,7 +338,9 @@ impl<T: Scalar> VBatch<T> {
     /// Downloads the `info` array.
     #[must_use]
     pub fn read_info(&self) -> Vec<i32> {
-        self.d_info.read_to_host()
+        let mut v = self.d_info.read_to_host();
+        v.truncate(self.count);
+        v
     }
 
     /// Uploads matrix `i` from packed column-major host data of extent
@@ -219,7 +381,9 @@ impl<T: Scalar> VBatch<T> {
     /// Downloads matrix `i` as packed column-major data (with its `ld`).
     #[must_use]
     pub fn download_matrix(&self, i: usize) -> Vec<T> {
-        self.storage[i].read_to_host()
+        let mut v = self.storage[i].read_to_host();
+        v.truncate(extent(self.rows[i], self.cols[i], self.ld[i]));
+        v
     }
 
     /// Total bytes of matrix storage (excludes metadata arrays).

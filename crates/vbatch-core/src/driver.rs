@@ -61,6 +61,13 @@ pub struct FusedOpts {
     /// retune it per precision; without a tuning file it equals
     /// [`crate::fused::INTERLEAVE_CUTOFF`].
     pub interleave_cutoff: Option<usize>,
+    /// Exact sorting-window bucket width. `None` derives the width from
+    /// `nb · window_factor` and the batch shape (the default heuristic);
+    /// `Some(w)` fixes it. The multi-device scheduler
+    /// ([`crate::shard`]) pins this to the interleave cutoff so window
+    /// routing — and therefore factor bits — is a pure function of each
+    /// matrix's own size, never of which neighbors share a shard.
+    pub window_width: Option<usize>,
 }
 
 impl Default for FusedOpts {
@@ -72,6 +79,7 @@ impl Default for FusedOpts {
             window_factor: 4,
             batched_small: true,
             interleave_cutoff: None,
+            window_width: None,
         }
     }
 }
@@ -338,13 +346,16 @@ fn run_fused<T: Scalar>(
         // Window width: at least `window_factor · nb` (the paper ties it
         // to nb), widened so the average group still fills the device —
         // narrow windows on small batches multiply launches faster than
-        // they improve occupancy (measured by `ablation_window`).
-        let target_groups = (batch.count() / 48).max(1);
-        let min_window = max_n.div_ceil(target_groups);
-        build_windows(
-            sizes,
-            (nb * opts.fused.window_factor.max(1)).max(min_window),
-        )
+        // they improve occupancy (measured by `ablation_window`). An
+        // explicit `window_width` bypasses the count-dependent heuristic
+        // entirely (the sharded path needs bucketing that is independent
+        // of how many matrices landed on this device).
+        let width = opts.fused.window_width.unwrap_or_else(|| {
+            let target_groups = (batch.count() / 48).max(1);
+            let min_window = max_n.div_ceil(target_groups);
+            (nb * opts.fused.window_factor.max(1)).max(min_window)
+        });
+        build_windows(sizes, width)
     } else {
         single_window(sizes)
     };

@@ -56,16 +56,22 @@ pub mod qr;
 pub mod recover;
 pub mod report;
 pub mod sep;
+pub mod shard;
 pub mod solve;
 pub mod sorting;
 pub mod workspace;
 
-pub use batch::VBatch;
+pub use batch::{BatchPools, VBatch};
 pub use driver::{
     potrf_vbatched, potrf_vbatched_max, potrf_vbatched_max_ws, potrf_vbatched_ws, CrossoverConfig,
     FusedOpts, PotrfOptions, SepOpts, Strategy, SyrkMode,
 };
 pub use etm::EtmPolicy;
+pub use lu::{getrf_vbatched, getrf_vbatched_pooled, getrf_vbatched_ws, GetrfOptions, PivotArray};
 pub use recover::{Outcome, RecoveryPolicy, RecoveryReport, ScrubPolicy};
 pub use report::{BatchReport, VbatchError};
+pub use shard::{
+    getrf_sharded, plan_shards, potrf_sharded, DeviceShardStats, DeviceState, Shard, ShardOpts,
+    ShardedReport, ShardedState,
+};
 pub use workspace::DriverWorkspace;

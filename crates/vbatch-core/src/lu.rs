@@ -60,6 +60,44 @@ impl PivotArray {
         Ok(Self { arena, d_ptrs, per })
     }
 
+    /// Ensures `slot` holds pivot storage covering `count × max_k`,
+    /// reusing the existing arena and pointer array when they are large
+    /// enough (re-slicing the pointer table for the new stride). Grows
+    /// never shrink: a grow carries the old capacity forward, so once a
+    /// slot has seen every shape in a rotation, further calls are
+    /// device-alloc-free — the sharded getrf path relies on that.
+    ///
+    /// # Errors
+    /// [`VbatchError::Oom`] when a grow is needed and device memory is
+    /// exhausted.
+    pub(crate) fn ensure(
+        slot: &mut Option<PivotArray>,
+        dev: &Device,
+        count: usize,
+        max_k: usize,
+    ) -> Result<(), VbatchError> {
+        let per = max_k.max(1);
+        let (have_arena, have_ptrs) = slot
+            .as_ref()
+            .map_or((0, 0), |p| (p.arena.len(), p.d_ptrs.len()));
+        if have_arena < count * per || have_ptrs < count {
+            let grow_arena = (count * per).max(have_arena);
+            let grow_ptrs = count.max(have_ptrs);
+            // Release the undersized storage before growing.
+            *slot = None;
+            let arena: DeviceBuffer<i32> = dev.alloc(grow_arena)?;
+            let d_ptrs: DeviceBuffer<DevicePtr<i32>> = dev.alloc(grow_ptrs)?;
+            *slot = Some(Self { arena, d_ptrs, per });
+        }
+        let p = slot.as_mut().expect("filled above");
+        p.per = per;
+        let ptrs: Vec<DevicePtr<i32>> = (0..count)
+            .map(|i| p.arena.ptr().offset(i * per).truncate(per))
+            .collect();
+        p.d_ptrs.fill_from_host(&ptrs);
+        Ok(())
+    }
+
     /// Device array of per-matrix pivot pointers.
     #[must_use]
     pub fn d_ptrs(&self) -> DevicePtr<DevicePtr<i32>> {
@@ -302,6 +340,27 @@ pub fn getrf_vbatched_ws<T: Scalar>(
     opts: &GetrfOptions,
     ws: &mut crate::workspace::DriverWorkspace<T>,
 ) -> Result<(BatchReport, PivotArray), VbatchError> {
+    let mut slot = None;
+    let report = getrf_vbatched_pooled(dev, batch, opts, ws, &mut slot)?;
+    Ok((report, slot.expect("pooled getrf always fills the slot")))
+}
+
+/// [`getrf_vbatched_ws`] with caller-owned pivot storage: the pivot
+/// arena in `pivots` is grown on demand and reused across calls, so a
+/// warm call of non-growing shape performs **zero** device allocations.
+/// This is the entry point the multi-device shard scheduler dispatches
+/// through; pivots are read back per matrix via
+/// [`PivotArray::download`] on the filled slot.
+///
+/// # Errors
+/// As [`getrf_vbatched`].
+pub fn getrf_vbatched_pooled<T: Scalar>(
+    dev: &Device,
+    batch: &mut VBatch<T>,
+    opts: &GetrfOptions,
+    ws: &mut crate::workspace::DriverWorkspace<T>,
+    pivots: &mut Option<PivotArray>,
+) -> Result<BatchReport, VbatchError> {
     let ev_start = fault_events_start(dev);
     let mut rec = RecoveryReport::default();
     let pol = opts.recovery;
@@ -315,11 +374,12 @@ pub fn getrf_vbatched_ws<T: Scalar>(
         .max()
         .unwrap_or(0);
     batch.reset_info();
-    let pivots = with_retry(dev, &pol, &mut rec, || {
-        PivotArray::alloc(dev, count.max(1), k_max)
+    with_retry(dev, &pol, &mut rec, || {
+        PivotArray::ensure(pivots, dev, count.max(1), k_max)
     })?;
+    let pivots = pivots.as_ref().expect("ensured above");
     if count == 0 || k_max == 0 {
-        return Ok((BatchReport::from_parts(batch.read_info(), rec), pivots));
+        return Ok(BatchReport::from_parts(batch.read_info(), rec));
     }
     batch.register_fault_targets(dev);
     // Trailing kernels must keep running for singular matrices (LAPACK
@@ -335,10 +395,10 @@ pub fn getrf_vbatched_ws<T: Scalar>(
     let mut j = 0;
     while j < k_max {
         with_retry(dev, &pol, &mut rec, || {
-            getf2_panel(dev, batch, &pivots, j, nb)
+            getf2_panel(dev, batch, pivots, j, nb)
         })?;
         with_retry(dev, &pol, &mut rec, || {
-            laswp_outside(dev, batch, &pivots, j, nb)
+            laswp_outside(dev, batch, pivots, j, nb)
         })?;
         with_retry(dev, &pol, &mut rec, || step.update(dev, batch, j, nb))?;
 
@@ -420,7 +480,7 @@ pub fn getrf_vbatched_ws<T: Scalar>(
     dev.copy_dtoh_bytes(count * 4);
     let info = batch.read_info();
     finish_recovery(dev, ev_start, &mut rec, &info);
-    Ok((BatchReport::from_parts(info, rec), pivots))
+    Ok(BatchReport::from_parts(info, rec))
 }
 
 /// One-block-per-matrix panel factorization with partial pivoting.

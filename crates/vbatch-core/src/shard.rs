@@ -1,0 +1,798 @@
+//! Multi-device sharding of a vbatched workload: cost-balanced shard
+//! planning, size-aware work-stealing, and upload/compute/download
+//! overlap across a [`DeviceGroup`].
+//!
+//! The scheduler takes a host-side workload (sizes plus column-major
+//! matrices), cuts the *size-sorted* index order into cost-balanced
+//! shards using the simulator's own [`BlockCost`] arithmetic, and
+//! dispatches each shard through the existing zero-alloc `_ws` driver
+//! entry points, one [`crate::workspace::DriverWorkspace`] and one
+//! [`BatchPools`] bundle per device. Transfers are accounted on a
+//! per-device [`CopyComputeTimeline`] (one H2D engine, one compute
+//! engine, one D2H engine), so the upload of shard *i+1* overlaps the
+//! compute of shard *i*; the stall time the pipeline adds beyond pure
+//! compute is charged to each device's clock at idle activity.
+//!
+//! # Determinism and bit-identity
+//!
+//! Results must be bit-identical across 1/2/4/8-device runs of the same
+//! workload. Two driver defaults are composition-dependent and are
+//! therefore pinned up front by [`normalized_options`]:
+//!
+//! * the fused blocking `nb` autotunes from the *batch* maximum — pinned
+//!   to the global workload maximum;
+//! * the sorting-window width derives from the *batch count* — pinned to
+//!   the interleave cutoff, so a window routes to the batched-small
+//!   kernel **iff** every member is at or below the cutoff, a pure
+//!   function of each matrix's own size.
+//!
+//! With those pinned, per-matrix arithmetic depends only on the matrix's
+//! own order and the fixed blocking (the same property the OOM
+//! window-splitting ladder relies on), so neither shard membership nor
+//! work-stealing can perturb a single bit. Scheduling decisions key on
+//! simulated time and plain ordered containers — no host clocks, no
+//! hashing (the VBA201 determinism lint covers this module).
+//!
+//! Heterogeneous groups are supported (devices may differ in clock or
+//! SM count), with one caveat for the *fused* strategy: feasibility and
+//! `nb` are resolved against device 0, so devices must agree on the
+//! kernel-relevant limits (shared memory per block) for the pinned
+//! options to be valid group-wide.
+
+use vbatch_dense::{flops, Scalar};
+use vbatch_gpu_sim::occupancy::Limiter;
+use vbatch_gpu_sim::sched::block_service_cycles;
+use vbatch_gpu_sim::{
+    BlockCost, CopyComputeTimeline, Device, DeviceConfig, DeviceGroup, DevicePtr, Occupancy,
+};
+
+use crate::batch::{extent, BatchPools};
+use crate::driver::{potrf_vbatched_max_ws, resolve_strategy, PotrfOptions};
+use crate::fused::tuned_nb;
+use crate::lu::{getrf_vbatched_pooled, GetrfOptions, PivotArray};
+use crate::recover::{fault_events_start, with_retry, RecoveryPolicy, RecoveryReport};
+use crate::report::VbatchError;
+use crate::workspace::DriverWorkspace;
+use crate::VBatch;
+
+/// Scheduling knobs for the sharded drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardOpts {
+    /// Shards cut per device: depth ≥ 2 enables transfer/compute
+    /// overlap (double buffering); more shards improve steal
+    /// granularity at the cost of more launches.
+    pub shards_per_device: usize,
+    /// Rebalance via work-stealing when a device drains its queue.
+    pub steal: bool,
+}
+
+impl Default for ShardOpts {
+    fn default() -> Self {
+        Self {
+            shards_per_device: 3,
+            steal: true,
+        }
+    }
+}
+
+/// One planned shard: a set of global matrix indices, its planned home
+/// device and its modeled cost.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Planned home device (execution may steal it elsewhere).
+    pub home: usize,
+    /// Global indices of the workload's matrices, size-descending.
+    pub indices: Vec<usize>,
+    /// Modeled simulated-seconds cost ([`matrix_cost_s`] sum).
+    pub cost_s: f64,
+}
+
+/// Per-device pooled state for the sharded drivers: reusing one across
+/// calls makes warm runs zero-device-alloc.
+pub struct DeviceState<T> {
+    /// Driver scratch (windows, interleave tiles, LU step views, …).
+    pub ws: DriverWorkspace<T>,
+    /// Batch storage pools (matrices, metadata, pointer arrays).
+    pub pools: BatchPools<T>,
+    /// Pooled LU pivot storage.
+    pub pivots: Option<PivotArray>,
+}
+
+impl<T: Scalar> Default for DeviceState<T> {
+    fn default() -> Self {
+        Self {
+            ws: DriverWorkspace::new(),
+            pools: BatchPools::new(),
+            pivots: None,
+        }
+    }
+}
+
+/// Pooled state for every device of a group.
+#[derive(Default)]
+pub struct ShardedState<T> {
+    /// Index-aligned with the group's devices.
+    pub devices: Vec<DeviceState<T>>,
+}
+
+impl<T: Scalar> ShardedState<T> {
+    /// Empty state; grows on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            devices: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.devices.len() < n {
+            self.devices.push(DeviceState::default());
+        }
+    }
+}
+
+/// Per-device execution record of one sharded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceShardStats {
+    /// Device index within the group.
+    pub device: usize,
+    /// Shards this device executed.
+    pub shards: usize,
+    /// Of those, shards stolen from another device's queue.
+    pub stolen: u32,
+    /// Matrices factorized here.
+    pub matrices: usize,
+    /// Useful flops of those factorizations.
+    pub flops: f64,
+    /// Compute-engine busy seconds (driver time, launches included).
+    pub compute_s: f64,
+    /// Pipelined end-to-end seconds (transfer stalls included).
+    pub pipeline_s: f64,
+    /// Fraction of this device's transfer time hidden behind compute.
+    pub overlap_efficiency: f64,
+    /// Pool high-water mark, bytes checked out at once.
+    pub pool_high_water_bytes: usize,
+}
+
+/// Merged result of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// Per-matrix `info`, in the caller's (global) order.
+    pub info: Vec<i32>,
+    /// Recovery actions merged across shards, quarantine indices
+    /// remapped to global order, injections concatenated in execution
+    /// order per device.
+    pub recovery: RecoveryReport,
+    /// Group time-to-solution (slowest device, after the barrier).
+    pub makespan_s: f64,
+    /// Group energy-to-solution (sum over devices, idle waits charged).
+    pub energy_j: f64,
+    /// Shards executed away from their planned home.
+    pub steals: u32,
+    /// Group-aggregate fraction of transfer time hidden by overlap.
+    pub overlap_efficiency: f64,
+    /// Per-device execution records.
+    pub per_device: Vec<DeviceShardStats>,
+}
+
+/// Modeled factorization cost of one `n × n` matrix on `cfg`, in
+/// simulated seconds: the matrix's warp-padded flop and memory traffic
+/// as one synthetic [`BlockCost`] serviced at single-block occupancy —
+/// the same arithmetic [`block_service_cycles`] charges real launches
+/// with. Only *relative* accuracy matters (the plan balances shares);
+/// the event loop rebalances any residual error by stealing.
+#[must_use]
+pub fn matrix_cost_s<T: Scalar>(cfg: &DeviceConfig, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let warp = cfg.warp_size as usize;
+    let padded = n.div_ceil(warp) * warp;
+    let warps = (padded / warp) as u32;
+    let useful = flops::potrf(n);
+    let exec = useful * padded as f64 / n as f64;
+    let bytes = (n * n * std::mem::size_of::<T>()) as f64;
+    let mut cost = BlockCost {
+        gmem_read_bytes: bytes,
+        gmem_write_bytes: bytes / 2.0,
+        syncs: n.div_ceil(8) as u64,
+        launched_warps: warps,
+        resident_warps: warps,
+        active_warps: warps,
+        ..BlockCost::default()
+    };
+    if T::IS_DOUBLE {
+        cost.dp_flops_exec = exec;
+        cost.dp_flops_useful = useful;
+    } else {
+        cost.sp_flops_exec = exec;
+        cost.sp_flops_useful = useful;
+    }
+    let occ = Occupancy {
+        blocks_per_sm: 1,
+        warps_per_sm: warps,
+        limiter: Limiter::Blocks,
+    };
+    block_service_cycles(cfg, &occ, &cost) * cfg.cycle_s()
+}
+
+/// Cuts the size-sorted workload into `devices · shards_per_device`
+/// cost-balanced shards and assigns them to devices greedily (largest
+/// shard to the least-loaded device). Shards are contiguous runs of the
+/// size-descending order, so each shard's sizes are as uniform as the
+/// workload allows — the sharded analogue of implicit sorting.
+#[must_use]
+pub fn plan_shards<T: Scalar>(
+    cfg: &DeviceConfig,
+    sizes: &[usize],
+    devices: usize,
+    shards_per_device: usize,
+) -> Vec<Shard> {
+    let devices = devices.max(1);
+    // Size-descending, index-ascending: deterministic for equal sizes.
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let costs: Vec<f64> = sizes.iter().map(|&n| matrix_cost_s::<T>(cfg, n)).collect();
+    let total: f64 = costs.iter().sum();
+    let want = devices * shards_per_device.max(1);
+
+    // Contiguous cut of the sorted order; the per-shard cost target is
+    // recomputed from what remains, so an overshoot on one shard (a
+    // single huge matrix) shrinks the following shards instead of
+    // starving the last ones.
+    let mut shards: Vec<Shard> = Vec::with_capacity(want);
+    let mut current: Vec<usize> = Vec::new();
+    let mut acc = 0.0;
+    let mut remaining = total;
+    for (pos, &idx) in order.iter().enumerate() {
+        current.push(idx);
+        acc += costs[idx];
+        remaining -= costs[idx];
+        let remaining_shards = want - shards.len() - 1;
+        let target = (acc + remaining) / (remaining_shards + 1) as f64;
+        let remaining_items = order.len() - pos - 1;
+        if remaining_shards > 0 && acc >= target && remaining_items >= 1 {
+            shards.push(Shard {
+                home: 0,
+                indices: std::mem::take(&mut current),
+                cost_s: acc,
+            });
+            acc = 0.0;
+        }
+    }
+    if !current.is_empty() {
+        shards.push(Shard {
+            home: 0,
+            indices: current,
+            cost_s: acc,
+        });
+    }
+
+    // Greedy LPT assignment over planned load; ties break on the lower
+    // device index. Shards are already in descending-cost-ish order
+    // (they cover a size-descending sequence at equal cost targets).
+    let mut load = vec![0.0f64; devices];
+    for shard in &mut shards {
+        let home = (0..devices)
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+            .unwrap_or(0);
+        shard.home = home;
+        load[home] += shard.cost_s;
+    }
+    shards
+}
+
+/// Options normalized for composition-independent results: `nb`,
+/// strategy, interleave cutoff and window width pinned against the
+/// *global* workload maximum (see the module docs).
+#[must_use]
+pub fn normalized_options<T: Scalar>(
+    dev: &Device,
+    opts: &PotrfOptions,
+    global_max: usize,
+) -> PotrfOptions {
+    let mut norm = *opts;
+    let nb = norm
+        .fused
+        .nb
+        .unwrap_or_else(|| tuned_nb::<T>(dev, global_max.max(1)));
+    norm.fused.nb = Some(nb);
+    norm.strategy = resolve_strategy::<T>(dev, &norm, global_max, nb);
+    let cutoff = norm.fused.resolved_interleave_cutoff::<T>();
+    norm.fused.interleave_cutoff = Some(cutoff);
+    norm.fused.window_width = Some(cutoff.max(1));
+    norm
+}
+
+/// What one shard execution moved over PCIe (payload only; anything the
+/// driver charges itself — info readback, index uploads — is already in
+/// the measured compute time).
+struct ShardIo {
+    upload_bytes: usize,
+    download_bytes: usize,
+    flops: f64,
+}
+
+/// Outcome of the event loop, before aggregation.
+struct DriveStats {
+    timelines: Vec<CopyComputeTimeline>,
+    per_device: Vec<DeviceShardStats>,
+    steals: u32,
+}
+
+/// The deterministic event loop: repeatedly gives the next shard to the
+/// device whose pipeline frees up first (ties to the lower index). A
+/// device with an empty queue steals the largest-cost pending shard
+/// from the most-loaded queue — size-aware stealing over whole shards,
+/// so placement never changes what is computed, only where.
+fn drive_shards<T: Scalar, F>(
+    group: &DeviceGroup,
+    mut shards: Vec<Shard>,
+    state: &mut ShardedState<T>,
+    opts: &ShardOpts,
+    mut run_one: F,
+) -> Result<DriveStats, VbatchError>
+where
+    F: FnMut(&Device, &mut DeviceState<T>, &Shard) -> Result<ShardIo, VbatchError>,
+{
+    let n_dev = group.len();
+    state.ensure(n_dev);
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n_dev];
+    for (sid, shard) in shards.iter().enumerate() {
+        queues[shard.home].push(sid);
+    }
+    // Queue order: descending planned cost, deterministic.
+    for q in &mut queues {
+        q.sort_by(|&a, &b| {
+            shards[a]
+                .cost_s
+                .total_cmp(&shards[b].cost_s)
+                .reverse()
+                .then(a.cmp(&b))
+        });
+    }
+
+    let mut timelines = vec![CopyComputeTimeline::new(); n_dev];
+    let mut per_device: Vec<DeviceShardStats> = (0..n_dev)
+        .map(|d| DeviceShardStats {
+            device: d,
+            ..DeviceShardStats::default()
+        })
+        .collect();
+    let mut steals = 0u32;
+
+    loop {
+        if queues.iter().all(Vec::is_empty) {
+            break;
+        }
+        // Next device: earliest-free pipeline among those that can get
+        // work (own queue, or anyone's when stealing is on).
+        let Some(d) = (0..n_dev)
+            .filter(|&d| !queues[d].is_empty() || opts.steal)
+            .min_by(|&a, &b| {
+                timelines[a]
+                    .total_s()
+                    .total_cmp(&timelines[b].total_s())
+                    .then(a.cmp(&b))
+            })
+        else {
+            break;
+        };
+        let (sid, stolen) = if let Some(&sid) = queues[d].first() {
+            queues[d].remove(0);
+            (sid, false)
+        } else {
+            // Steal victim: the queue with the most pending cost.
+            let Some(v) = (0..n_dev)
+                .filter(|&v| !queues[v].is_empty())
+                .max_by(|&a, &b| {
+                    let ca: f64 = queues[a].iter().map(|&s| shards[s].cost_s).sum();
+                    let cb: f64 = queues[b].iter().map(|&s| shards[s].cost_s).sum();
+                    ca.total_cmp(&cb).then(b.cmp(&a))
+                })
+            else {
+                break;
+            };
+            (queues[v].remove(0), true)
+        };
+        if stolen {
+            steals += 1;
+            per_device[d].stolen += 1;
+        }
+        let shard = std::mem::take(&mut shards[sid]);
+        let dev = group.device(d);
+        let t0 = dev.now();
+        let io = run_one(dev, &mut state.devices[d], &shard)?;
+        let compute_s = dev.now() - t0;
+        timelines[d].push(
+            dev.transfer_seconds(io.upload_bytes),
+            compute_s,
+            dev.transfer_seconds(io.download_bytes),
+        );
+        per_device[d].shards += 1;
+        per_device[d].matrices += shard.indices.len();
+        per_device[d].compute_s += compute_s;
+        per_device[d].flops += io.flops;
+    }
+
+    // Charge each device's pipeline stalls (time beyond pure compute)
+    // at idle activity, then pull the stragglers to the barrier.
+    for (d, t) in timelines.iter().enumerate() {
+        let extra = t.total_s() - t.compute_busy_s();
+        if extra > 0.0 {
+            group.device(d).advance_time(extra, 0.0);
+        }
+        per_device[d].pipeline_s = t.total_s();
+        per_device[d].overlap_efficiency = t.overlap_efficiency();
+    }
+    Ok(DriveStats {
+        timelines,
+        per_device,
+        steals,
+    })
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Self {
+            home: 0,
+            indices: Vec::new(),
+            cost_s: 0.0,
+        }
+    }
+}
+
+/// Builds the shard's pooled batch under the retry ladder (injected
+/// OOMs during pool refill recover locally, like the driver's own
+/// workspace allocations) and uploads the shard's matrices. Fault
+/// events fired in this pre-driver window are collected into `local`
+/// after the driver runs — the driver only enumerates its own window.
+fn build_shard_batch<T: Scalar>(
+    dev: &Device,
+    pools: &mut BatchPools<T>,
+    pol: &RecoveryPolicy,
+    local: &mut RecoveryReport,
+    shard_sizes: &[usize],
+    shard_indices: &[usize],
+    mats: &[Vec<T>],
+) -> Result<(VBatch<T>, usize), VbatchError> {
+    let mut vb = with_retry(dev, pol, local, || {
+        VBatch::<T>::alloc_square_pooled(dev, shard_sizes, pools)
+    })?;
+    let mut upload_bytes = shard_indices.len() * (3 * 4 + std::mem::size_of::<DevicePtr<T>>());
+    for (k, &gi) in shard_indices.iter().enumerate() {
+        vb.upload_matrix(k, &mats[gi])?;
+        upload_bytes += mats[gi].len() * std::mem::size_of::<T>();
+    }
+    Ok((vb, upload_bytes))
+}
+
+/// Collects the fault events fired between `ev_start` and the start of
+/// the driver's own window (whose events are `driver_events` long) into
+/// `local.injected`.
+fn collect_pre_driver_events(
+    dev: &Device,
+    ev_start: usize,
+    driver_events: usize,
+    local: &mut RecoveryReport,
+) {
+    if dev.fault_active() {
+        let ev = dev.fault_events();
+        let end = ev.len().saturating_sub(driver_events);
+        if ev_start <= end {
+            local.injected = ev[ev_start..end].to_vec();
+        }
+    }
+}
+
+/// Merges one shard's recovery record into the global report, remapping
+/// quarantine indices through the shard's index list.
+fn merge_recovery(global: &mut RecoveryReport, local: RecoveryReport, indices: &[usize]) {
+    global.retried_launches += local.retried_launches;
+    global.retried_allocs += local.retried_allocs;
+    global.window_splits += local.window_splits;
+    global.workspace_releases += local.workspace_releases;
+    global.scrub_passes += local.scrub_passes;
+    global
+        .quarantined
+        .extend(local.quarantined.iter().map(|&k| indices[k]));
+    global.injected.extend(local.injected);
+}
+
+fn finalize(
+    group: &DeviceGroup,
+    info: Vec<i32>,
+    mut recovery: RecoveryReport,
+    state: &ShardedState<impl Scalar>,
+    stats: DriveStats,
+) -> ShardedReport {
+    recovery.quarantined.sort_unstable();
+    let makespan_s = group.barrier();
+    let hidden: f64 = stats
+        .timelines
+        .iter()
+        .map(|t| (t.serial_s() - t.total_s()).max(0.0))
+        .sum();
+    let transfer: f64 = stats
+        .timelines
+        .iter()
+        .map(CopyComputeTimeline::transfer_busy_s)
+        .sum();
+    let overlap_efficiency = if transfer > 0.0 {
+        (hidden / transfer).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let mut per_device = stats.per_device;
+    for (d, rec) in per_device.iter_mut().enumerate() {
+        rec.pool_high_water_bytes = state.devices[d].pools.high_water_bytes();
+    }
+    ShardedReport {
+        info,
+        recovery,
+        makespan_s,
+        energy_j: group.total_energy_j(),
+        steals: stats.steals,
+        overlap_efficiency,
+        per_device,
+    }
+}
+
+/// Multi-device variable-size batched Cholesky: shards `mats` (global
+/// order, column-major, `mats[i].len() == sizes[i]²`) across the group,
+/// factorizes in place, and merges per-matrix `info` plus recovery
+/// state back into global order. Factors and `info` are bit-identical
+/// for any group size (see the module docs); per-matrix flop accounting
+/// and energy land on the device that executed the shard.
+///
+/// # Errors
+/// [`VbatchError::InvalidArgument`] when `mats` disagrees with `sizes`;
+/// otherwise as the single-device driver. On error, matrices of
+/// already-completed shards have been overwritten with their factors.
+pub fn potrf_sharded<T: Scalar>(
+    group: &DeviceGroup,
+    sizes: &[usize],
+    mats: &mut [Vec<T>],
+    opts: &PotrfOptions,
+    shard_opts: &ShardOpts,
+    state: &mut ShardedState<T>,
+) -> Result<ShardedReport, VbatchError> {
+    if mats.len() != sizes.len() {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_sharded: sizes and mats must have the same length",
+        ));
+    }
+    if sizes
+        .iter()
+        .zip(mats.iter())
+        .any(|(&n, m)| m.len() != extent(n, n, n))
+    {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_sharded: mats[i] must hold sizes[i]² elements",
+        ));
+    }
+    let global_max = sizes.iter().copied().max().unwrap_or(0);
+    let norm = normalized_options::<T>(group.device(0), opts, global_max);
+    let shards = plan_shards::<T>(
+        group.device(0).config(),
+        sizes,
+        group.len(),
+        shard_opts.shards_per_device,
+    );
+
+    let mut info = vec![0i32; sizes.len()];
+    let mut recovery = RecoveryReport::default();
+    let stats = {
+        let info = &mut info;
+        let recovery = &mut recovery;
+        let mats = &mut *mats;
+        drive_shards(
+            group,
+            shards,
+            state,
+            shard_opts,
+            move |dev, dstate, shard| {
+                let shard_sizes: Vec<usize> = shard.indices.iter().map(|&gi| sizes[gi]).collect();
+                let ev_start = fault_events_start(dev);
+                let mut local = RecoveryReport::default();
+                let (mut vb, upload_bytes) = build_shard_batch(
+                    dev,
+                    &mut dstate.pools,
+                    &norm.recovery,
+                    &mut local,
+                    &shard_sizes,
+                    &shard.indices,
+                    mats,
+                )?;
+                let shard_max = shard_sizes.iter().copied().max().unwrap_or(0);
+                let report = potrf_vbatched_max_ws(dev, &mut vb, shard_max, &norm, &mut dstate.ws)?;
+                collect_pre_driver_events(
+                    dev,
+                    ev_start,
+                    report.recovery.injected.len(),
+                    &mut local,
+                );
+                let mut download_bytes = 0;
+                for (k, &gi) in shard.indices.iter().enumerate() {
+                    mats[gi] = vb.download_matrix(k);
+                    download_bytes += mats[gi].len() * std::mem::size_of::<T>();
+                    info[gi] = report.info[k];
+                }
+                merge_recovery(recovery, local, &shard.indices);
+                merge_recovery(recovery, report.recovery, &shard.indices);
+                vb.reclaim(&mut dstate.pools);
+                Ok(ShardIo {
+                    upload_bytes,
+                    download_bytes,
+                    flops: flops::potrf_batch(&shard_sizes),
+                })
+            },
+        )?
+    };
+    Ok(finalize(group, info, recovery, state, stats))
+}
+
+/// Multi-device variable-size batched LU with partial pivoting over
+/// square matrices. Returns the merged report plus each matrix's pivot
+/// vector (zero-based, `laswp` forward order) in global order. The LU
+/// panel loop's per-matrix arithmetic depends only on the matrix's own
+/// shape and the fixed `nb_panel`, so factors, pivots and `info` are
+/// bit-identical for any group size.
+///
+/// # Errors
+/// As [`potrf_sharded`].
+pub fn getrf_sharded<T: Scalar>(
+    group: &DeviceGroup,
+    sizes: &[usize],
+    mats: &mut [Vec<T>],
+    opts: &GetrfOptions,
+    shard_opts: &ShardOpts,
+    state: &mut ShardedState<T>,
+) -> Result<(ShardedReport, Vec<Vec<usize>>), VbatchError> {
+    if mats.len() != sizes.len() {
+        return Err(VbatchError::InvalidArgument(
+            "getrf_sharded: sizes and mats must have the same length",
+        ));
+    }
+    if sizes
+        .iter()
+        .zip(mats.iter())
+        .any(|(&n, m)| m.len() != extent(n, n, n))
+    {
+        return Err(VbatchError::InvalidArgument(
+            "getrf_sharded: mats[i] must hold sizes[i]² elements",
+        ));
+    }
+    let shards = plan_shards::<T>(
+        group.device(0).config(),
+        sizes,
+        group.len(),
+        shard_opts.shards_per_device,
+    );
+    let mut info = vec![0i32; sizes.len()];
+    let mut pivots: Vec<Vec<usize>> = vec![Vec::new(); sizes.len()];
+    let mut recovery = RecoveryReport::default();
+    let stats = {
+        let info = &mut info;
+        let pivots = &mut pivots;
+        let recovery = &mut recovery;
+        let mats = &mut *mats;
+        drive_shards(
+            group,
+            shards,
+            state,
+            shard_opts,
+            move |dev, dstate, shard| {
+                let shard_sizes: Vec<usize> = shard.indices.iter().map(|&gi| sizes[gi]).collect();
+                let ev_start = fault_events_start(dev);
+                let mut local = RecoveryReport::default();
+                let (mut vb, upload_bytes) = build_shard_batch(
+                    dev,
+                    &mut dstate.pools,
+                    &opts.recovery,
+                    &mut local,
+                    &shard_sizes,
+                    &shard.indices,
+                    mats,
+                )?;
+                let report =
+                    getrf_vbatched_pooled(dev, &mut vb, opts, &mut dstate.ws, &mut dstate.pivots)?;
+                collect_pre_driver_events(
+                    dev,
+                    ev_start,
+                    report.recovery.injected.len(),
+                    &mut local,
+                );
+                let piv = dstate
+                    .pivots
+                    .as_ref()
+                    .expect("pooled getrf fills the pivot slot");
+                let mut download_bytes = 0;
+                for (k, &gi) in shard.indices.iter().enumerate() {
+                    mats[gi] = vb.download_matrix(k);
+                    download_bytes += mats[gi].len() * std::mem::size_of::<T>();
+                    pivots[gi] = piv.download(k, sizes[gi]);
+                    download_bytes += pivots[gi].len() * 4;
+                    info[gi] = report.info[k];
+                }
+                merge_recovery(recovery, local, &shard.indices);
+                merge_recovery(recovery, report.recovery, &shard.indices);
+                vb.reclaim(&mut dstate.pools);
+                Ok(ShardIo {
+                    upload_bytes,
+                    download_bytes,
+                    flops: shard_sizes.iter().map(|&n| flops::getrf(n, n)).sum(),
+                })
+            },
+        )?
+    };
+    Ok((finalize(group, info, recovery, state, stats), pivots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbatch_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn cost_model_is_monotone_in_size() {
+        let cfg = DeviceConfig::k40c();
+        assert_eq!(matrix_cost_s::<f64>(&cfg, 0), 0.0);
+        let c8 = matrix_cost_s::<f64>(&cfg, 8);
+        let c64 = matrix_cost_s::<f64>(&cfg, 64);
+        let c256 = matrix_cost_s::<f64>(&cfg, 256);
+        assert!(0.0 < c8 && c8 < c64 && c64 < c256);
+    }
+
+    #[test]
+    fn plan_covers_every_index_exactly_once() {
+        let cfg = DeviceConfig::k40c();
+        let sizes: Vec<usize> = (0..97).map(|i| (i * 37) % 200).collect();
+        for devs in [1usize, 2, 4, 8] {
+            let shards = plan_shards::<f64>(&cfg, &sizes, devs, 3);
+            let mut seen = vec![0u32; sizes.len()];
+            for s in &shards {
+                assert!(s.home < devs);
+                for &i in &s.indices {
+                    seen[i] += 1;
+                }
+                // Within a shard: size-descending.
+                for w in s.indices.windows(2) {
+                    assert!(sizes[w[0]] >= sizes[w[1]]);
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "devs={devs}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn plan_is_cost_balanced() {
+        let cfg = DeviceConfig::k40c();
+        let sizes: Vec<usize> = (0..128).map(|i| 16 + (i * 53) % 240).collect();
+        let shards = plan_shards::<f64>(&cfg, &sizes, 4, 3);
+        let mut load = [0.0f64; 4];
+        for s in &shards {
+            load[s.home] += s.cost_s;
+        }
+        let max = load.iter().copied().fold(0.0, f64::max);
+        let min = load.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 1.35,
+            "planned load imbalance too high: {load:?}"
+        );
+    }
+
+    #[test]
+    fn normalized_options_pin_composition_dependent_defaults() {
+        let dev = Device::new(DeviceConfig::k40c());
+        let norm = normalized_options::<f64>(&dev, &PotrfOptions::default(), 200);
+        assert!(norm.fused.nb.is_some());
+        assert!(norm.fused.window_width.is_some());
+        assert!(norm.fused.interleave_cutoff.is_some());
+        assert_ne!(norm.strategy, crate::driver::Strategy::Auto);
+        // Idempotent: normalizing again changes nothing.
+        let again = normalized_options::<f64>(&dev, &norm, 200);
+        assert_eq!(again.fused.nb, norm.fused.nb);
+        assert_eq!(again.strategy, norm.strategy);
+    }
+}

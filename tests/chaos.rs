@@ -221,3 +221,77 @@ fn soft_ceiling_splits_window_and_stays_bitwise_identical() {
     drop(batch);
     assert_eq!(dev.mem_in_use(), mem0);
 }
+
+/// Per-device fault plans in a sharded 4-device run: launch and OOM
+/// faults injected only on device 1 recover locally through the same
+/// ladder (retry → split → quarantine), the merged report enumerates
+/// exactly what fired, healthy devices stay untouched — and the factors
+/// and `info` are bitwise equal to the fault-free 4-device run.
+#[test]
+fn sharded_faults_on_one_device_recover_locally() {
+    use vbatch_core::{potrf_sharded, ShardOpts, ShardedState};
+    use vbatch_gpu_sim::DeviceGroup;
+
+    let sizes: Vec<usize> = (0..40).map(|i| 4 + (i * 11) % 60).collect();
+    let mats: Vec<Vec<f64>> = {
+        let mut rng = seeded_rng(0xC0FFEE);
+        sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect()
+    };
+    let shard_opts = ShardOpts {
+        shards_per_device: 3,
+        steal: true,
+    };
+
+    let run = |plan: Option<FaultPlan>| {
+        let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), 4);
+        if let Some(p) = plan {
+            group.install_fault_plan(1, p);
+        }
+        let mut state = ShardedState::new();
+        let mut work = mats.clone();
+        let report = potrf_sharded(
+            &group,
+            &sizes,
+            &mut work,
+            &PotrfOptions::default(),
+            &shard_opts,
+            &mut state,
+        )
+        .unwrap();
+        let fired = group.clear_fault_plans();
+        (work, report, fired)
+    };
+
+    let (clean_f, clean_r, _) = run(None);
+    assert_eq!(clean_r.recovery.outcome(), vbatch_core::Outcome::Clean);
+
+    // Transient launch rejections plus an injected OOM, all on device 1.
+    let plan = FaultPlan::new()
+        .transient_launch("", 3, 2)
+        .transient_launch("", 11, 1)
+        .oom_at_alloc(5);
+    let (fault_f, fault_r, fired) = run(Some(plan));
+
+    // Only device 1 fired anything; the merged report enumerates it all.
+    assert!(!fired[1].is_empty(), "device 1's plan must have fired");
+    for (d, ev) in fired.iter().enumerate() {
+        if d != 1 {
+            assert!(ev.is_empty(), "device {d} fired {ev:?} without a plan");
+        }
+    }
+    assert_eq!(
+        fault_r.recovery.injected, fired[1],
+        "merged report must enumerate exactly device 1's injections"
+    );
+    assert!(fault_r.recovery.retried_launches + fault_r.recovery.retried_allocs > 0);
+    assert_eq!(fault_r.recovery.outcome(), vbatch_core::Outcome::Recovered);
+
+    // Bitwise roundtrip against the fault-free 4-device run.
+    assert_eq!(clean_r.info, fault_r.info);
+    for (i, (a, b)) in clean_f.iter().zip(&fault_f).enumerate() {
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "matrix {i}: factors diverged under device-1 faults"
+        );
+    }
+}

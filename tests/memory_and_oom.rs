@@ -137,3 +137,57 @@ fn peak_tracks_high_water_mark() {
     assert_eq!(dev.mem_in_use(), 0);
     assert!(dev.mem_peak() >= 3000 * 8);
 }
+
+#[test]
+fn sharded_pools_account_and_release_device_memory() {
+    use vbatch_core::{potrf_sharded, ShardOpts, ShardedState};
+    use vbatch_dense::gen::spd_vec;
+    use vbatch_gpu_sim::DeviceGroup;
+    use vbatch_workload::SizeDist;
+
+    let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), 4);
+    let baseline: Vec<usize> = group.devices().iter().map(|d| d.mem_in_use()).collect();
+    let mut rng = seeded_rng(0x9000);
+    let sizes = SizeDist::Gaussian { max: 128 }.sample_batch(&mut rng, 48);
+    let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect();
+    let mut state = ShardedState::new();
+    let mut work = mats.clone();
+    let report = potrf_sharded(
+        &group,
+        &sizes,
+        &mut work,
+        &PotrfOptions::default(),
+        &ShardOpts::default(),
+        &mut state,
+    )
+    .unwrap();
+
+    // Every device that ran work reports a pool high-water mark, and
+    // the mark never exceeds what the device actually had in flight.
+    for rec in &report.per_device {
+        let dev = group.device(rec.device);
+        if rec.matrices > 0 {
+            assert!(rec.pool_high_water_bytes > 0);
+        }
+        assert!(
+            rec.pool_high_water_bytes <= dev.mem_peak(),
+            "device {}: pool high-water {} exceeds device peak {}",
+            rec.device,
+            rec.pool_high_water_bytes,
+            dev.mem_peak()
+        );
+        // Between runs the pools retain the shard storage (that is what
+        // makes warm runs alloc-free), all of it accounted on-device.
+        assert!(dev.mem_in_use() >= state.devices[rec.device].pools.held_bytes());
+    }
+
+    // Dropping the sharded state returns every pooled byte.
+    drop(state);
+    for (d, dev) in group.devices().iter().enumerate() {
+        assert_eq!(
+            dev.mem_in_use(),
+            baseline[d],
+            "device {d} leaked pooled memory"
+        );
+    }
+}
