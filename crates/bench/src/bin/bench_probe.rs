@@ -16,12 +16,16 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use vbatch_baselines::hybrid::{potrf_hybrid_serial, HybridOptions};
+use vbatch_baselines::CpuConfig;
 use vbatch_core::{
-    potrf_sharded, potrf_vbatched_max, potrf_vbatched_max_ws, DriverWorkspace, FusedOpts,
+    getrf_batch_host, potrf_batch_host, potrf_hybrid, potrf_sharded, potrf_vbatched_max,
+    potrf_vbatched_max_ws, DriverWorkspace, FusedOpts, HostCostModel, HostEngine, HostState,
     PotrfOptions, ShardOpts, ShardedState, Strategy, VBatch,
 };
-use vbatch_dense::gen::{rand_mat, seeded_rng, spd_vec};
+use vbatch_dense::gen::{diag_dominant_vec, rand_mat, seeded_rng, spd_vec};
 use vbatch_dense::level3::{tier, uses_blocked};
+use vbatch_dense::pool;
 use vbatch_dense::tune::{self, TileScheme};
 use vbatch_dense::{
     flops, gemm, interleave, potf2, potrf_blocked, MatMut, MatRef, Scalar, Trans, Uplo,
@@ -108,6 +112,228 @@ fn probe_sharding() -> Vec<ShardRow> {
         });
     }
     rows
+}
+
+/// Thread counts probed by the host-parallel section.
+const HOST_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One host core-scaling row: wall-clock Gflop/s of the host engine on
+/// a mixed-size batch at a fixed worker-lane count.
+struct HostParallelRow {
+    kernel: &'static str,
+    threads: usize,
+    gflops: f64,
+    scaling_x: f64,
+}
+
+/// Probes wall-clock core scaling of the multicore host engine on
+/// mixed-size dpotrf and dgetrf batches at 1/2/4/8 worker lanes. The
+/// factors are bit-identical across thread counts (pinned by proptest);
+/// only the wall clock moves. On single-core containers the rows tie
+/// near 1.0x, so the CI schema smoke asserts scaling only when
+/// `meta.cores >= 4`.
+fn probe_host_parallel(out: &mut Vec<HostParallelRow>) {
+    const BATCH: usize = 256;
+    let mut rng = seeded_rng(0x407);
+    let sizes = SizeDist::Gaussian { max: 192 }.sample_batch(&mut rng, BATCH);
+    let spd: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect();
+    let dd: Vec<Vec<f64>> = sizes
+        .iter()
+        .map(|&n| diag_dominant_vec::<f64>(&mut rng, n, n))
+        .collect();
+    let indices: Vec<usize> = (0..sizes.len()).collect();
+    let potrf_gf = flops::potrf_batch(&sizes) / 1e9;
+    let getrf_gf: f64 = sizes.iter().map(|&n| flops::getrf(n, n)).sum::<f64>() / 1e9;
+    let opts = PotrfOptions::default();
+    let mut work = spd.clone();
+    let mut info = vec![0i32; sizes.len()];
+    let mut pivots: Vec<Vec<usize>> = vec![Vec::new(); sizes.len()];
+    let mut base = [0.0f64; 2];
+    for &threads in &HOST_THREAD_COUNTS {
+        let engine = HostEngine::with_threads(threads);
+        let mut state = HostState::new();
+        let potrf_s = time_best(|| {
+            for (w, p) in work.iter_mut().zip(&spd) {
+                w.copy_from_slice(p);
+            }
+            potrf_batch_host(
+                &engine, &sizes, &mut work, &indices, &opts, &mut state, &mut info,
+            )
+            .expect("host potrf probe");
+            assert!(info.iter().all(|&i| i == 0));
+        });
+        let getrf_s = time_best(|| {
+            for (w, p) in work.iter_mut().zip(&dd) {
+                w.copy_from_slice(p);
+            }
+            getrf_batch_host(
+                &engine,
+                &sizes,
+                &mut work,
+                &indices,
+                16,
+                &mut state,
+                &mut info,
+                &mut pivots,
+            )
+            .expect("host getrf probe");
+            assert!(info.iter().all(|&i| i == 0));
+        });
+        for (k, (kernel, secs, gf)) in
+            [("dpotrf", potrf_s, potrf_gf), ("dgetrf", getrf_s, getrf_gf)]
+                .into_iter()
+                .enumerate()
+        {
+            let gflops = gf / secs;
+            if threads == HOST_THREAD_COUNTS[0] {
+                base[k] = gflops;
+            }
+            let scaling_x = gflops / base[k];
+            eprintln!("  {kernel} x{BATCH} t={threads}: {gflops:6.2} Gflop/s ({scaling_x:.2}x)");
+            out.push(HostParallelRow {
+                kernel,
+                threads,
+                gflops,
+                scaling_x,
+            });
+        }
+    }
+}
+
+/// Result of the heterogeneous cooperative probe: one mixed-size dpotrf
+/// workload run host-only (measured-rate cost model), sim-only
+/// (`potrf_sharded`, one device), and cooperatively (`potrf_hybrid`,
+/// host peer + one device), plus the MAGMA-style serial hybrid baseline
+/// for scale.
+struct HybridProbe {
+    threads: usize,
+    host_gflops: f64,
+    host_only_makespan_s: f64,
+    host_only_energy_j: f64,
+    sim_only_makespan_s: f64,
+    sim_only_energy_j: f64,
+    coop_makespan_s: f64,
+    coop_energy_j: f64,
+    coop_host_matrices: usize,
+    coop_host_shards: usize,
+    coop_speedup: f64,
+    serial_hybrid_makespan_s: f64,
+}
+
+/// Probes cooperative host/device sharding. The cooperative makespan
+/// must undercut both single-resource runs (also pinned by the
+/// `host_engine` integration tests); the CI schema smoke re-asserts it
+/// on the emitted JSON.
+fn probe_hybrid() -> HybridProbe {
+    const BATCH: usize = 160;
+    let mut rng = seeded_rng(0xB1D);
+    let sizes = SizeDist::Gaussian { max: 256 }.sample_batch(&mut rng, BATCH);
+    let pristine: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect();
+    let indices: Vec<usize> = (0..sizes.len()).collect();
+    let useful = flops::potrf_batch(&sizes);
+    let opts = PotrfOptions {
+        strategy: Strategy::Fused,
+        fused: FusedOpts::default(),
+        ..Default::default()
+    };
+    let shard_opts = ShardOpts {
+        shards_per_device: 4,
+        steal: true,
+    };
+
+    // Calibrate the host cost model from a measured run at the resolved
+    // thread count: sustained wall-clock Gflop/s on this very workload.
+    let engine = HostEngine::from_env();
+    let threads = engine.threads();
+    let mut hstate = HostState::new();
+    let mut info = vec![0i32; sizes.len()];
+    let mut work = pristine.clone();
+    let secs = time_best(|| {
+        for (w, p) in work.iter_mut().zip(&pristine) {
+            w.copy_from_slice(p);
+        }
+        potrf_batch_host(
+            &engine,
+            &sizes,
+            &mut work,
+            &indices,
+            &opts,
+            &mut hstate,
+            &mut info,
+        )
+        .expect("host calibration run");
+        assert!(info.iter().all(|&i| i == 0));
+    });
+    let host_gflops = useful / secs / 1e9;
+    let model = HostCostModel::with_measured_gflops(host_gflops, threads);
+    let host_only_makespan_s = model.shard_cost_s(&sizes, &indices);
+    let host_only_energy_j = model.energy_j(host_only_makespan_s, 0.0);
+
+    // Sim-only: one device, no host peer.
+    let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), 1);
+    let mut sstate = ShardedState::new();
+    let mut work = pristine.clone();
+    let sim = potrf_sharded(&group, &sizes, &mut work, &opts, &shard_opts, &mut sstate)
+        .expect("sim-only run");
+    assert!(sim.info.iter().all(|&i| i == 0));
+
+    // Cooperative: the same device plus the host as a scheduling peer.
+    let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), 1);
+    let mut sstate = ShardedState::new();
+    let mut hstate = HostState::new();
+    let mut work = pristine.clone();
+    let coop = potrf_hybrid(
+        &group,
+        &engine,
+        &model,
+        &sizes,
+        &mut work,
+        &opts,
+        &shard_opts,
+        &mut sstate,
+        &mut hstate,
+    )
+    .expect("cooperative run");
+    assert!(coop.info.iter().all(|&i| i == 0));
+    let hp = coop.host.expect("cooperative run has a host peer report");
+
+    // MAGMA-style serial hybrid (one matrix at a time), for scale.
+    let dev = vbatch_bench::fresh_device();
+    let mut batch = VBatch::<f64>::alloc_square(&dev, &sizes).expect("serial-hybrid alloc");
+    for (i, m) in pristine.iter().enumerate() {
+        batch.upload_matrix(i, m).expect("serial-hybrid upload");
+    }
+    dev.reset_metrics();
+    let sr = potrf_hybrid_serial(
+        &dev,
+        &mut batch,
+        &CpuConfig::dual_e5_2670(),
+        &HybridOptions::default(),
+    )
+    .expect("serial hybrid run");
+    assert!(sr.all_ok());
+    let serial_hybrid_makespan_s = dev.now();
+
+    let best_single = host_only_makespan_s.min(sim.makespan_s);
+    let coop_speedup = best_single / coop.makespan_s;
+    eprintln!(
+        "  host-only {host_only_makespan_s:.4}s (measured {host_gflops:.2} Gflop/s, t={threads}) | sim-only {:.4}s | cooperative {:.4}s ({coop_speedup:.2}x best single, host took {}/{BATCH} matrices) | serial hybrid {serial_hybrid_makespan_s:.4}s",
+        sim.makespan_s, coop.makespan_s, hp.matrices
+    );
+    HybridProbe {
+        threads,
+        host_gflops,
+        host_only_makespan_s,
+        host_only_energy_j,
+        sim_only_makespan_s: sim.makespan_s,
+        sim_only_energy_j: sim.energy_j,
+        coop_makespan_s: coop.makespan_s,
+        coop_energy_j: coop.energy_j,
+        coop_host_matrices: hp.matrices,
+        coop_host_shards: hp.shards,
+        coop_speedup,
+        serial_hybrid_makespan_s,
+    }
 }
 
 /// Times `f` by running it repeatedly until the total exceeds a small
@@ -516,6 +742,13 @@ fn main() {
     eprintln!("probing multi-device sharding (dpotrf, gaussian max 384, batch 512) ...");
     let shard_rows = probe_sharding();
 
+    eprintln!("probing host engine core scaling (dpotrf/dgetrf, threads 1/2/4/8) ...");
+    let mut host_rows = Vec::new();
+    probe_host_parallel(&mut host_rows);
+
+    eprintln!("probing heterogeneous cooperative execution (host + 1 device) ...");
+    let hybrid = probe_hybrid();
+
     let scheme_json = |ts: &TileScheme| {
         format!(
             "{{\"mr\": {}, \"nr\": {}, \"mc\": {}, \"kc\": {}, \"ilv_cutoff\": {}}}",
@@ -538,6 +771,7 @@ fn main() {
         "    \"cores\": {},",
         std::thread::available_parallelism().map_or(1, usize::from)
     );
+    let _ = writeln!(j, "    \"vbatch_threads\": {},", pool::resolved_threads());
     let _ = writeln!(j, "    \"tune_source\": {:?},", active.source);
     // Simulated-device inventory: the config every simulated section of
     // this file ran on, and how many devices each section used.
@@ -707,6 +941,51 @@ fn main() {
         });
     }
     j.push_str("    ]\n  },\n");
+    j.push_str("  \"host_parallel\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"workload\": \"host-engine dpotrf+dgetrf, 256 matrices, gaussian max 192\",\n    \"note\": \"wall-clock Gflop/s; factors are bit-identical across thread counts, only the clock moves; scaling is meaningful only when meta.cores covers the thread count\",\n    \"rows\": ["
+    );
+    for (i, r) in host_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"kernel\": \"{}\", \"threads\": {}, \"gflops\": {:.3}, \"scaling_x\": {:.3}}}",
+            r.kernel, r.threads, r.gflops, r.scaling_x
+        );
+        j.push_str(if i + 1 < host_rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("    ]\n  },\n");
+    j.push_str("  \"hybrid\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"workload\": \"dpotrf, 160 matrices, gaussian max 256, host + 1 simulated K40c\",\n    \"vbatch_threads\": {},\n    \"host_gflops_measured\": {:.3},",
+        hybrid.threads, hybrid.host_gflops
+    );
+    let _ = writeln!(
+        j,
+        "    \"host_only\": {{\"makespan_s\": {:.6}, \"energy_j\": {:.6}}},",
+        hybrid.host_only_makespan_s, hybrid.host_only_energy_j
+    );
+    let _ = writeln!(
+        j,
+        "    \"sim_only\": {{\"makespan_s\": {:.6}, \"energy_j\": {:.6}}},",
+        hybrid.sim_only_makespan_s, hybrid.sim_only_energy_j
+    );
+    let _ = writeln!(
+        j,
+        "    \"cooperative\": {{\"makespan_s\": {:.6}, \"energy_j\": {:.6}, \"host_matrices\": {}, \"host_shards\": {}, \"speedup_vs_best_single\": {:.3}}},",
+        hybrid.coop_makespan_s,
+        hybrid.coop_energy_j,
+        hybrid.coop_host_matrices,
+        hybrid.coop_host_shards,
+        hybrid.coop_speedup
+    );
+    let _ = writeln!(
+        j,
+        "    \"serial_hybrid_baseline\": {{\"makespan_s\": {:.6}, \"note\": \"MAGMA-style one-matrix-at-a-time hybrid (vbatch-baselines), shown for scale\"}}",
+        hybrid.serial_hybrid_makespan_s
+    );
+    j.push_str("  },\n");
     let _ = writeln!(
         j,
         "  \"driver\": {{\"workload\": \"fused dpotrf, batch 3000, uniform max 128\", \"sim_gflops\": {driver_sim_gflops:.3}, \"host_seconds_cold\": {driver_cold:.4}, \"host_seconds_warm\": {driver_warm:.4}, \"note\": \"cold = fresh DriverWorkspace per call, warm = reused workspace; compare host seconds across PRs only via interleaved A/B runs of both builds on one machine (sequential runs on this host drift up to ~20%)\"}}"

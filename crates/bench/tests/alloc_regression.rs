@@ -8,8 +8,9 @@ use vbatch_bench::fresh_device;
 use vbatch_core::lu::{getrf_vbatched_ws, GetrfOptions};
 use vbatch_core::qr::{geqrf_vbatched_ws, GeqrfOptions};
 use vbatch_core::{
-    getrf_sharded, potrf_sharded, potrf_vbatched_max_ws, potrf_vbatched_ws, DriverWorkspace,
-    PotrfOptions, SepOpts, ShardOpts, ShardedState, Strategy, VBatch,
+    getrf_sharded, potrf_hybrid, potrf_sharded, potrf_vbatched_max_ws, potrf_vbatched_ws,
+    DriverWorkspace, HostCostModel, HostEngine, HostState, PotrfOptions, SepOpts, ShardOpts,
+    ShardedState, Strategy, VBatch,
 };
 use vbatch_dense::gen::{diag_dominant_vec, seeded_rng, spd_vec};
 use vbatch_dense::Scalar;
@@ -275,6 +276,73 @@ fn sharded_getrf_steady_state_is_alloc_free(devices: usize) {
                 dev.free_count(),
                 frees[d],
                 "{devices}-device warm getrf pass {pass}: device {d} freed"
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_potrf_warm_zero_device_allocs() {
+    // The cooperative host+device path must keep the device side as
+    // warm as plain sharding: the host peer executes its shards in host
+    // memory and must never touch the device allocator.
+    let group = DeviceGroup::homogeneous(DeviceConfig::k40c(), 2);
+    let engine = HostEngine::with_threads(2);
+    let model = HostCostModel::default_for_threads(2);
+    let mut rng = seeded_rng(0x5C);
+    let sizes = SizeDist::Gaussian { max: 150 }.sample_batch(&mut rng, 64);
+    let mats: Vec<Vec<f64>> = sizes.iter().map(|&n| spd_vec::<f64>(&mut rng, n)).collect();
+    let opts = PotrfOptions {
+        strategy: Strategy::Fused,
+        ..Default::default()
+    };
+    let shard_opts = ShardOpts::default();
+    let mut state = ShardedState::new();
+    let mut hstate = HostState::new();
+
+    let mut work = mats.clone();
+    let report = potrf_hybrid(
+        &group,
+        &engine,
+        &model,
+        &sizes,
+        &mut work,
+        &opts,
+        &shard_opts,
+        &mut state,
+        &mut hstate,
+    )
+    .unwrap();
+    assert!(report.host.is_some_and(|h| h.matrices > 0));
+    let allocs: Vec<u64> = group.devices().iter().map(|d| d.alloc_count()).collect();
+    let frees: Vec<u64> = group.devices().iter().map(|d| d.free_count()).collect();
+    assert!(allocs.iter().sum::<u64>() > 0, "cold pass must allocate");
+
+    for pass in 0..2 {
+        let mut work = mats.clone();
+        let report = potrf_hybrid(
+            &group,
+            &engine,
+            &model,
+            &sizes,
+            &mut work,
+            &opts,
+            &shard_opts,
+            &mut state,
+            &mut hstate,
+        )
+        .unwrap();
+        assert!(report.info.iter().all(|&i| i == 0));
+        for (d, dev) in group.devices().iter().enumerate() {
+            assert_eq!(
+                dev.alloc_count(),
+                allocs[d],
+                "hybrid warm pass {pass}: device {d} allocated"
+            );
+            assert_eq!(
+                dev.free_count(),
+                frees[d],
+                "hybrid warm pass {pass}: device {d} freed"
             );
         }
     }

@@ -1,0 +1,280 @@
+//! Fixed-size worker pool for the multicore host engine.
+//!
+//! This is the *only* place in the workspace allowed to spawn threads
+//! (enforced by `vbatch-analyze` rule VBA202): all host-side parallelism
+//! goes through one pool so thread count, dispatch order and scratch
+//! ownership stay auditable. The pool is deliberately minimal:
+//!
+//! * **Fixed workers, one job at a time.** [`WorkerPool::new`] spawns
+//!   `threads - 1` workers; [`WorkerPool::run`] publishes a job, runs
+//!   one slice of it on the calling thread, and blocks until every
+//!   worker finished its slice. A pool of one thread spawns nothing and
+//!   runs the job inline, so the single-threaded path has zero
+//!   synchronization overhead.
+//! * **Zero allocation per dispatch.** Publishing a job writes a raw
+//!   pointer and bumps an epoch under a mutex; no `Box`, no channel.
+//!   This keeps the warm host-engine path allocation-free (pinned by
+//!   the bench-crate counting-allocator tests).
+//! * **Determinism is the caller's contract.** The pool imposes no
+//!   ordering between workers; callers must hand each worker a disjoint
+//!   slice of independent work so results are bitwise identical for any
+//!   thread count.
+//!
+//! Thread count resolution ([`resolved_threads`]): the `VBATCH_THREADS`
+//! environment variable when set (floor 1), otherwise
+//! `std::thread::available_parallelism()`.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The job type workers execute: called once per worker with the
+/// worker's index in `0..threads`.
+pub type Job<'a> = &'a (dyn Fn(usize) + Sync);
+
+/// Thread count from the environment: `VBATCH_THREADS` when set and
+/// parseable (floor 1), else `available_parallelism()` (floor 1).
+#[must_use]
+pub fn resolved_threads() -> usize {
+    match std::env::var("VBATCH_THREADS") {
+        Ok(s) => s.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// A lifetime-erased pointer to the current job. Workers only ever
+/// dereference it between the epoch bump that published it and the
+/// completion notification that [`WorkerPool::run`] blocks on, which is
+/// what makes the erasure sound (see SAFETY notes below).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: JobPtr is only a courier. The pointee is a `Sync` closure
+// (shared calls from many threads are fine), and `run` keeps the
+// original reference alive, blocked, until every worker reported done —
+// so sending the pointer to worker threads never outlives the borrow.
+unsafe impl Send for JobPtr {}
+
+struct Slot {
+    epoch: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Workers sleep here waiting for a new epoch (or shutdown).
+    work_cv: Condvar,
+    /// `run` sleeps here waiting for `remaining` to hit zero.
+    done_cv: Condvar,
+}
+
+/// Fixed pool of `threads - 1` worker threads plus the calling thread.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool presenting `threads` lanes of parallelism (floor 1): the
+    /// calling thread plus `threads - 1` spawned workers.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vbatch-host-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .unwrap_or_else(|e| panic!("spawn host worker {w}: {e}"))
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// A pool sized by [`resolved_threads`] (`VBATCH_THREADS` override,
+    /// default available parallelism).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(resolved_threads())
+    }
+
+    /// The number of parallel lanes (worker threads + the caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(w)` once for every lane `w in 0..threads()`, on the
+    /// workers and the calling thread, and returns when all are done.
+    /// Lane `threads() - 1` runs on the calling thread. Allocates
+    /// nothing.
+    pub fn run(&self, job: Job<'_>) {
+        if self.handles.is_empty() {
+            job(0);
+            return;
+        }
+        {
+            let mut slot = lock(&self.shared.slot);
+            debug_assert_eq!(slot.remaining, 0, "pool runs one job at a time");
+            // SAFETY: lifetime erasure only — the borrow stays alive
+            // (and this thread stays blocked in `run`) until every
+            // worker is done with the pointer; soundness argued at
+            // `JobPtr`.
+            let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+            slot.job = Some(JobPtr(erased as *const _));
+            slot.epoch = slot.epoch.wrapping_add(1);
+            slot.remaining = self.handles.len();
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is the last lane; doing real work here means a
+        // T-thread pool uses T cores, not T+1 threads on T cores.
+        job(self.threads - 1);
+        let mut slot = lock(&self.shared.slot);
+        while slot.remaining > 0 {
+            slot = self
+                .shared
+                .done_cv
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        slot.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A worker only panics if the job panicked; propagating the
+            // panic out of drop would abort, so surface it as a log.
+            if h.join().is_err() {
+                eprintln!("vbatch host worker panicked");
+            }
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock(&shared.slot);
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    break;
+                }
+                slot = shared
+                    .work_cv
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            match slot.job {
+                Some(j) => j,
+                None => continue,
+            }
+        };
+        // SAFETY: `run` published this pointer under the current epoch
+        // and will not return (or invalidate the borrow) until this
+        // worker decrements `remaining` below; the pointee is `Sync`.
+        unsafe { (*job.0)(index) };
+        let mut slot = lock(&shared.slot);
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|w| {
+            assert_eq!(w, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn every_lane_runs_exactly_once_per_dispatch() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(&|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn disjoint_writes_land() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0usize; 3 * 17];
+        let chunks: Vec<&mut [usize]> = out.chunks_mut(17).collect();
+        let cell = std::sync::Mutex::new(chunks);
+        pool.run(&|w| {
+            // Each lane takes its own chunk; the mutex is only the
+            // hand-out mechanism, work is disjoint.
+            let ptr = {
+                let guard = cell
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard[w].as_ptr() as usize
+            };
+            let s = unsafe { std::slice::from_raw_parts_mut(ptr as *mut usize, 17) };
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = w * 1000 + i;
+            }
+        });
+        for w in 0..3 {
+            for i in 0..17 {
+                assert_eq!(out[w * 17 + i], w * 1000 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

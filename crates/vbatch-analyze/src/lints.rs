@@ -1,4 +1,4 @@
-//! The four repo-specific lints.
+//! The five repo-specific lints.
 //!
 //! Every lint works on the token/comment stream of one file
 //! ([`crate::lex::Scan`]); none require type information, which is what
@@ -25,6 +25,12 @@
 //!   through `vbatch_gpu_sim::intern` (`kname`, `intern::prefixed`,
 //!   `intern::literal`) so the process-wide kernel vocabulary is
 //!   enumerable and launch-path allocation-free.
+//! * **L5 `threading`** (`VBA202`) — ad-hoc thread creation
+//!   (`thread::spawn`, `thread::scope`, `thread::Builder`) is forbidden
+//!   outside the audited host worker pool
+//!   (`crates/dense/src/pool.rs`): host parallelism routes through
+//!   `WorkerPool` so thread count (`VBATCH_THREADS`), naming, and the
+//!   bit-identity-across-thread-counts contract stay centralized.
 //!
 //! Findings can be waived in place with
 //! `// analyze:allow(<lint>): <reason>` on (or immediately above) the
@@ -85,6 +91,8 @@ pub mod codes {
     pub const KERNEL_IMPURE: &str = "VBA101";
     /// L3: non-deterministic construct in a determinism-scoped file.
     pub const NONDETERMINISM: &str = "VBA201";
+    /// L5: ad-hoc thread creation outside the host worker pool.
+    pub const ADHOC_THREADING: &str = "VBA202";
     /// L4: inline string literal as a kernel name.
     pub const UNINTERNED_NAME: &str = "VBA301";
     /// An `analyze:allow` directive without a reason.
@@ -104,6 +112,13 @@ pub const DETERMINISM_EXEMPT: &[&str] = &[];
 /// Identifiers the determinism lint rejects.
 const NONDET_IDENTS: &[&str] = &["Instant", "SystemTime", "thread_rng", "HashMap", "HashSet"];
 
+/// Files (path suffixes, `/`-separated) exempt from the threading lint:
+/// the one audited worker pool all host parallelism must route through.
+pub const THREADING_EXEMPT: &[&str] = &["crates/dense/src/pool.rs"];
+
+/// `thread::` members whose use constitutes ad-hoc thread creation.
+const THREADING_BANNED: &[&str] = &["spawn", "scope", "Builder"];
+
 /// Analyzes one file's source. `path` should be workspace-relative with
 /// `/` separators (it selects lint scopes and labels findings).
 #[must_use]
@@ -117,6 +132,9 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
         && !DETERMINISM_EXEMPT.iter().any(|p| path.ends_with(p))
     {
         lint_determinism(&ctx, &mut rep);
+    }
+    if !THREADING_EXEMPT.iter().any(|p| path.ends_with(p)) {
+        lint_threading(&ctx, &mut rep);
     }
     for d in &ctx.allows {
         if d.reason.is_empty() {
@@ -602,6 +620,41 @@ fn lint_launch_sites(ctx: &FileCtx<'_>, rep: &mut FileReport) {
                     }
                 }
             }
+        }
+    }
+}
+
+/// L5: `thread::spawn` / `thread::scope` / `thread::Builder` anywhere
+/// but the audited worker pool. Matches the `thread :: <member>` token
+/// triple, so `std::thread::spawn`, `thread::spawn` and a
+/// `use std::thread;`-style qualified call are all caught.
+fn lint_threading(ctx: &FileCtx<'_>, rep: &mut FileReport) {
+    let toks = &ctx.scan.tokens;
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "thread" || ctx.in_test(t.line) {
+            continue;
+        }
+        if !(toks.get(k + 1).is_some_and(|n| n.text == ":")
+            && toks.get(k + 2).is_some_and(|n| n.text == ":"))
+        {
+            continue;
+        }
+        let Some(member) = toks.get(k + 3) else {
+            continue;
+        };
+        if member.kind == TokKind::Ident && THREADING_BANNED.contains(&member.text.as_str()) {
+            rep.findings.push(ctx.finding(
+                codes::ADHOC_THREADING,
+                "threading",
+                t.line,
+                format!(
+                    "`thread::{}` outside the host worker pool: route host \
+                     parallelism through `vbatch_dense::pool::WorkerPool` so \
+                     thread count, naming and the bit-identity contract stay \
+                     centralized",
+                    member.text
+                ),
+            ));
         }
     }
 }

@@ -63,6 +63,23 @@ fn l4_fixture_flags_raw_kernel_name_literal() {
 }
 
 #[test]
+fn l5_fixture_flags_adhoc_threading_except_in_pool_and_tests() {
+    let got = codes_at("crates/demo/src/l5_threading.rs", "l5_threading.rs");
+    assert_eq!(
+        got,
+        vec![("VBA202", 5), ("VBA202", 7), ("VBA202", 10)],
+        "spawn, scope and Builder outside the pool; non-creating \
+         members and #[cfg(test)] spawns stay legal; got {got:?}"
+    );
+    // The audited worker pool itself is exempt by path.
+    let pool = codes_at("crates/dense/src/pool.rs", "l5_threading.rs");
+    assert!(
+        pool.iter().all(|(c, _)| *c != "VBA202"),
+        "pool.rs is exempt from the threading lint; got {pool:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings_even_in_scope() {
     let rep = analyze_source("crates/gpu-sim/src/clean.rs", &fixture("clean.rs"));
     assert!(

@@ -1,0 +1,25 @@
+//! L5 fixture: ad-hoc thread creation that must route through the
+//! host worker pool instead.
+
+fn adhoc() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let _ = std::thread::Builder::new().name("rogue".into());
+}
+
+fn fine() {
+    // Non-creating thread:: members stay legal everywhere.
+    let _ = std::thread::available_parallelism();
+    std::thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_allowed() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

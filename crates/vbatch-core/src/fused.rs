@@ -88,14 +88,18 @@ pub fn fused_feasible<T: Scalar>(dev: &Device, max_n: usize, nb: usize) -> bool 
 /// dimension `ld`) at column offset `j`: customized `syrk` update,
 /// `potf2`, `trsm`. Returns the failing global column on breakdown.
 ///
-/// `ctx` receives the cost charges; the math itself is bit-real. The
-/// `Uplo::Lower` case is the paper's case study (panel = block column of
-/// `L`); `Uplo::Upper` mirrors it on block rows of `U`, with identical
-/// shared-memory footprint and cost structure.
+/// `ctx` receives the cost charges; the math itself is bit-real and
+/// identical whether or not a context is present. The multicore host
+/// engine ([`crate::host`]) calls this with `ctx = None` so host-placed
+/// matrices replay the exact device arithmetic — the two paths share
+/// this one function by construction. The `Uplo::Lower` case is the
+/// paper's case study (panel = block column of `L`); `Uplo::Upper`
+/// mirrors it on block rows of `U`, with identical shared-memory
+/// footprint and cost structure.
 pub(crate) fn fused_step_math<T: Scalar>(
-    ctx: &mut BlockCtx,
+    mut ctx: Option<&mut BlockCtx>,
     uplo: Uplo,
-    mut a: MatMut<'static, T>,
+    mut a: MatMut<'_, T>,
     n: usize,
     j: usize,
     nb: usize,
@@ -104,8 +108,10 @@ pub(crate) fn fused_step_math<T: Scalar>(
     let ib = nb.min(rem);
 
     // Panel staged into shared memory.
-    charge_read::<T>(ctx, rem * ib);
-    charge_smem::<T>(ctx, rem * ib);
+    if let Some(ctx) = ctx.as_deref_mut() {
+        charge_read::<T>(ctx, rem * ib);
+        charge_smem::<T>(ctx, rem * ib);
+    }
 
     if j > 0 {
         // Customized syrk: a standard syrk/gemm would re-load the inner
@@ -143,12 +149,14 @@ pub(crate) fn fused_step_math<T: Scalar>(
                 );
             }
         }
-        charge_read::<T>(ctx, rem * j);
-        charge_smem::<T>(ctx, 2 * rem * ib); // double-buffer staging
-        charge_flops::<T>(ctx, rem, 2.0 * rem as f64 * ib as f64 * j as f64);
-        // One barrier per double-buffer stage (stage width nb).
-        for _ in 0..j.div_ceil(nb) {
-            ctx.sync();
+        if let Some(ctx) = ctx.as_deref_mut() {
+            charge_read::<T>(ctx, rem * j);
+            charge_smem::<T>(ctx, 2 * rem * ib); // double-buffer staging
+            charge_flops::<T>(ctx, rem, 2.0 * rem as f64 * ib as f64 * j as f64);
+            // One barrier per double-buffer stage (stage width nb).
+            for _ in 0..j.div_ceil(nb) {
+                ctx.sync();
+            }
         }
     }
 
@@ -161,10 +169,12 @@ pub(crate) fn fused_step_math<T: Scalar>(
         };
         return Err(j + col);
     }
-    charge_flops::<T>(ctx, ib, vbatch_dense::flops::potrf(ib));
-    // potf2 synchronizes once per column.
-    for _ in 0..ib {
-        ctx.sync();
+    if let Some(ctx) = ctx.as_deref_mut() {
+        charge_flops::<T>(ctx, ib, vbatch_dense::flops::potrf(ib));
+        // potf2 synchronizes once per column.
+        for _ in 0..ib {
+            ctx.sync();
+        }
     }
 
     // Panel factorization (trsm): the rows below (Lower) or the columns
@@ -198,12 +208,16 @@ pub(crate) fn fused_step_math<T: Scalar>(
                 );
             }
         }
-        charge_flops::<T>(ctx, rem - ib, (rem - ib) as f64 * ib as f64 * ib as f64);
-        ctx.sync();
+        if let Some(ctx) = ctx.as_deref_mut() {
+            charge_flops::<T>(ctx, rem - ib, (rem - ib) as f64 * ib as f64 * ib as f64);
+            ctx.sync();
+        }
     }
 
     // Panel written back to global memory.
-    charge_write::<T>(ctx, rem * ib);
+    if let Some(ctx) = ctx {
+        charge_write::<T>(ctx, rem * ib);
+    }
     Ok(())
 }
 
@@ -254,7 +268,7 @@ pub fn potrf_fused_fixed<T: Scalar>(
         while j < n {
             // Re-derive the view each step (the math consumes it).
             let a_step = mat_mut(ptrs.get(i), n, n, ld);
-            if let Err(col) = fused_step_math::<T>(ctx, uplo, a_step, n, j, nb) {
+            if let Err(col) = fused_step_math::<T>(Some(ctx), uplo, a_step, n, j, nb) {
                 infos.set(i, (col + 1) as i32);
                 return;
             }
@@ -310,7 +324,7 @@ pub fn potrf_fused_step<T: Scalar>(
         }
         let ld = lds.get(i) as usize;
         let a = mat_mut(ptrs.get(i), n, n, ld);
-        if let Err(col) = fused_step_math::<T>(ctx, uplo, a, n, j, nb) {
+        if let Err(col) = fused_step_math::<T>(Some(ctx), uplo, a, n, j, nb) {
             infos.set(i, (col + 1) as i32);
         }
     })?;

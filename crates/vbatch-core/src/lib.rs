@@ -50,6 +50,7 @@ pub mod batch;
 pub mod driver;
 pub mod etm;
 pub mod fused;
+pub mod host;
 pub mod kernels;
 pub mod lu;
 pub mod qr;
@@ -67,11 +68,12 @@ pub use driver::{
     FusedOpts, PotrfOptions, SepOpts, Strategy, SyrkMode,
 };
 pub use etm::EtmPolicy;
+pub use host::{getrf_batch_host, potrf_batch_host, HostCostModel, HostEngine, HostState};
 pub use lu::{getrf_vbatched, getrf_vbatched_pooled, getrf_vbatched_ws, GetrfOptions, PivotArray};
 pub use recover::{Outcome, RecoveryPolicy, RecoveryReport, ScrubPolicy};
 pub use report::{BatchReport, VbatchError};
 pub use shard::{
-    getrf_sharded, plan_shards, potrf_sharded, DeviceShardStats, DeviceState, Shard, ShardOpts,
-    ShardedReport, ShardedState,
+    getrf_sharded, plan_shards, plan_shards_hybrid, potrf_hybrid, potrf_sharded, DeviceShardStats,
+    DeviceState, HostPeerReport, Shard, ShardOpts, ShardedReport, ShardedState,
 };
 pub use workspace::DriverWorkspace;

@@ -56,7 +56,8 @@ pub fn potf2_panel_vbatched<T: Scalar>(
         let mut jj = 0;
         while jj < jb {
             let tile = mat_mut(a.ptrs.get(i), jb, jb, ld);
-            if let Err(col) = crate::fused::fused_step_math::<T>(ctx, uplo, tile, jb, jj, nb_inner)
+            if let Err(col) =
+                crate::fused::fused_step_math::<T>(Some(ctx), uplo, tile, jb, jj, nb_inner)
             {
                 d_info.set(i, (j + col + 1) as i32);
                 return;

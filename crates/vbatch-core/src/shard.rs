@@ -47,8 +47,9 @@ use vbatch_gpu_sim::{
 };
 
 use crate::batch::{extent, BatchPools};
-use crate::driver::{potrf_vbatched_max_ws, resolve_strategy, PotrfOptions};
+use crate::driver::{potrf_vbatched_max_ws, resolve_strategy, PotrfOptions, Strategy};
 use crate::fused::tuned_nb;
+use crate::host::{potrf_batch_host, HostCostModel, HostEngine, HostState};
 use crate::lu::{getrf_vbatched_pooled, GetrfOptions, PivotArray};
 use crate::recover::{fault_events_start, with_retry, RecoveryPolicy, RecoveryReport};
 use crate::report::VbatchError;
@@ -154,6 +155,25 @@ pub struct DeviceShardStats {
     pub pool_high_water_bytes: usize,
 }
 
+/// Execution record of the host peer in a hybrid run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostPeerReport {
+    /// Worker threads the host engine ran with.
+    pub threads: usize,
+    /// Shards the host executed.
+    pub shards: usize,
+    /// Of those, shards stolen from a device queue.
+    pub stolen: u32,
+    /// Matrices factorized on the host.
+    pub matrices: usize,
+    /// Useful flops of those factorizations.
+    pub flops: f64,
+    /// Modeled host busy seconds ([`HostCostModel`] charge).
+    pub busy_s: f64,
+    /// Modeled host energy (busy at max power, wait at idle power).
+    pub energy_j: f64,
+}
+
 /// Merged result of a sharded run.
 #[derive(Clone, Debug)]
 pub struct ShardedReport {
@@ -173,6 +193,8 @@ pub struct ShardedReport {
     pub overlap_efficiency: f64,
     /// Per-device execution records.
     pub per_device: Vec<DeviceShardStats>,
+    /// Host-peer record; `Some` only for [`potrf_hybrid`] runs.
+    pub host: Option<HostPeerReport>,
 }
 
 /// Modeled factorization cost of one `n × n` matrix on `cfg`, in
@@ -229,12 +251,30 @@ pub fn plan_shards<T: Scalar>(
     shards_per_device: usize,
 ) -> Vec<Shard> {
     let devices = devices.max(1);
+    let mut shards = cut_shards::<T>(cfg, sizes, devices * shards_per_device.max(1));
+
+    // Greedy LPT assignment over planned load; ties break on the lower
+    // device index. Shards are already in descending-cost-ish order
+    // (they cover a size-descending sequence at equal cost targets).
+    let mut load = vec![0.0f64; devices];
+    for shard in &mut shards {
+        let home = (0..devices)
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+            .unwrap_or(0);
+        shard.home = home;
+        load[home] += shard.cost_s;
+    }
+    shards
+}
+
+/// Cuts the size-sorted workload into `want` cost-balanced contiguous
+/// shards (home unassigned, device-model costs).
+fn cut_shards<T: Scalar>(cfg: &DeviceConfig, sizes: &[usize], want: usize) -> Vec<Shard> {
     // Size-descending, index-ascending: deterministic for equal sizes.
     let mut order: Vec<usize> = (0..sizes.len()).collect();
     order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
     let costs: Vec<f64> = sizes.iter().map(|&n| matrix_cost_s::<T>(cfg, n)).collect();
     let total: f64 = costs.iter().sum();
-    let want = devices * shards_per_device.max(1);
 
     // Contiguous cut of the sorted order; the per-shard cost target is
     // recomputed from what remains, so an overshoot on one shard (a
@@ -267,17 +307,45 @@ pub fn plan_shards<T: Scalar>(
             cost_s: acc,
         });
     }
+    shards
+}
 
-    // Greedy LPT assignment over planned load; ties break on the lower
-    // device index. Shards are already in descending-cost-ish order
-    // (they cover a size-descending sequence at equal cost targets).
-    let mut load = vec![0.0f64; devices];
+/// Plans a cooperative host + device run: cuts
+/// `(devices + 1) · shards_per_device` shards and assigns each to the
+/// peer with the earliest *projected finish time*, where device peers
+/// are costed by the device model (`Shard::cost_s`) and the host peer
+/// (index `devices`) by `host`. Heterogeneous LPT — a slow host takes
+/// few (or zero) shards, a fast one takes its fair share.
+#[must_use]
+pub fn plan_shards_hybrid<T: Scalar>(
+    cfg: &DeviceConfig,
+    host: &HostCostModel,
+    sizes: &[usize],
+    devices: usize,
+    shards_per_device: usize,
+) -> Vec<Shard> {
+    let devices = devices.max(1);
+    let n_peers = devices + 1;
+    let mut shards = cut_shards::<T>(cfg, sizes, n_peers * shards_per_device.max(1));
+    let mut load = vec![0.0f64; n_peers];
     for shard in &mut shards {
-        let home = (0..devices)
-            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+        let host_cost = host.shard_cost_s(sizes, &shard.indices);
+        let peer_cost = |p: usize| {
+            if p == devices {
+                host_cost
+            } else {
+                shard.cost_s
+            }
+        };
+        let home = (0..n_peers)
+            .min_by(|&a, &b| {
+                (load[a] + peer_cost(a))
+                    .total_cmp(&(load[b] + peer_cost(b)))
+                    .then(a.cmp(&b))
+            })
             .unwrap_or(0);
         shard.home = home;
-        load[home] += shard.cost_s;
+        load[home] += peer_cost(home);
     }
     shards
 }
@@ -313,31 +381,42 @@ struct ShardIo {
     flops: f64,
 }
 
-/// Outcome of the event loop, before aggregation.
+/// One peer's account of a shard execution, in seconds: the peer's
+/// pipeline is advanced by `upload_s → compute_s → download_s`. A host
+/// peer moves nothing over PCIe (it factorizes the caller's matrices in
+/// place) and reports zero transfer phases.
+struct PeerIo {
+    upload_s: f64,
+    compute_s: f64,
+    download_s: f64,
+    flops: f64,
+}
+
+/// Outcome of the event loop, before aggregation. Entries are indexed
+/// by *peer*; in a hybrid run the last peer is the host.
 struct DriveStats {
     timelines: Vec<CopyComputeTimeline>,
     per_device: Vec<DeviceShardStats>,
     steals: u32,
 }
 
-/// The deterministic event loop: repeatedly gives the next shard to the
-/// device whose pipeline frees up first (ties to the lower index). A
-/// device with an empty queue steals the largest-cost pending shard
-/// from the most-loaded queue — size-aware stealing over whole shards,
-/// so placement never changes what is computed, only where.
-fn drive_shards<T: Scalar, F>(
-    group: &DeviceGroup,
+/// The deterministic event loop over `n_peers` peers: repeatedly gives
+/// the next shard to the peer whose pipeline frees up first (ties to
+/// the lower index). A peer with an empty queue steals the
+/// largest-cost pending shard from the most-loaded queue — size-aware
+/// stealing over whole shards, so placement never changes what is
+/// computed, only where. Peers are abstract here: `run_one(peer,
+/// shard)` executes the shard and accounts its phases.
+fn drive_peers<F>(
+    n_peers: usize,
     mut shards: Vec<Shard>,
-    state: &mut ShardedState<T>,
-    opts: &ShardOpts,
+    steal: bool,
     mut run_one: F,
 ) -> Result<DriveStats, VbatchError>
 where
-    F: FnMut(&Device, &mut DeviceState<T>, &Shard) -> Result<ShardIo, VbatchError>,
+    F: FnMut(usize, &Shard) -> Result<PeerIo, VbatchError>,
 {
-    let n_dev = group.len();
-    state.ensure(n_dev);
-    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n_dev];
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n_peers];
     for (sid, shard) in shards.iter().enumerate() {
         queues[shard.home].push(sid);
     }
@@ -352,8 +431,8 @@ where
         });
     }
 
-    let mut timelines = vec![CopyComputeTimeline::new(); n_dev];
-    let mut per_device: Vec<DeviceShardStats> = (0..n_dev)
+    let mut timelines = vec![CopyComputeTimeline::new(); n_peers];
+    let mut per_device: Vec<DeviceShardStats> = (0..n_peers)
         .map(|d| DeviceShardStats {
             device: d,
             ..DeviceShardStats::default()
@@ -365,10 +444,10 @@ where
         if queues.iter().all(Vec::is_empty) {
             break;
         }
-        // Next device: earliest-free pipeline among those that can get
+        // Next peer: earliest-free pipeline among those that can get
         // work (own queue, or anyone's when stealing is on).
-        let Some(d) = (0..n_dev)
-            .filter(|&d| !queues[d].is_empty() || opts.steal)
+        let Some(d) = (0..n_peers)
+            .filter(|&d| !queues[d].is_empty() || steal)
             .min_by(|&a, &b| {
                 timelines[a]
                     .total_s()
@@ -383,7 +462,7 @@ where
             (sid, false)
         } else {
             // Steal victim: the queue with the most pending cost.
-            let Some(v) = (0..n_dev)
+            let Some(v) = (0..n_peers)
                 .filter(|&v| !queues[v].is_empty())
                 .max_by(|&a, &b| {
                     let ca: f64 = queues[a].iter().map(|&s| shards[s].cost_s).sum();
@@ -400,36 +479,64 @@ where
             per_device[d].stolen += 1;
         }
         let shard = std::mem::take(&mut shards[sid]);
-        let dev = group.device(d);
-        let t0 = dev.now();
-        let io = run_one(dev, &mut state.devices[d], &shard)?;
-        let compute_s = dev.now() - t0;
-        timelines[d].push(
-            dev.transfer_seconds(io.upload_bytes),
-            compute_s,
-            dev.transfer_seconds(io.download_bytes),
-        );
+        let io = run_one(d, &shard)?;
+        timelines[d].push(io.upload_s, io.compute_s, io.download_s);
         per_device[d].shards += 1;
         per_device[d].matrices += shard.indices.len();
-        per_device[d].compute_s += compute_s;
+        per_device[d].compute_s += io.compute_s;
         per_device[d].flops += io.flops;
-    }
-
-    // Charge each device's pipeline stalls (time beyond pure compute)
-    // at idle activity, then pull the stragglers to the barrier.
-    for (d, t) in timelines.iter().enumerate() {
-        let extra = t.total_s() - t.compute_busy_s();
-        if extra > 0.0 {
-            group.device(d).advance_time(extra, 0.0);
-        }
-        per_device[d].pipeline_s = t.total_s();
-        per_device[d].overlap_efficiency = t.overlap_efficiency();
     }
     Ok(DriveStats {
         timelines,
         per_device,
         steals,
     })
+}
+
+/// Charges each of the first `n_dev` peers' pipeline stalls (time
+/// beyond pure compute) to its device clock at idle activity and
+/// records the pipeline figures.
+fn charge_pipeline_stalls(group: &DeviceGroup, n_dev: usize, stats: &mut DriveStats) {
+    for d in 0..n_dev {
+        let t = &stats.timelines[d];
+        let extra = t.total_s() - t.compute_busy_s();
+        if extra > 0.0 {
+            group.device(d).advance_time(extra, 0.0);
+        }
+        stats.per_device[d].pipeline_s = t.total_s();
+        stats.per_device[d].overlap_efficiency = t.overlap_efficiency();
+    }
+}
+
+/// Device-only event loop: [`drive_peers`] with every peer a device of
+/// `group`, compute measured on the device clock and transfer bytes
+/// converted through the device's PCIe model.
+fn drive_shards<T: Scalar, F>(
+    group: &DeviceGroup,
+    shards: Vec<Shard>,
+    state: &mut ShardedState<T>,
+    opts: &ShardOpts,
+    mut run_one: F,
+) -> Result<DriveStats, VbatchError>
+where
+    F: FnMut(&Device, &mut DeviceState<T>, &Shard) -> Result<ShardIo, VbatchError>,
+{
+    let n_dev = group.len();
+    state.ensure(n_dev);
+    let devices = &mut state.devices;
+    let mut stats = drive_peers(n_dev, shards, opts.steal, |d, shard| {
+        let dev = group.device(d);
+        let t0 = dev.now();
+        let io = run_one(dev, &mut devices[d], shard)?;
+        Ok(PeerIo {
+            upload_s: dev.transfer_seconds(io.upload_bytes),
+            compute_s: dev.now() - t0,
+            download_s: dev.transfer_seconds(io.download_bytes),
+            flops: io.flops,
+        })
+    })?;
+    charge_pipeline_stalls(group, n_dev, &mut stats);
+    Ok(stats)
 }
 
 impl Default for Shard {
@@ -535,6 +642,76 @@ fn finalize(
         steals: stats.steals,
         overlap_efficiency,
         per_device,
+        host: None,
+    }
+}
+
+/// [`finalize`] for a hybrid run: the last peer entry of `stats` is the
+/// host. Devices are pulled to the *overall* makespan (idle-power
+/// waits), host energy is charged through the cost model, and the host
+/// record lands in [`ShardedReport::host`].
+fn finalize_hybrid(
+    group: &DeviceGroup,
+    engine: &HostEngine,
+    host_model: &HostCostModel,
+    info: Vec<i32>,
+    mut recovery: RecoveryReport,
+    state: &ShardedState<impl Scalar>,
+    mut stats: DriveStats,
+) -> ShardedReport {
+    recovery.quarantined.sort_unstable();
+    let n_dev = group.len();
+    let host_stats = stats.per_device.remove(n_dev);
+    let host_timeline = stats.timelines.remove(n_dev);
+    let host_busy = host_timeline.compute_busy_s();
+
+    let dev_makespan = group.barrier();
+    let makespan_s = dev_makespan.max(host_timeline.total_s());
+    // Devices that beat the host wait for it at idle power.
+    for d in group.devices() {
+        let wait = makespan_s - d.now();
+        if wait > 0.0 {
+            d.advance_time(wait, 0.0);
+        }
+    }
+    let host_energy = host_model.energy_j(host_busy, makespan_s - host_busy);
+
+    let hidden: f64 = stats
+        .timelines
+        .iter()
+        .map(|t| (t.serial_s() - t.total_s()).max(0.0))
+        .sum();
+    let transfer: f64 = stats
+        .timelines
+        .iter()
+        .map(CopyComputeTimeline::transfer_busy_s)
+        .sum();
+    let overlap_efficiency = if transfer > 0.0 {
+        (hidden / transfer).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let mut per_device = stats.per_device;
+    for (d, rec) in per_device.iter_mut().enumerate() {
+        rec.pool_high_water_bytes = state.devices[d].pools.high_water_bytes();
+    }
+    ShardedReport {
+        info,
+        recovery,
+        makespan_s,
+        energy_j: group.total_energy_j() + host_energy,
+        steals: stats.steals,
+        overlap_efficiency,
+        per_device,
+        host: Some(HostPeerReport {
+            threads: engine.threads(),
+            shards: host_stats.shards,
+            stolen: host_stats.stolen,
+            matrices: host_stats.matrices,
+            flops: host_stats.flops,
+            busy_s: host_busy,
+            energy_j: host_energy,
+        }),
     }
 }
 
@@ -592,44 +769,165 @@ pub fn potrf_sharded<T: Scalar>(
             state,
             shard_opts,
             move |dev, dstate, shard| {
-                let shard_sizes: Vec<usize> = shard.indices.iter().map(|&gi| sizes[gi]).collect();
-                let ev_start = fault_events_start(dev);
-                let mut local = RecoveryReport::default();
-                let (mut vb, upload_bytes) = build_shard_batch(
-                    dev,
-                    &mut dstate.pools,
-                    &norm.recovery,
-                    &mut local,
-                    &shard_sizes,
-                    &shard.indices,
-                    mats,
-                )?;
-                let shard_max = shard_sizes.iter().copied().max().unwrap_or(0);
-                let report = potrf_vbatched_max_ws(dev, &mut vb, shard_max, &norm, &mut dstate.ws)?;
-                collect_pre_driver_events(
-                    dev,
-                    ev_start,
-                    report.recovery.injected.len(),
-                    &mut local,
-                );
-                let mut download_bytes = 0;
-                for (k, &gi) in shard.indices.iter().enumerate() {
-                    mats[gi] = vb.download_matrix(k);
-                    download_bytes += mats[gi].len() * std::mem::size_of::<T>();
-                    info[gi] = report.info[k];
-                }
-                merge_recovery(recovery, local, &shard.indices);
-                merge_recovery(recovery, report.recovery, &shard.indices);
-                vb.reclaim(&mut dstate.pools);
-                Ok(ShardIo {
-                    upload_bytes,
-                    download_bytes,
-                    flops: flops::potrf_batch(&shard_sizes),
-                })
+                run_potrf_shard_on_device(dev, dstate, shard, sizes, mats, info, recovery, &norm)
             },
         )?
     };
     Ok(finalize(group, info, recovery, state, stats))
+}
+
+/// Executes one Cholesky shard on a device: pooled batch build, upload,
+/// driver run, download, recovery merge. Shared by [`potrf_sharded`]
+/// and [`potrf_hybrid`].
+#[allow(clippy::too_many_arguments)]
+fn run_potrf_shard_on_device<T: Scalar>(
+    dev: &Device,
+    dstate: &mut DeviceState<T>,
+    shard: &Shard,
+    sizes: &[usize],
+    mats: &mut [Vec<T>],
+    info: &mut [i32],
+    recovery: &mut RecoveryReport,
+    norm: &PotrfOptions,
+) -> Result<ShardIo, VbatchError> {
+    let shard_sizes: Vec<usize> = shard.indices.iter().map(|&gi| sizes[gi]).collect();
+    let ev_start = fault_events_start(dev);
+    let mut local = RecoveryReport::default();
+    let (mut vb, upload_bytes) = build_shard_batch(
+        dev,
+        &mut dstate.pools,
+        &norm.recovery,
+        &mut local,
+        &shard_sizes,
+        &shard.indices,
+        mats,
+    )?;
+    let shard_max = shard_sizes.iter().copied().max().unwrap_or(0);
+    let report = potrf_vbatched_max_ws(dev, &mut vb, shard_max, norm, &mut dstate.ws)?;
+    collect_pre_driver_events(dev, ev_start, report.recovery.injected.len(), &mut local);
+    let mut download_bytes = 0;
+    for (k, &gi) in shard.indices.iter().enumerate() {
+        mats[gi] = vb.download_matrix(k);
+        download_bytes += mats[gi].len() * std::mem::size_of::<T>();
+        info[gi] = report.info[k];
+    }
+    merge_recovery(recovery, local, &shard.indices);
+    merge_recovery(recovery, report.recovery, &shard.indices);
+    vb.reclaim(&mut dstate.pools);
+    Ok(ShardIo {
+        upload_bytes,
+        download_bytes,
+        flops: flops::potrf_batch(&shard_sizes),
+    })
+}
+
+/// Cooperative CPU + GPU variable-size batched Cholesky: the host
+/// engine joins the device group as one more peer of the shard
+/// scheduler — it enqueues, executes and steals whole shards exactly
+/// like a device, factorizing its shards *in place* on the caller's
+/// matrices (no PCIe phases) while its event-loop clock advances by
+/// `host_model` charges (plain numbers: placement stays deterministic
+/// and the VBA201 no-wall-clock rule holds).
+///
+/// Factors and `info` are bit-identical to [`potrf_sharded`] and to a
+/// host-only run of the same workload: [`normalized_options`] pins
+/// every size-adaptive knob globally, and host and device share the
+/// panel-step and interleaved-lane kernels (see [`crate::host`]).
+///
+/// # Errors
+/// As [`potrf_sharded`]; additionally
+/// [`VbatchError::InvalidArgument`] when the normalized strategy is not
+/// [`Strategy::Fused`] — the separated path's trtri-based `trsm` has no
+/// host twin, so cooperative placement would change bits.
+#[allow(clippy::too_many_arguments)]
+pub fn potrf_hybrid<T: Scalar>(
+    group: &DeviceGroup,
+    engine: &HostEngine,
+    host_model: &HostCostModel,
+    sizes: &[usize],
+    mats: &mut [Vec<T>],
+    opts: &PotrfOptions,
+    shard_opts: &ShardOpts,
+    state: &mut ShardedState<T>,
+    host_state: &mut HostState<T>,
+) -> Result<ShardedReport, VbatchError> {
+    if mats.len() != sizes.len() {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_hybrid: sizes and mats must have the same length",
+        ));
+    }
+    if sizes
+        .iter()
+        .zip(mats.iter())
+        .any(|(&n, m)| m.len() != extent(n, n, n))
+    {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_hybrid: mats[i] must hold sizes[i]² elements",
+        ));
+    }
+    let global_max = sizes.iter().copied().max().unwrap_or(0);
+    let norm = normalized_options::<T>(group.device(0), opts, global_max);
+    if norm.strategy != Strategy::Fused {
+        return Err(VbatchError::InvalidArgument(
+            "potrf_hybrid: cooperative execution requires the fused strategy \
+             (host and device share the fused kernels; the separated path has \
+             no bit-identical host twin)",
+        ));
+    }
+    let n_dev = group.len();
+    let shards = plan_shards_hybrid::<T>(
+        group.device(0).config(),
+        host_model,
+        sizes,
+        n_dev,
+        shard_opts.shards_per_device,
+    );
+
+    let mut info = vec![0i32; sizes.len()];
+    let mut recovery = RecoveryReport::default();
+    let mut stats = {
+        let info = &mut info;
+        let recovery = &mut recovery;
+        let mats = &mut *mats;
+        state.ensure(n_dev);
+        let devices = &mut state.devices;
+        let host_state = &mut *host_state;
+        drive_peers(n_dev + 1, shards, shard_opts.steal, move |p, shard| {
+            if p < n_dev {
+                let dev = group.device(p);
+                let t0 = dev.now();
+                let io = run_potrf_shard_on_device(
+                    dev,
+                    &mut devices[p],
+                    shard,
+                    sizes,
+                    mats,
+                    info,
+                    recovery,
+                    &norm,
+                )?;
+                Ok(PeerIo {
+                    upload_s: dev.transfer_seconds(io.upload_bytes),
+                    compute_s: dev.now() - t0,
+                    download_s: dev.transfer_seconds(io.download_bytes),
+                    flops: io.flops,
+                })
+            } else {
+                let flops =
+                    potrf_batch_host(engine, sizes, mats, &shard.indices, &norm, host_state, info)?;
+                Ok(PeerIo {
+                    upload_s: 0.0,
+                    compute_s: host_model.shard_cost_s(sizes, &shard.indices),
+                    download_s: 0.0,
+                    flops,
+                })
+            }
+        })?
+    };
+    charge_pipeline_stalls(group, n_dev, &mut stats);
+    Ok(finalize_hybrid(
+        group, engine, host_model, info, recovery, state, stats,
+    ))
 }
 
 /// Multi-device variable-size batched LU with partial pivoting over

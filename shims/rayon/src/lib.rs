@@ -17,11 +17,16 @@
 
 use std::num::NonZeroUsize;
 
-/// Number of worker threads the shim fans out to.
+/// Number of worker threads the shim fans out to: the `VBATCH_THREADS`
+/// environment variable when set and parseable (floor 1 — the same
+/// override the vbatch host engine honors), else available parallelism.
 fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    match std::env::var("VBATCH_THREADS") {
+        Ok(s) => s.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
 }
 
 /// A finite, splittable, ordered source of items — the shim's stand-in
