@@ -30,7 +30,8 @@ use vbatch_dense::tune::{self, TileScheme};
 use vbatch_dense::{
     flops, gemm, interleave, potf2, potrf_blocked, MatMut, MatRef, Scalar, Trans, Uplo,
 };
-use vbatch_gpu_sim::{DeviceConfig, DeviceGroup};
+use vbatch_gpu_sim::{DeviceConfig, DeviceGroup, FaultPlan};
+use vbatch_serve::{build_schedule, run_soak, ServeConfig, SoakConfig};
 use vbatch_workload::{fill_spd_batch, SizeDist};
 
 /// Sizes probed for both kernels.
@@ -657,6 +658,84 @@ fn probe_tuning_small<T: Scalar>(out: &mut Vec<TuningSmallRow>) {
     }
 }
 
+/// Arrival rates swept by the serving section (requests per simulated
+/// second): comfortable, near-saturation, and well past capacity.
+const SERVE_RATES_HZ: [f64; 3] = [50_000.0, 200_000.0, 2_000_000.0];
+
+/// One serving row: open-loop soak at one arrival rate, with or
+/// without an active recoverable fault plan. All figures are
+/// simulated-clock, so they are deterministic across hosts.
+struct ServeRow {
+    rate_hz: f64,
+    fault: bool,
+    p50_s: f64,
+    p99_s: f64,
+    sustained_rps: f64,
+    accepted: u64,
+    shed: u64,
+    expired: u64,
+    windows: u64,
+}
+
+/// Sweeps the batch-serving front end across [`SERVE_RATES_HZ`] with
+/// and without a recoverable fault plan installed from the start.
+fn probe_serving() -> Vec<ServeRow> {
+    let base = SoakConfig {
+        serve: ServeConfig {
+            max_window: 32,
+            max_wait_s: 3e-4,
+            shed_cost_s: 4e-4,
+            tenant_queue_limit: 256,
+            ..Default::default()
+        },
+        seed: 0xBE7C,
+        clients: 2000,
+        tenants: 12,
+        requests: 600,
+        rate_hz: 0.0,
+        sizes: vec![8, 12, 16, 24, 32, 48, 64],
+        getrf_share: 0.3,
+        deadline_share: 0.0,
+        deadline_slack_s: 0.0,
+    };
+    let mut rows = Vec::new();
+    for &rate_hz in &SERVE_RATES_HZ {
+        for fault in [false, true] {
+            let cfg = SoakConfig {
+                rate_hz,
+                ..base.clone()
+            };
+            let schedule = build_schedule::<f64>(&cfg);
+            let plan = fault.then(|| FaultPlan::random_recoverable(0xF0));
+            let out = run_soak(&cfg, &schedule, plan, 0);
+            assert_eq!(out.stats.window_failures, 0, "recoverable plans never fail");
+            assert_eq!(out.mem_after_release, out.mem_baseline, "pool leak");
+            let sustained_rps = out.stats.completed as f64 / out.end_s.max(f64::MIN_POSITIVE);
+            eprintln!(
+                "  {rate_hz:>9.0} req/s offered{}: p50 {:.2e}s p99 {:.2e}s, {:.0} req/s sustained, {} accepted / {} shed",
+                if fault { " +faults" } else { "        " },
+                out.latency.p50_s,
+                out.latency.p99_s,
+                sustained_rps,
+                out.stats.accepted,
+                out.stats.rejected_overloaded + out.stats.rejected_tenant_full,
+            );
+            rows.push(ServeRow {
+                rate_hz,
+                fault,
+                p50_s: out.latency.p50_s,
+                p99_s: out.latency.p99_s,
+                sustained_rps,
+                accepted: out.stats.accepted,
+                shed: out.stats.rejected_overloaded + out.stats.rejected_tenant_full,
+                expired: out.stats.expired,
+                windows: out.stats.windows,
+            });
+        }
+    }
+    rows
+}
+
 fn main() {
     let wall = Instant::now();
     let mut gemm_rows = Vec::new();
@@ -748,6 +827,9 @@ fn main() {
 
     eprintln!("probing heterogeneous cooperative execution (host + 1 device) ...");
     let hybrid = probe_hybrid();
+
+    eprintln!("probing serving front end (open-loop soak, 600 requests, 12 tenants) ...");
+    let serve_rows = probe_serving();
 
     let scheme_json = |ts: &TileScheme| {
         format!(
@@ -986,6 +1068,23 @@ fn main() {
         hybrid.serial_hybrid_makespan_s
     );
     j.push_str("  },\n");
+    j.push_str("  \"serving\": {\n");
+    j.push_str("    \"workload\": \"multi-tenant potrf/getrf soak: 600 requests, 2000 clients, 12 tenants, sizes 8..64, window 32, simulated K40c\",\n");
+    j.push_str("    \"note\": \"simulated-clock figures (deterministic across hosts); rates sweep comfortable -> saturation -> overload; faulted rows run the same schedule with a recoverable FaultPlan installed\",\n");
+    j.push_str("    \"rates\": [\n");
+    for (i, r) in serve_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"offered_rate_hz\": {:.0}, \"fault_plan\": {}, \"p50_latency_s\": {:.6e}, \"p99_latency_s\": {:.6e}, \"sustained_req_per_s\": {:.1}, \"accepted\": {}, \"shed\": {}, \"expired\": {}, \"windows\": {}}}",
+            r.rate_hz, r.fault, r.p50_s, r.p99_s, r.sustained_rps, r.accepted, r.shed, r.expired, r.windows
+        );
+        j.push_str(if i + 1 < serve_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("    ]\n  },\n");
     let _ = writeln!(
         j,
         "  \"driver\": {{\"workload\": \"fused dpotrf, batch 3000, uniform max 128\", \"sim_gflops\": {driver_sim_gflops:.3}, \"host_seconds_cold\": {driver_cold:.4}, \"host_seconds_warm\": {driver_warm:.4}, \"note\": \"cold = fresh DriverWorkspace per call, warm = reused workspace; compare host seconds across PRs only via interleaved A/B runs of both builds on one machine (sequential runs on this host drift up to ~20%)\"}}"

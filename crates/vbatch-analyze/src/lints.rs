@@ -101,7 +101,11 @@ pub mod codes {
 
 /// Files (path suffixes, `/`-separated) subject to the determinism
 /// lint: the simulator's cost accounting and the vbatch drivers.
-pub const DETERMINISM_SCOPE: &[&str] = &["crates/gpu-sim/src/", "crates/vbatch-core/src/"];
+pub const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/gpu-sim/src/",
+    "crates/vbatch-core/src/",
+    "crates/vbatch-serve/src/",
+];
 
 /// Exemptions within [`DETERMINISM_SCOPE`]. Currently empty — the
 /// interning table and the profiler both use ordered maps — but the
@@ -329,7 +333,12 @@ impl<'a> FileCtx<'a> {
             .allows
             .iter()
             .find(|d| {
-                d.lint == lint && (d.target == line || d.line == line) && !d.reason.is_empty()
+                // A directive may name the lint ("threading") or the
+                // stable code ("VBA202") — codes read better next to a
+                // long audit comment and survive lint renames.
+                (d.lint == lint || d.lint == code)
+                    && (d.target == line || d.line == line)
+                    && !d.reason.is_empty()
             })
             .map(|d| d.reason.clone());
         Finding {

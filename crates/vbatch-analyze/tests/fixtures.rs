@@ -80,6 +80,37 @@ fn l5_fixture_flags_adhoc_threading_except_in_pool_and_tests() {
 }
 
 #[test]
+fn l5_waiver_accepts_stable_code_and_lint_name() {
+    let rep = analyze_source(
+        "crates/vbatch-serve/src/exec.rs",
+        &fixture("l5_threading_waived.rs"),
+    );
+    let vba202: Vec<_> = rep.findings.iter().filter(|f| f.code == "VBA202").collect();
+    assert_eq!(vba202.len(), 3, "got {:?}", rep.findings);
+    assert!(
+        vba202[0].allowed.is_some(),
+        "analyze:allow(VBA202) — waiver by stable code — must be honored"
+    );
+    assert!(
+        vba202[1].allowed.is_some(),
+        "analyze:allow(threading) — waiver by lint name — must keep working"
+    );
+    assert!(
+        vba202[2].allowed.is_none(),
+        "the unwaived spawn must still be an active finding"
+    );
+}
+
+#[test]
+fn serve_crate_is_inside_the_determinism_scope() {
+    let got = codes_at("crates/vbatch-serve/src/service.rs", "l3_determinism.rs");
+    assert!(
+        !got.is_empty() && got.iter().all(|(c, _)| *c == "VBA201"),
+        "serving decision path is determinism-scoped; got {got:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings_even_in_scope() {
     let rep = analyze_source("crates/gpu-sim/src/clean.rs", &fixture("clean.rs"));
     assert!(

@@ -1,0 +1,13 @@
+//! L5 fixture: audited thread creation waived in place — by stable
+//! code (`VBA202`) or by lint name — plus one unwaived spawn that must
+//! still fire.
+
+fn executor() {
+    // analyze:allow(VBA202): dispatcher thread is audited — joined in finish(), never detached
+    let b = std::thread::Builder::new().name("vbatch-serve-dispatch".into());
+    let _ = b;
+    // analyze:allow(threading): lint-name form, same waiver machinery
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::thread::spawn(|| ());
+}

@@ -213,6 +213,14 @@ impl<T: Scalar> VBatch<T> {
                 d_cols.fill_from_host(&ns);
                 d_ld.fill_from_host(&ns);
                 d_ptrs.fill_from_host(&ptrs);
+                // A pooled info buffer carries the previous tenant's
+                // statuses; rewrite it like every other metadata array
+                // so pooled batches start from the fresh-path zero
+                // state regardless of what shapes came before them.
+                let pi = d_info.ptr();
+                for i in 0..count {
+                    pi.set(i, 0);
+                }
                 Ok(Self {
                     count,
                     d_rows,
@@ -455,6 +463,27 @@ mod tests {
         assert_eq!(b.read_info(), vec![0, 7]);
         b.reset_info();
         assert_eq!(b.read_info(), vec![0, 0]);
+    }
+
+    #[test]
+    fn pooled_realloc_starts_from_zero_info() {
+        let d = dev();
+        let mut pools = BatchPools::<f64>::new();
+        // First tenant's window leaves nonzero statuses behind.
+        let b = VBatch::<f64>::alloc_square_pooled(&d, &[4, 2, 3], &mut pools).unwrap();
+        b.d_info().set(0, 3);
+        b.d_info().set(2, -1);
+        b.reclaim(&mut pools);
+        // A later window with a different (interleaved) size order
+        // recycles the same metadata class and must not inherit them.
+        let b = VBatch::<f64>::alloc_square_pooled(&d, &[2, 4, 3], &mut pools).unwrap();
+        assert_eq!(
+            b.read_info(),
+            vec![0, 0, 0],
+            "pooled info must be rewritten"
+        );
+        b.reclaim(&mut pools);
+        pools.trim();
     }
 
     #[test]

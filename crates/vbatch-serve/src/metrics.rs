@@ -1,0 +1,113 @@
+//! Service-side accounting: latency quantiles and admission counters.
+//!
+//! Everything here is computed from simulated timestamps — the decision
+//! path never reads a wall clock, so two runs of the same seeded load
+//! produce identical quantiles bit for bit.
+
+/// Latency quantiles over a set of completed requests (simulated
+/// seconds). Quantiles use the nearest-rank method on a sorted copy, so
+/// they are exact and deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Median latency.
+    pub p50_s: f64,
+    /// 99th-percentile latency.
+    pub p99_s: f64,
+    /// Mean latency.
+    pub mean_s: f64,
+    /// Worst observed latency.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes the stats from unsorted samples. Empty input yields the
+    /// all-zero record (`samples == 0` distinguishes it).
+    #[must_use]
+    pub fn compute(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| -> f64 {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        Self {
+            samples: sorted.len(),
+            p50_s: rank(0.50),
+            p99_s: rank(0.99),
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_s: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Monotonic counters the service keeps; one snapshot is returned with
+/// every drain so harnesses can assert the overload story in numbers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// `submit` calls, accepted or not.
+    pub submitted: u64,
+    /// Requests admitted to a tenant queue.
+    pub accepted: u64,
+    /// Requests answered with a factor (including quarantined ones —
+    /// they got a terminal response).
+    pub completed: u64,
+    /// Refusals by the global load-shedding threshold.
+    pub rejected_overloaded: u64,
+    /// Refusals by a full per-tenant queue.
+    pub rejected_tenant_full: u64,
+    /// Refusals for malformed or oversized requests.
+    pub rejected_invalid: u64,
+    /// Accepted requests cancelled at their deadline before dispatch.
+    pub expired: u64,
+    /// Vbatched windows dispatched.
+    pub windows: u64,
+    /// Whole-window redispatches after a driver error.
+    pub window_retries: u64,
+    /// Windows that failed even after the retry budget.
+    pub window_failures: u64,
+    /// Largest pending-request count ever observed.
+    pub max_queue_depth: usize,
+    /// Largest queued device-cost ever observed (seconds).
+    pub max_queued_cost_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencyStats::compute(&samples);
+        assert_eq!(s.samples, 100);
+        assert!((s.p50_s - 50.0).abs() < 1e-12);
+        assert!((s.p99_s - 99.0).abs() < 1e-12);
+        assert!((s.max_s - 100.0).abs() < 1e-12);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_and_empty() {
+        let s = LatencyStats::compute(&[0.25]);
+        assert_eq!(
+            (s.samples, s.p50_s, s.p99_s, s.max_s),
+            (1, 0.25, 0.25, 0.25)
+        );
+        let e = LatencyStats::compute(&[]);
+        assert_eq!(e.samples, 0);
+        assert_eq!(e.p99_s, 0.0);
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = LatencyStats::compute(&[3.0, 1.0, 2.0]);
+        let b = LatencyStats::compute(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.p50_s.to_bits(), b.p50_s.to_bits());
+        assert_eq!(a.p99_s.to_bits(), b.p99_s.to_bits());
+    }
+}
