@@ -855,6 +855,21 @@ fn main() {
     );
     let _ = writeln!(j, "    \"vbatch_threads\": {},", pool::resolved_threads());
     let _ = writeln!(j, "    \"tune_source\": {:?},", active.source);
+    // Every simulated kernel this bench run launched (the intern
+    // registry is append-only, so after the probes above this is the
+    // full vocabulary). CI cross-checks it against the static
+    // `graph.kernels` enumeration in ANALYZE.json.
+    {
+        let names = vbatch_gpu_sim::intern::known_names();
+        let mut list = String::new();
+        for (i, n) in names.iter().enumerate() {
+            if i > 0 {
+                list.push_str(", ");
+            }
+            let _ = write!(list, "{n:?}");
+        }
+        let _ = writeln!(j, "    \"sim_kernels\": [{list}],");
+    }
     // Simulated-device inventory: the config every simulated section of
     // this file ran on, and how many devices each section used.
     let sim_cfg = DeviceConfig::k40c();

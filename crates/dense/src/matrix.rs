@@ -237,9 +237,10 @@ pub struct MatMut<'a, T> {
     _marker: PhantomData<&'a mut T>,
 }
 
-// SAFETY: exclusive views hand out mutation only through &mut self;
-// transferring them across threads is the whole point of block-parallel
-// kernels, under the documented disjointness contract.
+// SAFETY: `MatMut` is an exclusive view handing out mutation only
+// through &mut self; transferring them across threads is the whole
+// point of block-parallel kernels, under the documented disjointness
+// contract.
 unsafe impl<T: Send> Send for MatMut<'_, T> {}
 unsafe impl<T: Sync> Sync for MatMut<'_, T> {}
 

@@ -248,8 +248,8 @@ pub(crate) struct Target {
     elem_size: usize,
 }
 
-// SAFETY: the address points into a `DeviceBuffer` allocation the
-// registering caller keeps alive for the plan's lifetime (the same
+// SAFETY: `Target`'s address points into a `DeviceBuffer` allocation
+// the registering caller keeps alive for the plan's lifetime (the same
 // contract as `DevicePtr`); corruption writes happen under the device's
 // fault lock.
 unsafe impl Send for Target {}

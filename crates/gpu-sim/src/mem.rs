@@ -156,8 +156,8 @@ struct Storage<T> {
     len: usize,
 }
 
-// SAFETY: access is through raw pointers under the kernel disjointness
-// contract; the storage itself is plain memory.
+// SAFETY: `Storage` is plain owned memory behind a raw pointer; access
+// is through raw pointers under the kernel disjointness contract.
 unsafe impl<T: Send> Send for Storage<T> {}
 unsafe impl<T: Sync> Sync for Storage<T> {}
 
@@ -279,9 +279,9 @@ impl<T> std::fmt::Debug for DevicePtr<T> {
     }
 }
 
-// SAFETY: the CUDA contract — concurrent blocks must touch disjoint
-// elements; the simulator's kernels uphold this the same way real
-// kernels do.
+// SAFETY: `DevicePtr` mirrors the CUDA contract — concurrent blocks
+// must touch disjoint elements; the simulator's kernels uphold this
+// the same way real kernels do.
 unsafe impl<T: Send> Send for DevicePtr<T> {}
 unsafe impl<T: Sync> Sync for DevicePtr<T> {}
 

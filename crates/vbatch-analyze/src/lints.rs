@@ -39,6 +39,14 @@
 
 use crate::lex::{match_delim, scan, Scan, TokKind, Token};
 
+/// Whether a finding fails the run (error) or only reports (warning,
+/// exit 0 — today just the VBA003 budget-slack ratchet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
 /// One diagnostic produced by the pass.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -53,6 +61,7 @@ pub struct Finding {
     pub message: String,
     /// `Some(reason)` when waived by an `analyze:allow` directive.
     pub allowed: Option<String>,
+    pub severity: Severity,
 }
 
 /// Per-file `unsafe` census (test modules excluded).
@@ -87,6 +96,9 @@ pub mod codes {
     pub const UNSAFE_NO_SAFETY: &str = "VBA001";
     /// L1: a crate's `unsafe` count exceeds its `analyze.toml` budget.
     pub const UNSAFE_OVER_BUDGET: &str = "VBA002";
+    /// L1: a crate's `unsafe` count is *below* its budget (warning) —
+    /// ratchet the budget down instead of accumulating stale headroom.
+    pub const BUDGET_SLACK: &str = "VBA003";
     /// L2: forbidden construct inside a launch closure.
     pub const KERNEL_IMPURE: &str = "VBA101";
     /// L3: non-deterministic construct in a determinism-scoped file.
@@ -95,6 +107,32 @@ pub mod codes {
     pub const ADHOC_THREADING: &str = "VBA202";
     /// L4: inline string literal as a kernel name.
     pub const UNINTERNED_NAME: &str = "VBA301";
+    /// C1: `unsafe impl Send/Sync` whose SAFETY comment does not name
+    /// the audited wrapper type.
+    pub const SEND_SYNC_UNNAMED: &str = "VBA401";
+    /// C2: `SharedSlice::get` inside a worker-pool closure whose index
+    /// argument is not derived from the lane/worker parameter.
+    pub const SHARED_WRITE_UNLANED: &str = "VBA402";
+    /// G1: launch-site kernel name that does not resolve to the intern
+    /// registry.
+    pub const KERNEL_UNRESOLVED: &str = "VBA501";
+    /// G2: launch site in a function unreachable from any public driver
+    /// entry point.
+    pub const LAUNCH_UNREACHABLE: &str = "VBA502";
+    /// G3: launch closure that never charges `BlockCost`.
+    pub const LAUNCH_UNCHARGED: &str = "VBA503";
+    /// G4: identical consecutive `BlockCost` charge (copy-paste double
+    /// charge).
+    pub const LAUNCH_DOUBLE_CHARGED: &str = "VBA504";
+    /// G5: fault-injection launch matcher whose substring matches no
+    /// kernel in the resolved registry (dead chaos coverage).
+    pub const DEAD_FAULT_MATCHER: &str = "VBA505";
+    /// P1: pool `take` whose buffer is neither reclaimed nor handed
+    /// onward on any path (leaks pool capacity on drop).
+    pub const POOL_TAKE_LEAKED: &str = "VBA601";
+    /// P2: pooled metadata buffer handed to a window without a rewrite
+    /// of its length-dependent contents (the PR 9 `d_info` bug shape).
+    pub const POOL_META_STALE: &str = "VBA602";
     /// An `analyze:allow` directive without a reason.
     pub const ALLOW_NO_REASON: &str = "VBA901";
 }
@@ -123,22 +161,42 @@ pub const THREADING_EXEMPT: &[&str] = &["crates/dense/src/pool.rs"];
 /// `thread::` members whose use constitutes ad-hoc thread creation.
 const THREADING_BANNED: &[&str] = &["spawn", "scope", "Builder"];
 
+/// Whether a workspace-relative path is test-context source: crate
+/// `tests/`/`benches/` trees and the root `tests/` integration suite.
+/// Test-context files are indexed by phase 2 (their launch sites and
+/// fault matchers feed the graph) but exempt from the token lints and
+/// the unsafe census, matching how `#[cfg(test)]` regions are treated
+/// inside `src/`.
+#[must_use]
+pub fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.starts_with("benches/")
+        || path.contains("/benches/")
+}
+
 /// Analyzes one file's source. `path` should be workspace-relative with
 /// `/` separators (it selects lint scopes and labels findings).
 #[must_use]
 pub fn analyze_source(path: &str, src: &str) -> FileReport {
     let s = scan(src);
     let ctx = FileCtx::new(path, &s);
+    lint_file(&ctx)
+}
+
+/// Runs the per-file token lints over a pre-built [`FileCtx`].
+pub(crate) fn lint_file(ctx: &FileCtx<'_>) -> FileReport {
+    let path = ctx.path;
     let mut rep = FileReport::default();
-    lint_unsafe(&ctx, &mut rep);
-    lint_launch_sites(&ctx, &mut rep);
+    lint_unsafe(ctx, &mut rep);
+    lint_launch_sites(ctx, &mut rep);
     if DETERMINISM_SCOPE.iter().any(|p| path.contains(p))
         && !DETERMINISM_EXEMPT.iter().any(|p| path.ends_with(p))
     {
-        lint_determinism(&ctx, &mut rep);
+        lint_determinism(ctx, &mut rep);
     }
     if !THREADING_EXEMPT.iter().any(|p| path.ends_with(p)) {
-        lint_threading(&ctx, &mut rep);
+        lint_threading(ctx, &mut rep);
     }
     for d in &ctx.allows {
         if d.reason.is_empty() {
@@ -153,6 +211,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
                     d.lint, d.lint
                 ),
                 allowed: None,
+                severity: Severity::Error,
             });
         }
     }
@@ -162,7 +221,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
 }
 
 /// An `analyze:allow(<lint>): reason` directive.
-struct AllowDirective {
+pub(crate) struct AllowDirective {
     lint: String,
     reason: String,
     /// Line of the directive comment.
@@ -171,10 +230,11 @@ struct AllowDirective {
     target: u32,
 }
 
-/// Pre-computed per-file context shared by the lints.
-struct FileCtx<'a> {
-    path: &'a str,
-    scan: &'a Scan,
+/// Pre-computed per-file context shared by the lints and the phase-2
+/// index ([`crate::index`]).
+pub struct FileCtx<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) scan: &'a Scan,
     /// Line ranges (inclusive) of `#[cfg(test)] mod … { … }` bodies.
     test_regions: Vec<(u32, u32)>,
     /// Lines holding only attribute tokens (`#[...]`), possibly split
@@ -184,10 +244,13 @@ struct FileCtx<'a> {
     /// Send/Sync pair can share one SAFETY comment.
     unsafe_impl_lines: Vec<bool>,
     allows: Vec<AllowDirective>,
+    /// Whole file is test context (`tests/`/`benches/` trees).
+    test_file: bool,
 }
 
 impl<'a> FileCtx<'a> {
-    fn new(path: &'a str, s: &'a Scan) -> Self {
+    #[must_use]
+    pub fn new(path: &'a str, s: &'a Scan) -> Self {
         let toks = &s.tokens;
         let n_lines = s.code_lines.len();
 
@@ -307,13 +370,16 @@ impl<'a> FileCtx<'a> {
             attr_lines,
             unsafe_impl_lines,
             allows,
+            test_file: is_test_path(path),
         }
     }
 
-    fn in_test(&self, line: u32) -> bool {
-        self.test_regions
-            .iter()
-            .any(|&(a, b)| a <= line && line <= b)
+    pub(crate) fn in_test(&self, line: u32) -> bool {
+        self.test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(a, b)| a <= line && line <= b)
     }
 
     fn is_attr_line(&self, l: u32) -> bool {
@@ -322,7 +388,7 @@ impl<'a> FileCtx<'a> {
 
     /// Checks the waiver list, producing either an allowed or an active
     /// finding.
-    fn finding(
+    pub(crate) fn finding(
         &self,
         code: &'static str,
         lint: &'static str,
@@ -348,6 +414,7 @@ impl<'a> FileCtx<'a> {
             line,
             message,
             allowed,
+            severity: Severity::Error,
         }
     }
 }
@@ -374,17 +441,37 @@ fn has_safety_marker(text: &str) -> bool {
 
 /// Walks upward from `line - 1` through the contiguous run of comment
 /// and attribute lines (and, for impls, sibling single-line
-/// `unsafe impl`s) looking for a SAFETY marker.
+/// `unsafe impl`s) looking for a SAFETY marker. Multi-line `// SAFETY:`
+/// comments and `#[allow]`-style attributes between the comment and the
+/// `unsafe` token are all crossed.
+///
+/// A SAFETY marker in a *trailing* comment on a code line counts only
+/// when that line is directly adjacent (`line - 1`) or the `unsafe`
+/// line itself: a trailing comment further up belongs to *that*
+/// statement, and letting it satisfy a later `unsafe` was a
+/// silently-passing mismatch (any `x = f(); // SAFETY: …` two lines up
+/// used to launder the next undocumented `unsafe`).
 fn safety_above(ctx: &FileCtx<'_>, line: u32, is_impl: bool) -> bool {
+    // Same-line comment: `/* SAFETY: … */ unsafe { … }` or a trailing
+    // justification on the unsafe line itself.
+    if ctx
+        .scan
+        .comment_text_on(line)
+        .is_some_and(|t| has_safety_marker(&t))
+    {
+        return true;
+    }
     let mut l = line.saturating_sub(1);
+    let mut adjacent = true;
     while l >= 1 {
         if let Some(text) = ctx.scan.comment_text_on(l) {
-            if has_safety_marker(&text) {
+            let code_line = ctx.scan.has_code(l) && !ctx.is_attr_line(l);
+            if has_safety_marker(&text) && (!code_line || adjacent) {
                 return true;
             }
             // A line can hold both code and a trailing comment; only
             // keep walking when it is comment-only.
-            if ctx.scan.has_code(l) && !ctx.is_attr_line(l) {
+            if code_line {
                 return false;
             }
         } else if ctx.is_attr_line(l) {
@@ -400,6 +487,7 @@ fn safety_above(ctx: &FileCtx<'_>, line: u32, is_impl: bool) -> bool {
         } else {
             return false;
         }
+        adjacent = false;
         l -= 1;
     }
     false

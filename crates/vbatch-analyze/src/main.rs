@@ -1,10 +1,12 @@
 //! CLI: `vbatch-analyze check [--root PATH] [--json PATH]`.
 //!
-//! Exit codes: 0 = clean (waived findings allowed), 1 = active
-//! findings, 2 = usage or I/O error.
+//! Exit codes: 0 = clean (waived findings and warnings allowed),
+//! 1 = active error findings, 2 = usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use vbatch_analyze::lints::Severity;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -51,13 +53,18 @@ fn main() -> ExitCode {
     };
 
     for f in &rep.findings {
-        match &f.allowed {
-            None => println!("error[{}] {}:{}: {}", f.code, f.file, f.line, f.message),
-            Some(reason) => {
+        match (&f.allowed, f.severity) {
+            (Some(reason), _) => {
                 println!(
                     "allowed[{}] {}:{}: waived: {reason}",
                     f.code, f.file, f.line
                 );
+            }
+            (None, Severity::Warning) => {
+                println!("warning[{}] {}:{}: {}", f.code, f.file, f.line, f.message);
+            }
+            (None, Severity::Error) => {
+                println!("error[{}] {}:{}: {}", f.code, f.file, f.line, f.message);
             }
         }
     }
@@ -69,10 +76,23 @@ fn main() -> ExitCode {
             st.counts.safety_comments
         );
     }
+    if let Some(g) = &rep.graph {
+        println!(
+            "graph: {} kernels ({} test-only), {} launch sites, {} wrappers, \
+             {} pool takes, {} fault matchers",
+            g.kernels.len(),
+            g.test_kernels.len(),
+            g.launch_sites.len(),
+            g.unsafe_wrappers.len(),
+            g.pool_takes.len(),
+            g.fault_matchers.len()
+        );
+    }
     println!(
-        "vbatch-analyze: {} files, {} errors, {} waived",
+        "vbatch-analyze: {} files, {} errors, {} warnings, {} waived",
         rep.files_scanned,
         rep.errors(),
+        rep.warnings(),
         rep.allowed()
     );
 

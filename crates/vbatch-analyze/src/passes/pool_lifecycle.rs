@@ -1,0 +1,59 @@
+//! VBA6xx — pooled-buffer lifecycle, checked over the indexed `take`
+//! sites:
+//!
+//! * **VBA601**: a buffer taken from a memory pool must either be
+//!   reclaimed or handed onward (returned, stored, pushed) on some
+//!   path in the taking function. A binding that is only ever used
+//!   through its own methods — or not at all — is dropped at scope
+//!   end, and a dropped pool buffer never returns to the free list:
+//!   the pool leaks capacity one window at a time.
+//! * **VBA602**: a buffer taken from a *metadata* pool (`.meta` /
+//!   `.ptrs` — per-matrix dims, leading dimensions, info slots,
+//!   pointer arrays) carries length-dependent contents from its
+//!   previous life. Handing it to a window without a rewrite
+//!   (`fill_from_host`/`copy_from_host`/`write*`, or `.ptr()` +
+//!   `.set(…)`) is exactly the PR 9 `d_info` bug: a grown buffer
+//!   reused across windows kept stale per-matrix state and corrupted
+//!   the info reporting of every later, larger window.
+
+use crate::index::Index;
+use crate::lints::{codes, Finding};
+
+/// Runs VBA601 + VBA602.
+pub fn run(idx: &Index<'_>, findings: &mut Vec<Finding>) {
+    for f in &idx.files {
+        for tk in &f.takes {
+            if tk.is_test {
+                continue;
+            }
+            if !tk.escapes {
+                findings.push(f.ctx.finding(
+                    codes::POOL_TAKE_LEAKED,
+                    "pool-lifecycle",
+                    tk.line,
+                    format!(
+                        "pooled buffer `{}` is neither reclaimed nor handed \
+                         onward on any path: dropping it loses the allocation \
+                         from the pool's free list (capacity leak); reclaim it \
+                         on every exit or move it into the window state",
+                        tk.binding
+                    ),
+                ));
+            } else if tk.meta_like && !tk.rewritten {
+                findings.push(f.ctx.finding(
+                    codes::POOL_META_STALE,
+                    "pool-lifecycle",
+                    tk.line,
+                    format!(
+                        "metadata buffer `{}` taken from a pool and handed out \
+                         without rewriting its length-dependent contents; a \
+                         grow-never-shrink pooled buffer keeps the previous \
+                         window's per-matrix state (the PR 9 d_info bug) — \
+                         fill/overwrite every slot before use",
+                        tk.binding
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -4,13 +4,75 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::lints::{Finding, UnsafeCounts};
+use crate::lints::{Finding, Severity, UnsafeCounts};
 
 /// Per-crate rollup for the report.
 #[derive(Debug, Clone, Copy)]
 pub struct CrateStats {
     pub counts: UnsafeCounts,
     pub budget: u32,
+}
+
+/// One launch-path call site in the `graph` section.
+#[derive(Debug)]
+pub struct GraphLaunchSite {
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function name (empty at module scope).
+    pub func: String,
+    /// "launch" | "stream_group" | "group_launch".
+    pub kind: &'static str,
+    /// Resolved kernel names (empty for group launches / unresolved).
+    pub kernels: Vec<String>,
+    pub resolved: bool,
+    pub test: bool,
+    /// Direct `BlockCost` charges in the closure.
+    pub charges: u32,
+}
+
+/// One `unsafe impl Send/Sync` wrapper in the `graph` section.
+#[derive(Debug)]
+pub struct GraphWrapper {
+    pub file: String,
+    pub line: u32,
+    pub trait_name: String,
+    pub type_name: String,
+}
+
+/// One pool `take` site in the `graph` section.
+#[derive(Debug)]
+pub struct GraphTake {
+    pub file: String,
+    pub line: u32,
+    pub binding: String,
+    pub meta: bool,
+    pub escapes: bool,
+    pub rewritten: bool,
+}
+
+/// One fault-injection launch matcher in the `graph` section.
+#[derive(Debug)]
+pub struct GraphMatcher {
+    pub file: String,
+    pub line: u32,
+    pub substring: String,
+    pub test: bool,
+    pub matched: bool,
+}
+
+/// The cross-crate index, emitted so CI can diff kernel-registry and
+/// launch-site drift between runs.
+#[derive(Debug, Default)]
+pub struct GraphSection {
+    /// Kernel names resolved from non-test launch sites — the static
+    /// mirror of `gpu_sim::intern::known_names()`.
+    pub kernels: Vec<String>,
+    /// Names launched only from test context.
+    pub test_kernels: Vec<String>,
+    pub launch_sites: Vec<GraphLaunchSite>,
+    pub unsafe_wrappers: Vec<GraphWrapper>,
+    pub pool_takes: Vec<GraphTake>,
+    pub fault_matchers: Vec<GraphMatcher>,
 }
 
 /// Everything the `check` run produced, ready to serialize.
@@ -21,13 +83,27 @@ pub struct Report {
     pub crates: BTreeMap<String, CrateStats>,
     /// All findings, active and waived, sorted by (file, line, code).
     pub findings: Vec<Finding>,
+    /// The phase-1 index (absent for single-file `analyze_source`).
+    pub graph: Option<GraphSection>,
 }
 
 impl Report {
-    /// Active (non-waived) findings.
+    /// Active (non-waived) error findings — what fails the run.
     #[must_use]
     pub fn errors(&self) -> usize {
-        self.findings.iter().filter(|f| f.allowed.is_none()).count()
+        self.findings
+            .iter()
+            .filter(|f| f.allowed.is_none() && f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning findings (report-only, exit 0).
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
     }
 
     /// Waived findings.
@@ -69,10 +145,14 @@ impl Report {
         for (k, f) in self.findings.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"code\": {}, \"lint\": {}, \"file\": {}, \"line\": {}, \
-                 \"allowed\": {}, \"reason\": {}, \"message\": {}}}",
+                "    {{\"code\": {}, \"lint\": {}, \"severity\": {}, \"file\": {}, \
+                 \"line\": {}, \"allowed\": {}, \"reason\": {}, \"message\": {}}}",
                 quote(f.code),
                 quote(f.lint),
+                quote(match f.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                }),
                 quote(&f.file),
                 f.line,
                 f.allowed.is_some(),
@@ -84,15 +164,101 @@ impl Report {
             s.push_str(if k + 1 < n { ",\n" } else { "\n" });
         }
         s.push_str("  ],\n");
+        if let Some(g) = &self.graph {
+            s.push_str("  \"graph\": {\n");
+            let _ = writeln!(s, "    \"kernels\": {},", str_arr(&g.kernels));
+            let _ = writeln!(s, "    \"test_kernels\": {},", str_arr(&g.test_kernels));
+            s.push_str("    \"launch_sites\": [\n");
+            let n = g.launch_sites.len();
+            for (k, l) in g.launch_sites.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "      {{\"file\": {}, \"line\": {}, \"fn\": {}, \"kind\": {}, \
+                     \"kernels\": {}, \"resolved\": {}, \"test\": {}, \"charges\": {}}}",
+                    quote(&l.file),
+                    l.line,
+                    quote(&l.func),
+                    quote(l.kind),
+                    str_arr(&l.kernels),
+                    l.resolved,
+                    l.test,
+                    l.charges
+                );
+                s.push_str(if k + 1 < n { ",\n" } else { "\n" });
+            }
+            s.push_str("    ],\n");
+            s.push_str("    \"unsafe_wrappers\": [\n");
+            let n = g.unsafe_wrappers.len();
+            for (k, w) in g.unsafe_wrappers.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "      {{\"file\": {}, \"line\": {}, \"trait\": {}, \"type\": {}}}",
+                    quote(&w.file),
+                    w.line,
+                    quote(&w.trait_name),
+                    quote(&w.type_name)
+                );
+                s.push_str(if k + 1 < n { ",\n" } else { "\n" });
+            }
+            s.push_str("    ],\n");
+            s.push_str("    \"pool_takes\": [\n");
+            let n = g.pool_takes.len();
+            for (k, t) in g.pool_takes.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "      {{\"file\": {}, \"line\": {}, \"binding\": {}, \"meta\": {}, \
+                     \"escapes\": {}, \"rewritten\": {}}}",
+                    quote(&t.file),
+                    t.line,
+                    quote(&t.binding),
+                    t.meta,
+                    t.escapes,
+                    t.rewritten
+                );
+                s.push_str(if k + 1 < n { ",\n" } else { "\n" });
+            }
+            s.push_str("    ],\n");
+            s.push_str("    \"fault_matchers\": [\n");
+            let n = g.fault_matchers.len();
+            for (k, m) in g.fault_matchers.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "      {{\"file\": {}, \"line\": {}, \"substring\": {}, \
+                     \"test\": {}, \"matched\": {}}}",
+                    quote(&m.file),
+                    m.line,
+                    quote(&m.substring),
+                    m.test,
+                    m.matched
+                );
+                s.push_str(if k + 1 < n { ",\n" } else { "\n" });
+            }
+            s.push_str("    ]\n");
+            s.push_str("  },\n");
+        }
         let _ = writeln!(
             s,
-            "  \"summary\": {{\"errors\": {}, \"allowed\": {}}}",
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"allowed\": {}}}",
             self.errors(),
+            self.warnings(),
             self.allowed()
         );
         s.push_str("}\n");
         s
     }
+}
+
+/// Serializes a string list as a one-line JSON array.
+fn str_arr(v: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in v.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&quote(s));
+    }
+    out.push(']');
+    out
 }
 
 fn quote(s: &str) -> String {
@@ -336,6 +502,11 @@ mod tests {
             line: 7,
             message: "msg with \"quotes\"\nand newline".into(),
             allowed: Some("it is fine".into()),
+            severity: Severity::Error,
+        });
+        rep.graph = Some(GraphSection {
+            kernels: vec!["potrf_fixed".into()],
+            ..GraphSection::default()
         });
         let j = parse_json(&rep.to_json()).expect("valid json");
         assert_eq!(j.get("version").and_then(Json::as_num), Some(1.0));
@@ -354,6 +525,18 @@ mod tests {
                 .and_then(|s| s.get("errors"))
                 .and_then(Json::as_num),
             Some(0.0)
+        );
+        assert_eq!(f.get("severity").and_then(Json::as_str), Some("error"));
+        let g = j.get("graph").expect("graph section present");
+        assert_eq!(
+            g.get("kernels").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            g.get("launch_sites")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
         );
     }
 

@@ -5,8 +5,10 @@
 
 use std::path::{Path, PathBuf};
 
-use vbatch_analyze::lints::{self, analyze_source};
+use vbatch_analyze::config::Config;
+use vbatch_analyze::lints::{self, analyze_source, Severity};
 use vbatch_analyze::report::parse_json;
+use vbatch_analyze::{analyze_files, SourceFile};
 
 fn fixture(name: &str) -> String {
     let p = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -136,6 +138,150 @@ fn allow_directive_without_reason_is_its_own_error() {
     );
 }
 
+/// Runs both analyzer phases over one fixture file mounted at a
+/// virtual workspace path, returning `(code, line)` pairs in report
+/// order. Unlike [`codes_at`] this exercises the phase-2 graph and
+/// dataflow passes, which need the whole-tree entry point.
+fn tree_codes(virtual_path: &str, name: &str, budget: u32) -> Vec<(&'static str, u32)> {
+    let crate_name = virtual_path
+        .strip_prefix("crates/")
+        .and_then(|p| p.split('/').next())
+        .unwrap_or_default()
+        .to_string();
+    let files = vec![SourceFile {
+        rel: virtual_path.to_string(),
+        crate_name: crate_name.clone(),
+        src: fixture(name),
+    }];
+    let mut cfg = Config::default();
+    cfg.unsafe_budget.insert(crate_name, budget);
+    let rep = analyze_files(&files, &cfg);
+    rep.findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| (f.code, f.line))
+        .collect()
+}
+
+#[test]
+fn c1_fixture_flags_unnamed_send_impl_and_unlaned_shared_write() {
+    let got = tree_codes("crates/demo/src/c1_concurrency.rs", "c1_concurrency.rs", 2);
+    assert_eq!(
+        got,
+        vec![("VBA401", 10), ("VBA402", 17)],
+        "SAFETY comment not naming RawShared, and a constant-indexed \
+         SharedSlice::get in a worker closure"
+    );
+}
+
+#[test]
+fn g1_fixture_flags_every_launch_graph_violation() {
+    let got = tree_codes("crates/demo/src/g1_launch.rs", "g1_launch.rs", 0);
+    assert_eq!(
+        got,
+        vec![
+            ("VBA504", 7),
+            ("VBA505", 9),
+            ("VBA501", 15),
+            ("VBA502", 15),
+            ("VBA503", 15),
+        ],
+        "double charge, dead matcher, then unresolved + unreachable + \
+         uncharged on the orphan launch"
+    );
+}
+
+#[test]
+fn p1_fixture_flags_leaked_take_and_stale_metadata() {
+    let got = tree_codes("crates/demo/src/p1_pool.rs", "p1_pool.rs", 0);
+    assert_eq!(
+        got,
+        vec![("VBA601", 5), ("VBA602", 10)],
+        "dropped pool buffer and an unrewritten metadata buffer; the \
+         rewritten-then-handed-on take must stay clean"
+    );
+}
+
+#[test]
+fn clean_fixture_also_passes_the_graph_passes() {
+    let files = vec![SourceFile {
+        rel: "crates/demo/src/clean.rs".to_string(),
+        crate_name: "demo".to_string(),
+        src: fixture("clean.rs"),
+    }];
+    let mut cfg = Config::default();
+    cfg.unsafe_budget.insert("demo".to_string(), 1);
+    let rep = analyze_files(&files, &cfg);
+    assert!(
+        rep.findings.is_empty(),
+        "clean fixture must pass phase 2 too; got {:?}",
+        rep.findings
+    );
+    let g = rep.graph.expect("tree analysis emits the graph section");
+    assert_eq!(g.kernels, vec!["fixture_clean_kernel".to_string()]);
+    assert_eq!(g.launch_sites.len(), 1);
+    let site = &g.launch_sites[0];
+    assert!(site.resolved, "kernel_name() helper must be chased");
+    assert_eq!(site.kernels, vec!["fixture_clean_kernel".to_string()]);
+    assert_eq!(site.func, "launch_good");
+    assert_eq!(site.charges, 1);
+}
+
+#[test]
+fn safety_comment_adjacency_rules() {
+    // Multi-line SAFETY comments and attribute-separated items count.
+    let multi = "fn f() {\n\
+                 // SAFETY: a long justification\n\
+                 // continuing on a second line.\n\
+                 unsafe { work() }\n\
+                 }\n";
+    assert!(
+        analyze_source("crates/demo/src/a.rs", multi)
+            .findings
+            .is_empty(),
+        "multi-line SAFETY comment must satisfy VBA001"
+    );
+    let attr = "// SAFETY: caller upholds the contract.\n\
+                #[allow(dead_code)]\n\
+                unsafe fn g() {}\n";
+    assert!(
+        analyze_source("crates/demo/src/b.rs", attr)
+            .findings
+            .is_empty(),
+        "attributes between the SAFETY comment and the item are crossed"
+    );
+    // A trailing comment on the directly-adjacent code line still
+    // counts (it reads as annotating what follows)…
+    let adjacent = "fn f() {\n\
+                    let x = setup(); // SAFETY: x is pinned for the deref below\n\
+                    unsafe { work(x) }\n\
+                    }\n";
+    assert!(
+        analyze_source("crates/demo/src/c.rs", adjacent)
+            .findings
+            .is_empty(),
+        "adjacent trailing SAFETY comment is accepted"
+    );
+    // …but a trailing comment further up belongs to its own statement
+    // and must NOT satisfy a later unsafe (the silently-passing
+    // mismatch the adjacency fix closed).
+    let distant = "fn f() {\n\
+                   let x = setup(); // SAFETY: about this line only\n\
+                   let y = other();\n\
+                   unsafe { work(y) }\n\
+                   }\n";
+    let got: Vec<_> = analyze_source("crates/demo/src/d.rs", distant)
+        .findings
+        .iter()
+        .map(|f| (f.code, f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![("VBA001", 4)],
+        "a distant trailing SAFETY comment must not launder later unsafe"
+    );
+}
+
 /// Builds a throwaway single-crate workspace under the target temp dir.
 fn mini_tree(tag: &str, lib_fixture: &str, analyze_toml: Option<&str>) -> PathBuf {
     let root = std::env::temp_dir().join(format!("vbatch-analyze-{}-{tag}", std::process::id()));
@@ -186,6 +332,48 @@ fn binary_exits_nonzero_on_failing_tree_and_zero_on_clean() {
 }
 
 #[test]
+fn binary_exits_nonzero_on_graph_pass_findings() {
+    let bad = mini_tree("graph-bad", "g1_launch.rs", None);
+    let (code, stdout) = run_binary(&bad);
+    assert_eq!(
+        code, 1,
+        "graph findings must fail the run; stdout:\n{stdout}"
+    );
+    for c in ["VBA501", "VBA502", "VBA503", "VBA504", "VBA505"] {
+        assert!(stdout.contains(c), "missing {c}; stdout:\n{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&bad);
+}
+
+#[test]
+fn budget_slack_is_a_warning_and_exit_stays_zero() {
+    // Actual unsafe count is 1 (one block in clean.rs) but the budget
+    // grants 5: the ratchet warning fires without failing the run.
+    let root = mini_tree("slack", "clean.rs", Some("[unsafe_budget]\ndemo = 5\n"));
+    let (code, stdout) = run_binary(&root);
+    assert_eq!(code, 0, "warnings must not fail the run; stdout:\n{stdout}");
+    assert!(
+        stdout.contains("warning[VBA003]"),
+        "stale headroom must warn; stdout:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(root.join("ANALYZE.json")).unwrap();
+    let j = parse_json(&json).unwrap();
+    assert_eq!(
+        j.get("summary")
+            .and_then(|s| s.get("warnings"))
+            .and_then(|v| v.as_num()),
+        Some(1.0)
+    );
+    assert_eq!(
+        j.get("summary")
+            .and_then(|s| s.get("errors"))
+            .and_then(|v| v.as_num()),
+        Some(0.0)
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn analyze_json_schema_snapshot() {
     let root = mini_tree("schema", "l1_unsafe.rs", None);
     let rep = vbatch_analyze::run_check(&root).unwrap();
@@ -229,7 +417,9 @@ fn analyze_json_schema_snapshot() {
         .expect("findings array");
     assert_eq!(findings.len(), 4);
     for f in findings {
-        for key in ["code", "lint", "file", "line", "allowed", "message"] {
+        for key in [
+            "code", "lint", "severity", "file", "line", "allowed", "message",
+        ] {
             assert!(f.get(key).is_some(), "finding missing key {key}");
         }
     }
@@ -239,10 +429,68 @@ fn analyze_json_schema_snapshot() {
         .collect();
     assert_eq!(codes, vec!["VBA002", "VBA001", "VBA001", "VBA001"]);
 
-    // Summary mirrors Report::errors/allowed.
+    // Summary mirrors Report::errors/warnings/allowed.
     let summary = json.get("summary").expect("summary present");
     assert_eq!(summary.get("errors").and_then(|v| v.as_num()), Some(4.0));
+    assert_eq!(summary.get("warnings").and_then(|v| v.as_num()), Some(0.0));
     assert_eq!(summary.get("allowed").and_then(|v| v.as_num()), Some(0.0));
+
+    // The graph section is always present on a tree run, with every
+    // sub-array in place (empty here: the fixture has no launch paths).
+    let graph = json.get("graph").expect("graph section present");
+    for key in [
+        "kernels",
+        "test_kernels",
+        "launch_sites",
+        "unsafe_wrappers",
+        "pool_takes",
+        "fault_matchers",
+    ] {
+        assert!(
+            graph.get(key).and_then(|v| v.as_arr()).is_some(),
+            "graph.{key} must be an array"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn graph_section_schema_snapshot() {
+    let root = mini_tree(
+        "graph-schema",
+        "clean.rs",
+        Some("[unsafe_budget]\ndemo = 1\n"),
+    );
+    let rep = vbatch_analyze::run_check(&root).unwrap();
+    let json = parse_json(&rep.to_json()).unwrap();
+    let graph = json.get("graph").expect("graph section present");
+
+    let kernels = graph.get("kernels").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(
+        kernels
+            .iter()
+            .filter_map(|k| k.as_str())
+            .collect::<Vec<_>>(),
+        vec!["fixture_clean_kernel"]
+    );
+
+    let sites = graph.get("launch_sites").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(sites.len(), 1);
+    let site = &sites[0];
+    for (key, want) in [
+        ("file", "crates/demo/src/lib.rs"),
+        ("fn", "launch_good"),
+        ("kind", "launch"),
+    ] {
+        assert_eq!(site.get(key).and_then(|v| v.as_str()), Some(want));
+    }
+    for key in ["line", "charges"] {
+        assert!(site.get(key).and_then(|v| v.as_num()).is_some());
+    }
+    for key in ["kernels", "resolved", "test"] {
+        assert!(site.get(key).is_some(), "launch site missing {key}");
+    }
 
     let _ = std::fs::remove_dir_all(&root);
 }

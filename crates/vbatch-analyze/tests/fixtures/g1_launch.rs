@@ -1,0 +1,18 @@
+//! Fixture: fails the VBA5xx launch-graph passes.
+//! Never compiled — consumed as text by the analyzer's tests.
+
+pub fn driver(dev: &Device, cfg: LaunchConfig) {
+    dev.launch(kname::<f64>("fixture_ok"), cfg, move |ctx| {
+        ctx.gmem_read(8);
+        ctx.gmem_read(8);
+    });
+    let plan = FaultPlan::default().transient_launch("missing_kernel", 1, 1);
+    let _ = plan;
+}
+
+fn orphan(dev: &Device, cfg: LaunchConfig) {
+    let name = runtime_name();
+    dev.launch(name, cfg, move |ctx| {
+        let _ = ctx;
+    });
+}

@@ -1,0 +1,18 @@
+//! Fixture: fails the VBA6xx pool-lifecycle passes.
+//! Never compiled — consumed as text by the analyzer's tests.
+
+fn window_leak(pools: &mut DevicePools, elems: usize) {
+    let scratch = pools.mats.take(elems);
+    let _ = scratch.len();
+}
+
+fn window_stale(pools: &mut DevicePools, count: usize) -> Window {
+    let d_info = pools.meta.take(count);
+    Window { d_info }
+}
+
+fn window_ok(pools: &mut DevicePools, count: usize) -> Window {
+    let d_rows = pools.meta.take(count);
+    d_rows.fill_from_host(&[0]);
+    Window { d_info: d_rows }
+}

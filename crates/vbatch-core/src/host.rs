@@ -196,7 +196,7 @@ impl<U> SharedSlice<U> {
     }
 }
 
-// SAFETY: the wrapper is only a courier for the base pointer; element
+// SAFETY: `SharedSlice` is only a courier for the base pointer; element
 // access is disjoint per worker (caller contract on `get`), and `U`
 // itself crosses threads, hence the `U: Send` bound.
 unsafe impl<U: Send> Send for SharedSlice<U> {}
